@@ -1,0 +1,255 @@
+//! The single-threaded and multi-threaded CPU MGL legalizer (TCAD'22 [18]).
+//!
+//! The multi-threaded variant reproduces the region-level parallelization the paper's Fig. 2(a)
+//! analyses: the size-ordered queue of target cells is scanned for a batch of cells whose
+//! legalization windows do not overlap, the batch's FOP computations run in parallel worker
+//! threads, and the commits are applied under a barrier before the next batch is formed. Batch
+//! formation and committing are inherently serial, and the number of non-overlapping regions
+//! available at any moment is limited, which is why the speedup saturates around eight threads.
+
+use flex_mgl::config::MglConfig;
+use flex_mgl::fop::{self, Placement, TargetSpec};
+use flex_mgl::legalize::{commit_placement, fallback_place};
+use flex_mgl::region::{target_window, LocalRegion};
+use flex_mgl::stats::FopOpStats;
+use flex_placement::cell::CellId;
+use flex_placement::geom::Rect;
+use flex_placement::layout::Design;
+use flex_placement::legality::check_legality_with;
+use flex_placement::metrics::displacement_stats;
+use flex_placement::segment::SegmentMap;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Result of a CPU-baseline legalization run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CpuLegalizerResult {
+    /// Whether the final placement is fully legal.
+    pub legal: bool,
+    /// Wall-clock runtime.
+    pub runtime: Duration,
+    /// Average displacement `S_am`.
+    pub average_displacement: f64,
+    /// Maximum cell displacement.
+    pub max_displacement: f64,
+    /// Cells committed through FOP.
+    pub placed_in_region: usize,
+    /// Cells placed by the fallback scan.
+    pub fallback_placed: usize,
+    /// Cells that could not be placed.
+    pub failed: Vec<CellId>,
+    /// Number of parallel batches (synchronization points) executed.
+    pub batches: usize,
+    /// Average number of regions processed per batch.
+    pub avg_batch_size: f64,
+}
+
+impl CpuLegalizerResult {
+    /// Runtime in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.runtime.as_secs_f64()
+    }
+}
+
+/// The multi-threaded CPU MGL legalizer.
+#[derive(Debug, Clone)]
+pub struct CpuLegalizer {
+    /// Number of worker threads (1 = the sequential TCAD'22 flow).
+    pub threads: usize,
+    /// Underlying MGL configuration (defaults to the original algorithm variants).
+    pub config: MglConfig,
+}
+
+impl CpuLegalizer {
+    /// Create a legalizer with `threads` worker threads and the original MGL configuration.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+            config: MglConfig::original(),
+        }
+    }
+
+    /// Override the MGL configuration.
+    pub fn with_config(mut self, config: MglConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Legalize the design in place.
+    pub fn legalize(&self, design: &mut Design) -> CpuLegalizerResult {
+        let start = Instant::now();
+        design.pre_move();
+        let segmap = SegmentMap::build(design);
+        let mut op_stats = FopOpStats::default();
+
+        // size-descending processing order (the widely adopted baseline ordering)
+        let mut queue: Vec<CellId> = design.movable_ids();
+        queue.sort_by_key(|&id| {
+            let c = design.cell(id);
+            (std::cmp::Reverse(c.area()), id)
+        });
+
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(self.threads)
+            .build()
+            .expect("failed to build worker pool");
+
+        let mut placed_in_region = 0usize;
+        let mut fallback_placed = 0usize;
+        let mut failed = Vec::new();
+        let mut batches = 0usize;
+        let mut batch_total = 0usize;
+
+        let mut pending = std::collections::VecDeque::from(queue);
+        while !pending.is_empty() {
+            // form a batch of cells whose windows do not overlap (scanning a bounded lookahead
+            // so the ordering does not degrade arbitrarily)
+            let lookahead = (self.threads * 4).max(8);
+            let mut batch: Vec<CellId> = Vec::with_capacity(self.threads);
+            let mut batch_windows: Vec<Rect> = Vec::new();
+            let mut skipped: Vec<CellId> = Vec::new();
+            while batch.len() < self.threads && !pending.is_empty() && skipped.len() < lookahead {
+                let id = pending.pop_front().unwrap();
+                let window =
+                    target_window(design, id, self.config.window_half_sites, self.config.window_half_rows);
+                if batch_windows.iter().any(|w| w.overlaps(&window)) {
+                    skipped.push(id);
+                } else {
+                    batch_windows.push(window);
+                    batch.push(id);
+                }
+            }
+            // anything skipped goes back to the front, preserving order
+            for id in skipped.into_iter().rev() {
+                pending.push_front(id);
+            }
+            if batch.is_empty() {
+                // nothing non-overlapping found within the lookahead: fall back to one cell
+                if let Some(id) = pending.pop_front() {
+                    batch.push(id);
+                }
+            }
+
+            batches += 1;
+            batch_total += batch.len();
+
+            // parallel FOP over the batch (read-only view of the design)
+            let cfg = &self.config;
+            let design_ref: &Design = design;
+            let segmap_ref = &segmap;
+            let outcomes: Vec<(CellId, Option<(LocalRegion, Placement, TargetSpec)>)> = pool.install(|| {
+                batch
+                    .par_iter()
+                    .map(|&id| {
+                        let c = design_ref.cell(id);
+                        let spec = TargetSpec {
+                            width: c.width,
+                            height: c.height,
+                            gx: c.gx,
+                            gy: c.gy,
+                            parity: c.row_parity,
+                        };
+                        let mut local_stats = FopOpStats::default();
+                        for expansion in 0..=cfg.max_window_expansions {
+                            let window = target_window(
+                                design_ref,
+                                id,
+                                cfg.window_half_sites << expansion,
+                                cfg.window_half_rows << expansion,
+                            );
+                            let region = LocalRegion::extract(design_ref, segmap_ref, id, window);
+                            if !region.can_host(spec.width, spec.height, spec.parity) {
+                                continue;
+                            }
+                            let out = fop::find_optimal_position(&region, &spec, cfg, &mut local_stats);
+                            if let Some(best) = out.best {
+                                return (id, Some((region, best, spec)));
+                            }
+                        }
+                        (id, None)
+                    })
+                    .collect()
+            });
+
+            // serial commit phase (the synchronization the paper's Fig. 2(a)/(b) refers to)
+            for (id, outcome) in outcomes {
+                match outcome {
+                    Some((region, placement, spec)) => {
+                        if commit_placement(design, &region, &placement, &spec, cfg) {
+                            placed_in_region += 1;
+                        } else if fallback_place(design, id, &spec) {
+                            fallback_placed += 1;
+                        } else {
+                            failed.push(id);
+                        }
+                    }
+                    None => {
+                        let c = design.cell(id);
+                        let spec = TargetSpec {
+                            width: c.width,
+                            height: c.height,
+                            gx: c.gx,
+                            gy: c.gy,
+                            parity: c.row_parity,
+                        };
+                        if fallback_place(design, id, &spec) {
+                            fallback_placed += 1;
+                        } else {
+                            failed.push(id);
+                        }
+                    }
+                }
+            }
+        }
+
+        let _ = &mut op_stats;
+        let disp = displacement_stats(design);
+        CpuLegalizerResult {
+            legal: check_legality_with(design, true).is_legal(),
+            runtime: start.elapsed(),
+            average_displacement: disp.average,
+            max_displacement: disp.max,
+            placed_in_region,
+            fallback_placed,
+            failed,
+            batches,
+            avg_batch_size: if batches == 0 { 0.0 } else { batch_total as f64 / batches as f64 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flex_placement::benchmark::{generate, BenchmarkSpec};
+
+    #[test]
+    fn single_threaded_run_is_legal() {
+        let mut d = generate(&BenchmarkSpec::tiny("cpu1", 21));
+        let res = CpuLegalizer::new(1).legalize(&mut d);
+        assert!(res.legal, "failed cells: {:?}", res.failed);
+        assert_eq!(res.placed_in_region + res.fallback_placed, d.num_movable());
+        assert!(res.avg_batch_size >= 1.0);
+    }
+
+    #[test]
+    fn multi_threaded_run_is_legal_and_batches_regions() {
+        let mut d = generate(&BenchmarkSpec::tiny("cpu8", 22));
+        let res = CpuLegalizer::new(8).legalize(&mut d);
+        assert!(res.legal, "failed cells: {:?}", res.failed);
+        assert!(res.batches > 0);
+        assert!(res.avg_batch_size > 1.0, "8 threads should batch more than one region");
+    }
+
+    #[test]
+    fn quality_is_close_between_thread_counts() {
+        let mut d1 = generate(&BenchmarkSpec::tiny("cpuq", 23));
+        let mut d2 = generate(&BenchmarkSpec::tiny("cpuq", 23));
+        let a = CpuLegalizer::new(1).legalize(&mut d1);
+        let b = CpuLegalizer::new(4).legalize(&mut d2);
+        assert!(a.legal && b.legal);
+        let ratio = b.average_displacement / a.average_displacement.max(1e-9);
+        assert!(ratio < 1.25, "parallel batching degraded quality too much: {ratio:.3}");
+    }
+}

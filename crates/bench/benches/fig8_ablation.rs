@@ -1,0 +1,30 @@
+//! Criterion benchmark for Fig. 8: the FLEX flow under each cumulative optimization step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flex_core::accelerator::FlexAccelerator;
+use flex_core::config::FlexConfig;
+use flex_placement::benchmark::{generate, BenchmarkSpec};
+use std::time::Duration;
+
+fn bench_ablation(c: &mut Criterion) {
+    let spec = BenchmarkSpec::tiny("fig8", 17);
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    for (label, cfg) in [
+        ("normal_pipeline", FlexConfig::normal_pipeline_baseline()),
+        ("sacs", FlexConfig::with_sacs_only()),
+        ("multi_granularity", FlexConfig::with_multi_granularity()),
+        ("two_pes", FlexConfig::flex()),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut d = generate(&spec);
+                FlexAccelerator::new(cfg.clone()).legalize(&mut d)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion benchmark: one Table 1 case (reduced size) legalized by the CPU baseline and by
+//! the FLEX flow — the end-to-end comparison behind Table 1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flex_baselines::cpu::CpuLegalizer;
+use flex_core::accelerator::FlexAccelerator;
+use flex_core::config::FlexConfig;
+use flex_placement::benchmark::generate;
+use flex_placement::iccad2017;
+use std::time::Duration;
+
+fn bench_table1_case(c: &mut Criterion) {
+    let case = iccad2017::case("fft_a_md2").unwrap();
+    let spec = iccad2017::spec(case, 0.01, 5);
+    let mut group = c.benchmark_group("table1/fft_a_md2");
+    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    group.bench_function(BenchmarkId::new("cpu_mgl", 1), |b| {
+        b.iter(|| {
+            let mut d = generate(&spec);
+            CpuLegalizer::new(1).legalize(&mut d)
+        })
+    });
+    group.bench_function(BenchmarkId::new("cpu_mgl", 8), |b| {
+        b.iter(|| {
+            let mut d = generate(&spec);
+            CpuLegalizer::new(8).legalize(&mut d)
+        })
+    });
+    group.bench_function("flex", |b| {
+        b.iter(|| {
+            let mut d = generate(&spec);
+            FlexAccelerator::new(FlexConfig::flex()).legalize(&mut d)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1_case);
+criterion_main!(benches);

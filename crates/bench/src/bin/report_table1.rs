@@ -1,0 +1,60 @@
+//! Regenerate **Table 1**: AveDis and runtime of the four legalizers on synthetic equivalents of
+//! the 16 ICCAD 2017 cases, plus the Acc(T)/Acc(D)/Acc(I) speedups.
+//!
+//! `FLEX_BENCH_SCALE` (default 0.02) controls the generated cell count as a fraction of the
+//! contest originals; `FLEX_BENCH_THREADS` (default 8) sets the TCAD'22 baseline thread count.
+//!
+//! Run with `cargo run --release -p flex-bench --bin report_table1`.
+
+use flex_bench::{print_table1_header, print_table1_row, run_case, scale_from_env, threads_from_env};
+use flex_placement::iccad2017::CASES;
+
+fn main() {
+    let scale = scale_from_env();
+    let threads = threads_from_env();
+    println!("=== Table 1 reproduction (scale {scale}, {threads} CPU threads) ===\n");
+    print_table1_header();
+
+    let mut rows = Vec::new();
+    for (i, case) in CASES.iter().enumerate() {
+        let row = run_case(case, scale, 0x71u64 + i as u64, threads);
+        print_table1_row(&row);
+        rows.push(row);
+    }
+
+    let n = rows.len() as f64;
+    let avg = |f: &dyn Fn(&flex_bench::CaseRow) -> f64| rows.iter().map(|r| f(r)).sum::<f64>() / n;
+    println!("\n--- averages ---");
+    println!(
+        "AveDis: TCAD'22 {:.3}  DATE'22 {:.3}  ISPD'25 {:.3}  FLEX {:.3}",
+        avg(&|r| r.tcad_avedis),
+        avg(&|r| r.date_avedis),
+        avg(&|r| r.ispd_avedis),
+        avg(&|r| r.flex_avedis),
+    );
+    println!(
+        "Time(s): TCAD'22 {:.3}  DATE'22 {:.3}  ISPD'25 {:.3}  FLEX {:.3}",
+        avg(&|r| r.tcad_time),
+        avg(&|r| r.date_time),
+        avg(&|r| r.ispd_time),
+        avg(&|r| r.flex_time),
+    );
+    println!(
+        "Speedups: Acc(T) avg {:.1}x (max {:.1}x)   Acc(D) avg {:.1}x (max {:.1}x)   Acc(I) avg {:.1}x (max {:.1}x)",
+        avg(&|r| r.acc_t()),
+        rows.iter().map(|r| r.acc_t()).fold(0.0, f64::max),
+        avg(&|r| r.acc_d()),
+        rows.iter().map(|r| r.acc_d()).fold(0.0, f64::max),
+        avg(&|r| r.acc_i()),
+        rows.iter().map(|r| r.acc_i()).fold(0.0, f64::max),
+    );
+    println!(
+        "paper reference: average Acc(T) 2.9x / Acc(D) 4.5x / Acc(I) 14.7x; maxima 5.4x / 18.3x / 54.2x"
+    );
+    let illegal: Vec<&str> = rows.iter().filter(|r| !r.all_legal).map(|r| r.name.as_str()).collect();
+    if illegal.is_empty() {
+        println!("all cases fully legal under every legalizer");
+    } else {
+        println!("WARNING: cases with legality issues: {illegal:?}");
+    }
+}

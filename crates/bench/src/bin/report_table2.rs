@@ -1,0 +1,40 @@
+//! Regenerate **Table 2**: FPGA resource consumption of the FLEX design with one and two
+//! parallel FOP PEs against the Alveo U50 budget, plus the scalability statement of Sec. 5.4
+//! (how many PEs fit before BRAM becomes the binding resource).
+//!
+//! Run with `cargo run --release -p flex-bench --bin report_table2`.
+
+use flex_fpga::resources::{flex_resources, max_pes, ALVEO_U50};
+
+fn main() {
+    println!("=== Table 2 reproduction: FPGA resource consumption ===\n");
+    println!("{:<32} {:>10} {:>10} {:>8} {:>8}", "", "LUTs", "FFs", "BRAMs", "DSPs");
+    for pes in [1u64, 2] {
+        let r = flex_resources(pes);
+        let label = if pes == 1 {
+            "No parallelism of FOP PE".to_string()
+        } else {
+            format!("{pes} parallelism of FOP PE")
+        };
+        println!("{:<32} {:>10} {:>10} {:>8} {:>8}", label, r.luts, r.ffs, r.brams, r.dsps);
+    }
+    let a = ALVEO_U50;
+    println!("{:<32} {:>10} {:>10} {:>8} {:>8}", "Available", a.luts, a.ffs, a.brams, a.dsps);
+
+    println!("\n--- utilization and scaling (Sec. 5.4) ---");
+    for pes in 1..=4u64 {
+        let r = flex_resources(pes);
+        let u = r.utilization(&ALVEO_U50);
+        println!(
+            "{} PE(s): LUT {:>5.1}%  FF {:>5.1}%  BRAM {:>5.1}%  DSP {:>5.1}%   fits: {}",
+            pes,
+            u.luts * 100.0,
+            u.ffs * 100.0,
+            u.brams * 100.0,
+            u.dsps * 100.0,
+            r.fits_in(&ALVEO_U50)
+        );
+    }
+    let (n, binding) = max_pes(&ALVEO_U50);
+    println!("maximum FOP PEs on the U50: {n} (binding resource: {binding:?}) — BRAM bounds scaling, as the paper notes");
+}

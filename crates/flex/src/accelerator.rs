@@ -1,0 +1,155 @@
+//! The user-facing FLEX accelerator.
+//!
+//! [`FlexAccelerator::legalize`] runs the complete flow: the host executes the MGL legalization
+//! (with FLEX's sliding-window ordering and SACS shifting) to produce a *legal placement and
+//! genuine quality numbers*, records the per-region work trace, and then estimates what the
+//! Alveo U50 implementation of the offloaded FOP would cost, yielding the accelerated runtime
+//! the paper's Table 1 reports.
+
+use crate::config::FlexConfig;
+use crate::timing::{self, FlexTiming, SoftwareBreakdown};
+use flex_fpga::resources::{flex_resources, Resources};
+use flex_mgl::legalize::{LegalizeResult, MglLegalizer};
+use flex_placement::layout::Design;
+
+pub use crate::config::FlexConfig as Config;
+
+/// The FLEX accelerator.
+#[derive(Debug, Clone)]
+pub struct FlexAccelerator {
+    config: FlexConfig,
+}
+
+/// Everything a FLEX run produces.
+#[derive(Debug, Clone)]
+pub struct FlexOutcome {
+    /// The functional legalization result (legality, displacement, software timings, trace).
+    pub result: LegalizeResult,
+    /// The software-run breakdown the acceleration estimate is based on.
+    pub software: SoftwareBreakdown,
+    /// The estimated accelerated timing.
+    pub timing: FlexTiming,
+    /// FPGA resources the configured design would consume (Table 2).
+    pub resources: Resources,
+}
+
+impl FlexOutcome {
+    /// Estimated accelerated runtime in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.timing.total.as_secs_f64()
+    }
+
+    /// Average displacement (`S_am`) of the legalized placement.
+    pub fn average_displacement(&self) -> f64 {
+        self.result.average_displacement
+    }
+}
+
+impl FlexAccelerator {
+    /// Create an accelerator with the given configuration.
+    pub fn new(config: FlexConfig) -> Self {
+        Self { config }
+    }
+
+    /// The accelerator configuration.
+    pub fn config(&self) -> &FlexConfig {
+        &self.config
+    }
+
+    /// Legalize the design in place and estimate the accelerated runtime.
+    pub fn legalize(&self, design: &mut Design) -> FlexOutcome {
+        let legalizer = MglLegalizer::new(self.config.mgl_config());
+        let result = legalizer.legalize(design);
+        let software = SoftwareBreakdown::from_result(&result);
+        let trace = result.trace.clone().unwrap_or_default();
+        let timing = timing::estimate(&self.config, &trace, &software);
+        FlexOutcome {
+            result,
+            software,
+            timing,
+            resources: flex_resources(self.config.num_fop_pes),
+        }
+    }
+}
+
+impl Default for FlexAccelerator {
+    fn default() -> Self {
+        Self::new(FlexConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TaskAssignment;
+    use flex_placement::benchmark::{generate, BenchmarkSpec};
+    use flex_placement::legality::check_legality_with;
+
+    fn design(seed: u64) -> Design {
+        generate(&BenchmarkSpec::tiny("accel", seed))
+    }
+
+    #[test]
+    fn flex_produces_a_legal_placement_and_a_speedup() {
+        let mut d = design(11);
+        let out = FlexAccelerator::default().legalize(&mut d);
+        assert!(out.result.legal);
+        assert!(check_legality_with(&d, true).is_legal());
+        assert!(out.timing.fpga_cycles > 0);
+        assert!(
+            out.timing.speedup_vs_software > 1.0,
+            "estimated FLEX runtime should beat the software run (got {:.2}x)",
+            out.timing.speedup_vs_software
+        );
+        assert!(out.resources.fits_in(&flex_fpga::resources::ALVEO_U50));
+        assert!(out.average_displacement() > 0.0);
+    }
+
+    #[test]
+    fn quality_matches_the_pure_software_legalizer() {
+        // FLEX runs the same functional algorithm; acceleration must not change quality
+        let mut d1 = design(12);
+        let mut d2 = design(12);
+        let out = FlexAccelerator::default().legalize(&mut d1);
+        let sw = MglLegalizer::new(FlexConfig::default().mgl_config()).legalize(&mut d2);
+        assert!((out.average_displacement() - sw.average_displacement).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ablation_ordering_holds_end_to_end() {
+        // Fig. 8: each optimization step may only make the estimated runtime faster
+        let configs = [
+            FlexConfig::normal_pipeline_baseline(),
+            FlexConfig::with_sacs_only(),
+            FlexConfig::with_multi_granularity(),
+            FlexConfig::flex(),
+        ];
+        let mut times = Vec::new();
+        for cfg in configs {
+            let mut d = design(13);
+            let out = FlexAccelerator::new(cfg).legalize(&mut d);
+            assert!(out.result.legal);
+            times.push(out.timing.fpga_time.as_secs_f64());
+        }
+        for w in times.windows(2) {
+            assert!(
+                w[1] <= w[0] * 1.05,
+                "each Fig. 8 step should not slow the FPGA side down: {times:?}"
+            );
+        }
+        let total_speedup = times[0] / times.last().unwrap();
+        assert!(total_speedup > 2.0, "cumulative Fig. 8 speedup {total_speedup:.2}");
+    }
+
+    #[test]
+    fn task_assignment_ablation_prefers_keeping_update_on_cpu() {
+        let mut d1 = design(14);
+        let mut d2 = design(14);
+        let flex = FlexAccelerator::new(FlexConfig::flex()).legalize(&mut d1);
+        let alt = FlexAccelerator::new(
+            FlexConfig::flex().with_assignment(TaskAssignment::FopAndUpdateOnFpga),
+        )
+        .legalize(&mut d2);
+        assert!(alt.timing.total >= flex.timing.total, "Fig. 10 direction");
+    }
+}

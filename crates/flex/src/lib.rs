@@ -1,0 +1,32 @@
+//! # flex-core — the FLEX FPGA-CPU legalization accelerator
+//!
+//! This crate is the paper's primary contribution: the co-designed accelerator that couples the
+//! MGL legalization flow (`flex-mgl`) with an FPGA performance/resource model (`flex-fpga`).
+//! The functional legalization runs for real on the host (so every quality number is genuine);
+//! the crate then replays the recorded work trace through the FLEX architecture model to predict
+//! what the Alveo U50 implementation would cost, which is how the paper's runtime and ablation
+//! figures are reproduced.
+//!
+//! * [`config`] — the accelerator configuration (PE count, pipeline mode, SACS architecture
+//!   options, task assignment) with presets for every ablation point in Figs. 8–10.
+//! * [`task_assign`] — the CPU/FPGA task split of Sec. 3.1.1 and its communication model.
+//! * [`sacs_arch`] — the SACS PE architecture of Sec. 4.3 (tables, dataflow, bandwidth
+//!   optimizations) as a cycle model.
+//! * [`fop_pipeline`] — the FOP PE: cell shifting plus the breakpoint pipeline, in normal,
+//!   SACS-only, and multi-granularity configurations (Sec. 3.2).
+//! * [`timing`] — end-to-end runtime estimation combining CPU work, FPGA cycles and transfers.
+//! * [`accelerator`] — [`accelerator::FlexAccelerator`], the user-facing entry point.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod accelerator;
+pub mod config;
+pub mod fop_pipeline;
+pub mod sacs_arch;
+pub mod task_assign;
+pub mod timing;
+
+pub use accelerator::{FlexAccelerator, FlexOutcome};
+pub use config::{FlexConfig, PipelineMode, SacsArchConfig, TaskAssignment};
+pub use timing::FlexTiming;

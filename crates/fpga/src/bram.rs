@@ -1,0 +1,191 @@
+//! On-chip RAM models: dual-port BRAM banks, odd-even banking, ping-pong buffers.
+//!
+//! The SACS architecture keeps its tables (LCT, LCPT, CST, LSC, Cs) in BRAM. BRAM bandwidth —
+//! the number of entries that can be read per cycle — becomes the bottleneck when multi-row
+//! cells need several rows' worth of cursor data at once. Sec. 4.3.2 lists the three
+//! countermeasures FLEX applies (odd-even banking, ping-pong initialization, a faster memory
+//! clock domain plus LCT duplication); each is modelled here so the Fig. 9 ablation can be
+//! reproduced.
+
+use crate::clock::Cycles;
+use serde::{Deserialize, Serialize};
+
+/// A single BRAM bank with a fixed number of read ports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BramBank {
+    /// Entries the bank can hold.
+    pub depth: u64,
+    /// Parallel read ports (true dual-port BRAM has 2).
+    pub read_ports: u64,
+    /// Parallel write ports.
+    pub write_ports: u64,
+}
+
+impl BramBank {
+    /// A true dual-port bank (2 read, 2 write ports), the configuration assumed in Sec. 4.3.2.
+    pub fn dual_port(depth: u64) -> Self {
+        Self {
+            depth,
+            read_ports: 2,
+            write_ports: 2,
+        }
+    }
+
+    /// Cycles to read `n` entries.
+    pub fn read_cycles(&self, n: u64) -> Cycles {
+        if n == 0 {
+            return Cycles::ZERO;
+        }
+        Cycles(n.div_ceil(self.read_ports.max(1)))
+    }
+
+    /// Cycles to write `n` entries.
+    pub fn write_cycles(&self, n: u64) -> Cycles {
+        if n == 0 {
+            return Cycles::ZERO;
+        }
+        Cycles(n.div_ceil(self.write_ports.max(1)))
+    }
+
+    /// Cycles to initialize (fill) the whole bank.
+    pub fn init_cycles(&self) -> Cycles {
+        self.write_cycles(self.depth)
+    }
+}
+
+/// Row-indexed storage split into an odd bank and an even bank, doubling the usable bandwidth
+/// for accesses that span adjacent rows (a multi-row cell always touches alternating parities).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OddEvenBram {
+    /// The bank holding even rows.
+    pub even: BramBank,
+    /// The bank holding odd rows.
+    pub odd: BramBank,
+}
+
+impl OddEvenBram {
+    /// Split a row-indexed table of `rows` entries into odd/even dual-port banks.
+    pub fn new(rows: u64) -> Self {
+        Self {
+            even: BramBank::dual_port(rows.div_ceil(2)),
+            odd: BramBank::dual_port(rows / 2),
+        }
+    }
+
+    /// Cycles to read the cursor entries of `rows` **adjacent** rows starting at `first_row`.
+    ///
+    /// Adjacent rows alternate between the banks, so the two banks serve the request in
+    /// parallel: e.g. 4 adjacent rows on dual-port banks take a single cycle instead of two.
+    pub fn read_adjacent_rows(&self, first_row: i64, rows: u64) -> Cycles {
+        if rows == 0 {
+            return Cycles::ZERO;
+        }
+        let first_is_even = first_row.rem_euclid(2) == 0;
+        let evens = if first_is_even { rows.div_ceil(2) } else { rows / 2 };
+        let odds = rows - evens;
+        self.even.read_cycles(evens).max(self.odd.read_cycles(odds))
+    }
+}
+
+/// Cycles to read `rows` adjacent row entries from a *single* (non-banked) dual-port table —
+/// the baseline the odd-even optimization is compared against.
+pub fn single_bank_adjacent_rows(rows: u64) -> Cycles {
+    BramBank::dual_port(rows.max(1)).read_cycles(rows)
+}
+
+/// A double buffer: while the PE works out of the active buffer, the controller initializes the
+/// shadow buffer with the next localRegion's data, hiding the load latency (Sec. 3.1.2 / 5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PingPongBuffer {
+    /// The bank behind each of the two buffers.
+    pub bank: BramBank,
+    /// Which buffer is currently active (0 or 1).
+    pub active: u8,
+    /// Whether the shadow buffer has been preloaded for the next region.
+    pub shadow_ready: bool,
+}
+
+impl PingPongBuffer {
+    /// Create a ping-pong buffer over two identical banks.
+    pub fn new(bank: BramBank) -> Self {
+        Self {
+            bank,
+            active: 0,
+            shadow_ready: false,
+        }
+    }
+
+    /// Cycles needed to load `entries` into the shadow buffer.
+    pub fn preload_cycles(&self, entries: u64) -> Cycles {
+        self.bank.write_cycles(entries)
+    }
+
+    /// Mark the shadow buffer as preloaded.
+    pub fn mark_preloaded(&mut self) {
+        self.shadow_ready = true;
+    }
+
+    /// Swap buffers at a region boundary. Returns the *visible* stall: zero when the shadow was
+    /// preloaded while the previous region was processed, otherwise the full load cost.
+    pub fn swap(&mut self, entries: u64) -> Cycles {
+        let stall = if self.shadow_ready {
+            Cycles::ZERO
+        } else {
+            self.preload_cycles(entries)
+        };
+        self.active ^= 1;
+        self.shadow_ready = false;
+        stall
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dual_port_bank_reads_two_per_cycle() {
+        let b = BramBank::dual_port(128);
+        assert_eq!(b.read_cycles(0), Cycles(0));
+        assert_eq!(b.read_cycles(1), Cycles(1));
+        assert_eq!(b.read_cycles(2), Cycles(1));
+        assert_eq!(b.read_cycles(5), Cycles(3));
+        assert_eq!(b.write_cycles(4), Cycles(2));
+        assert_eq!(b.init_cycles(), Cycles(64));
+    }
+
+    #[test]
+    fn odd_even_banking_doubles_adjacent_row_bandwidth() {
+        let oe = OddEvenBram::new(64);
+        // the paper's example: four adjacent cells spanning odd and even rows take one cycle
+        assert_eq!(oe.read_adjacent_rows(0, 4), Cycles(1));
+        assert_eq!(single_bank_adjacent_rows(4), Cycles(2));
+        // taller spans still halve the latency
+        assert_eq!(oe.read_adjacent_rows(3, 6), Cycles(2));
+        assert_eq!(single_bank_adjacent_rows(6), Cycles(3));
+        // single-row accesses see no benefit
+        assert_eq!(oe.read_adjacent_rows(5, 1), Cycles(1));
+        assert_eq!(oe.read_adjacent_rows(5, 0), Cycles(0));
+    }
+
+    #[test]
+    fn odd_even_split_sizes() {
+        let oe = OddEvenBram::new(7);
+        assert_eq!(oe.even.depth, 4);
+        assert_eq!(oe.odd.depth, 3);
+    }
+
+    #[test]
+    fn ping_pong_hides_preload_when_marked() {
+        let mut pp = PingPongBuffer::new(BramBank::dual_port(256));
+        // not preloaded: the swap pays the full load
+        assert_eq!(pp.swap(100), Cycles(50));
+        assert_eq!(pp.active, 1);
+        // preloaded during the previous region: free swap
+        pp.mark_preloaded();
+        assert_eq!(pp.swap(100), Cycles(0));
+        assert_eq!(pp.active, 0);
+        // the ready flag is consumed by the swap
+        assert_eq!(pp.swap(10), Cycles(5));
+    }
+}

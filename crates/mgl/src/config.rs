@@ -1,0 +1,166 @@
+//! Configuration of the MGL legalizer.
+
+use serde::{Deserialize, Serialize};
+
+/// Which cell-shifting algorithm to use inside FOP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShiftAlgorithm {
+    /// The original multi-pass algorithm with a `finish` flag (Fig. 6, Algorithm 3).
+    Original,
+    /// FLEX's Sort-Ahead Cell Shifting: pre-sort by x, one pass (Fig. 6, Algorithm 4).
+    Sacs,
+}
+
+/// How the FOP breakpoint processing is organized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FopVariant {
+    /// The original operator chain: sort bp → merge bp → sum slopesR → sum slopesL →
+    /// calculate value, each finishing before the next starts (left of Fig. 5).
+    Original,
+    /// The reorganized chain of FLEX: fwdtraverse (fwdmerge + sum slopesR + calculate vR) then
+    /// bwdtraverse (bwdmerge + sum slopesL + calculate vL and v), enabling stream I/O
+    /// (right of Fig. 5).
+    Reorganized,
+}
+
+/// Processing-order strategy for unlegalized target cells (Sec. 3.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OrderingStrategy {
+    /// Sort by cell area, largest first — the widely adopted baseline the paper attributes
+    /// to the CPU-GPU legalizer [30].
+    SizeDescending,
+    /// FLEX's sliding-window ordering: size-descending initial order, then within a sliding
+    /// window the remaining cells are reordered by localRegion density (densest first) while
+    /// the current and next cells stay fixed.
+    SlidingWindowDensity,
+    /// Process cells in their original index order (used by tests and as a worst-case control).
+    Natural,
+}
+
+/// Configuration of the MGL legalizer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MglConfig {
+    /// Half-width of the legalization window in sites.
+    pub window_half_sites: i64,
+    /// Half-height of the legalization window in rows.
+    pub window_half_rows: i64,
+    /// How many times the window may be enlarged (doubling each time) when no feasible
+    /// insertion point is found.
+    pub max_window_expansions: u32,
+    /// Cell-shifting algorithm.
+    pub shift: ShiftAlgorithm,
+    /// FOP operator organization.
+    pub fop: FopVariant,
+    /// Processing order of target cells.
+    pub ordering: OrderingStrategy,
+    /// Size of the sliding window used by [`OrderingStrategy::SlidingWindowDensity`].
+    pub sliding_window: usize,
+    /// Upper bound on the number of insertion points evaluated per localRegion (guards against
+    /// pathological regions; the paper quotes "hundreds" per region).
+    pub max_insertion_points: usize,
+    /// Collect the per-region work trace consumed by the FPGA performance model.
+    pub collect_trace: bool,
+    /// Collect per-operator wall-clock statistics (Fig. 2(g) / Fig. 6(g)).
+    pub collect_op_stats: bool,
+    /// Density-map bin width in sites (used for region density / ordering).
+    pub density_bin_sites: i64,
+    /// Density-map bin height in rows.
+    pub density_bin_rows: i64,
+}
+
+impl Default for MglConfig {
+    fn default() -> Self {
+        Self {
+            window_half_sites: 32,
+            window_half_rows: 4,
+            max_window_expansions: 6,
+            shift: ShiftAlgorithm::Sacs,
+            fop: FopVariant::Reorganized,
+            ordering: OrderingStrategy::SlidingWindowDensity,
+            sliding_window: 16,
+            max_insertion_points: 160,
+            collect_trace: false,
+            collect_op_stats: true,
+            density_bin_sites: 32,
+            density_bin_rows: 8,
+        }
+    }
+}
+
+impl MglConfig {
+    /// The configuration matching the original multi-threaded CPU legalizer [18]: original
+    /// shifting, original FOP operator chain, size-descending ordering.
+    pub fn original() -> Self {
+        Self {
+            shift: ShiftAlgorithm::Original,
+            fop: FopVariant::Original,
+            ordering: OrderingStrategy::SizeDescending,
+            ..Self::default()
+        }
+    }
+
+    /// The configuration FLEX runs on the FPGA: SACS shifting, reorganized FOP, sliding-window
+    /// density ordering.
+    pub fn flex() -> Self {
+        Self::default()
+    }
+
+    /// Enable work-trace collection (builder style).
+    pub fn with_trace(mut self) -> Self {
+        self.collect_trace = true;
+        self
+    }
+
+    /// Set the ordering strategy (builder style).
+    pub fn with_ordering(mut self, ordering: OrderingStrategy) -> Self {
+        self.ordering = ordering;
+        self
+    }
+
+    /// Set the shifting algorithm (builder style).
+    pub fn with_shift(mut self, shift: ShiftAlgorithm) -> Self {
+        self.shift = shift;
+        self
+    }
+
+    /// Set the FOP variant (builder style).
+    pub fn with_fop(mut self, fop: FopVariant) -> Self {
+        self.fop = fop;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_flex_configuration() {
+        let c = MglConfig::default();
+        assert_eq!(c.shift, ShiftAlgorithm::Sacs);
+        assert_eq!(c.fop, FopVariant::Reorganized);
+        assert_eq!(c.ordering, OrderingStrategy::SlidingWindowDensity);
+        assert!(c.max_insertion_points > 0);
+    }
+
+    #[test]
+    fn original_matches_the_cpu_baseline() {
+        let c = MglConfig::original();
+        assert_eq!(c.shift, ShiftAlgorithm::Original);
+        assert_eq!(c.fop, FopVariant::Original);
+        assert_eq!(c.ordering, OrderingStrategy::SizeDescending);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = MglConfig::flex()
+            .with_trace()
+            .with_ordering(OrderingStrategy::Natural)
+            .with_shift(ShiftAlgorithm::Original)
+            .with_fop(FopVariant::Original);
+        assert!(c.collect_trace);
+        assert_eq!(c.ordering, OrderingStrategy::Natural);
+        assert_eq!(c.shift, ShiftAlgorithm::Original);
+        assert_eq!(c.fop, FopVariant::Original);
+    }
+}

@@ -1,0 +1,264 @@
+//! Insertion intervals and insertion points (Sec. 2.2.2 of the paper).
+//!
+//! Within one row's localSegment, the gaps between adjacent localCells (including the gap before
+//! the first and after the last cell) are *insertion intervals*. An *insertion point* for a
+//! target cell of height `h` combines one insertion interval from each of `h` vertically
+//! adjacent rows. Because localCells may be shifted to make room, an insertion point is feasible
+//! as long as the total free width of every involved segment can absorb the target; the feasible
+//! x-range of the target's left edge follows from the cumulative widths of the cells that would
+//! have to be pushed aside.
+
+use crate::region::LocalRegion;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// One candidate insertion point for the target cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InsertionPoint {
+    /// Row the bottom of the target would occupy.
+    pub bottom_row: i64,
+    /// Inclusive range `[x_lo, x_hi]` of feasible left-edge positions for the target.
+    pub x_lo: i64,
+    /// See [`Self::x_lo`].
+    pub x_hi: i64,
+    /// Per target row (bottom first): indices into `region.cells` of the localCells on the left
+    /// of the chosen insertion interval, nearest to the interval first.
+    pub left_chain: Vec<Vec<usize>>,
+    /// Per target row: indices of the localCells on the right of the interval, nearest first.
+    pub right_chain: Vec<Vec<usize>>,
+}
+
+impl InsertionPoint {
+    /// Number of rows the target occupies.
+    pub fn height(&self) -> usize {
+        self.left_chain.len()
+    }
+
+    /// Total number of localCells involved in the point's chains (without deduplication across
+    /// rows — multi-row cells count once per row they appear in, i.e. per subcell).
+    pub fn chain_subcells(&self) -> usize {
+        self.left_chain.iter().map(Vec::len).sum::<usize>()
+            + self.right_chain.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Clamp an x coordinate into the feasible range.
+    pub fn clamp(&self, x: i64) -> i64 {
+        x.clamp(self.x_lo, self.x_hi)
+    }
+
+    /// The key identifying the combination of insertion intervals this point uses
+    /// (bottom row plus the split index per row).
+    fn dedup_key(&self) -> (i64, Vec<usize>) {
+        (self.bottom_row, self.left_chain.iter().map(Vec::len).collect())
+    }
+}
+
+/// Enumerate the insertion points of a region for a target of `width × height` whose bottom row
+/// must satisfy `parity`. `anchor_x` (the target's global-placement x) is used to prioritize
+/// points when the `max_points` cap bites.
+pub fn enumerate_insertion_points(
+    region: &LocalRegion,
+    width: i64,
+    height: i64,
+    parity: Option<u8>,
+    anchor_x: f64,
+    max_points: usize,
+) -> Vec<InsertionPoint> {
+    let mut points: Vec<InsertionPoint> = Vec::new();
+    let mut seen: BTreeSet<(i64, Vec<usize>)> = BTreeSet::new();
+
+    let rows = region.rows();
+    for &bottom in &rows {
+        if let Some(p) = parity {
+            if bottom.rem_euclid(2) as u8 != p {
+                continue;
+            }
+        }
+        // every row the target would occupy needs a segment
+        let target_rows: Vec<i64> = (bottom..bottom + height).collect();
+        if !target_rows.iter().all(|r| region.segment(*r).is_some()) {
+            continue;
+        }
+
+        // candidate anchors: segment boundaries and cell edges of the involved rows, plus the
+        // target's own global x — each anchor induces one interval choice per row.
+        let mut anchors: BTreeSet<i64> = BTreeSet::new();
+        anchors.insert(anchor_x.round() as i64);
+        for &r in &target_rows {
+            let seg = region.segment(r).unwrap();
+            anchors.insert(seg.span.lo);
+            anchors.insert(seg.span.hi);
+            for &ci in &region.cells_in_row(r) {
+                let c = &region.cells[ci];
+                anchors.insert(c.x);
+                anchors.insert(c.right());
+            }
+        }
+        let mut anchors: Vec<i64> = anchors.into_iter().collect();
+        anchors.sort_by_key(|a| (*a as f64 - anchor_x).abs() as i64);
+
+        for a in anchors {
+            if points.len() >= max_points {
+                break;
+            }
+            let mut left_chain = Vec::with_capacity(height as usize);
+            let mut right_chain = Vec::with_capacity(height as usize);
+            let mut x_lo = i64::MIN;
+            let mut x_hi = i64::MAX;
+            let mut ok = true;
+            for &r in &target_rows {
+                let seg = region.segment(r).unwrap();
+                let in_row = region.cells_in_row(r);
+                // split the row at the anchor: cells whose centre is left of the anchor go to
+                // the left chain, the rest to the right chain
+                let split = in_row
+                    .iter()
+                    .position(|&ci| {
+                        let c = &region.cells[ci];
+                        c.x * 2 + c.width > a * 2
+                    })
+                    .unwrap_or(in_row.len());
+                let left: Vec<usize> = in_row[..split].iter().rev().copied().collect();
+                let right: Vec<usize> = in_row[split..].to_vec();
+                let left_w: i64 = left.iter().map(|&ci| region.cells[ci].width).sum();
+                let right_w: i64 = right.iter().map(|&ci| region.cells[ci].width).sum();
+                let lo = seg.span.lo + left_w;
+                let hi = seg.span.hi - right_w - width;
+                if hi < lo {
+                    ok = false;
+                    break;
+                }
+                x_lo = x_lo.max(lo);
+                x_hi = x_hi.min(hi);
+                left_chain.push(left);
+                right_chain.push(right);
+            }
+            if !ok || x_hi < x_lo {
+                continue;
+            }
+            let point = InsertionPoint {
+                bottom_row: bottom,
+                x_lo,
+                x_hi,
+                left_chain,
+                right_chain,
+            };
+            if seen.insert(point.dedup_key()) {
+                points.push(point);
+            }
+        }
+        if points.len() >= max_points {
+            break;
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::{LocalCell, LocalSegment};
+    use flex_placement::cell::CellId;
+    use flex_placement::geom::{Interval, Rect};
+
+    /// Hand-built region: two rows [0,30), row 0 holds cells at [5,9) and [20,24),
+    /// row 1 holds a single cell at [10,16).
+    fn region() -> LocalRegion {
+        LocalRegion {
+            target: CellId(99),
+            window: Rect::new(0, 0, 30, 2),
+            segments: vec![
+                LocalSegment { row: 0, span: Interval::new(0, 30) },
+                LocalSegment { row: 1, span: Interval::new(0, 30) },
+            ],
+            cells: vec![
+                LocalCell { id: CellId(0), x: 5, y: 0, width: 4, height: 1, gx: 5.0 },
+                LocalCell { id: CellId(1), x: 20, y: 0, width: 4, height: 1, gx: 20.0 },
+                LocalCell { id: CellId(2), x: 10, y: 1, width: 6, height: 1, gx: 10.0 },
+            ],
+            density: 0.2,
+        }
+    }
+
+    #[test]
+    fn single_row_target_enumerates_gaps() {
+        let r = region();
+        let pts = enumerate_insertion_points(&r, 3, 1, None, 12.0, 100);
+        // row 0 has 3 gaps, row 1 has 2 gaps → 5 unique points across the two rows
+        let row0: Vec<_> = pts.iter().filter(|p| p.bottom_row == 0).collect();
+        let row1: Vec<_> = pts.iter().filter(|p| p.bottom_row == 1).collect();
+        assert_eq!(row0.len(), 3);
+        assert_eq!(row1.len(), 2);
+        for p in &pts {
+            assert!(p.x_lo <= p.x_hi);
+            assert_eq!(p.height(), 1);
+        }
+    }
+
+    #[test]
+    fn feasible_range_accounts_for_shiftable_neighbours() {
+        let r = region();
+        let pts = enumerate_insertion_points(&r, 3, 1, None, 12.0, 100);
+        // the middle gap of row 0 (between the two cells): left chain width 4, right chain 4
+        let mid = pts
+            .iter()
+            .find(|p| p.bottom_row == 0 && p.left_chain[0].len() == 1 && p.right_chain[0].len() == 1)
+            .expect("middle gap present");
+        assert_eq!(mid.x_lo, 0 + 4);
+        assert_eq!(mid.x_hi, 30 - 4 - 3);
+    }
+
+    #[test]
+    fn multi_row_target_intersects_row_constraints() {
+        let r = region();
+        let pts = enumerate_insertion_points(&r, 5, 2, None, 0.0, 100);
+        assert!(!pts.is_empty());
+        for p in &pts {
+            assert_eq!(p.bottom_row, 0); // only bottom row 0 gives two stacked rows
+            assert_eq!(p.height(), 2);
+            assert!(p.x_lo <= p.x_hi);
+            // row-0 and row-1 constraints both hold
+            let left_w0: i64 = p.left_chain[0].iter().map(|&i| r.cells[i].width).sum();
+            let left_w1: i64 = p.left_chain[1].iter().map(|&i| r.cells[i].width).sum();
+            assert!(p.x_lo >= left_w0.max(left_w1));
+        }
+    }
+
+    #[test]
+    fn parity_filters_bottom_rows() {
+        let r = region();
+        let even = enumerate_insertion_points(&r, 3, 1, Some(0), 12.0, 100);
+        assert!(even.iter().all(|p| p.bottom_row % 2 == 0));
+        let odd = enumerate_insertion_points(&r, 3, 1, Some(1), 12.0, 100);
+        assert!(odd.iter().all(|p| p.bottom_row % 2 == 1));
+        assert!(!odd.is_empty());
+    }
+
+    #[test]
+    fn oversized_target_yields_no_points() {
+        let r = region();
+        assert!(enumerate_insertion_points(&r, 40, 1, None, 0.0, 100).is_empty());
+        assert!(enumerate_insertion_points(&r, 3, 3, None, 0.0, 100).is_empty());
+        // width 22 fits in row 1 (30 - 6 free = 24) but not in the row-0 middle gaps etc.
+        let tight = enumerate_insertion_points(&r, 22, 1, None, 0.0, 100);
+        assert!(tight.iter().all(|p| p.x_lo <= p.x_hi));
+    }
+
+    #[test]
+    fn cap_limits_number_of_points() {
+        let r = region();
+        let pts = enumerate_insertion_points(&r, 3, 1, None, 12.0, 2);
+        assert_eq!(pts.len(), 2);
+    }
+
+    #[test]
+    fn chain_subcell_count() {
+        let r = region();
+        let pts = enumerate_insertion_points(&r, 5, 2, None, 30.0, 100);
+        let rightmost = pts
+            .iter()
+            .find(|p| p.right_chain.iter().all(|c| c.is_empty()))
+            .expect("a point with everything on the left");
+        assert_eq!(rightmost.chain_subcells(), 3);
+    }
+}

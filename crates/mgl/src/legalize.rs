@@ -1,0 +1,520 @@
+//! The end-to-end MGL legalizer (the flow of Fig. 3(e)).
+
+use crate::config::{MglConfig, OrderingStrategy, ShiftAlgorithm};
+use crate::fop::{self, Placement, TargetSpec};
+use crate::ordering::{self, SlidingWindowOrderer};
+use crate::region::{target_window, LocalRegion};
+use crate::sacs::shift_phase_sacs;
+use crate::shift::{shift_phase_original, Phase, ShiftProblem};
+use crate::stats::{FopOpStats, RegionWork, WorkTrace};
+use flex_placement::cell::CellId;
+use flex_placement::density::DensityMap;
+use flex_placement::geom::{Interval, Rect};
+use flex_placement::layout::Design;
+use flex_placement::legality::check_legality_with;
+use flex_placement::metrics::displacement_stats;
+use flex_placement::segment::SegmentMap;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Outcome of a legalization run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LegalizeResult {
+    /// Whether the final placement passes the full legality check.
+    pub legal: bool,
+    /// Number of cells committed through FOP inside a localRegion.
+    pub placed_in_region: usize,
+    /// Number of cells placed by the fallback scan (no feasible insertion point in any window).
+    pub fallback_placed: usize,
+    /// Cells that could not be placed at all.
+    pub failed: Vec<CellId>,
+    /// Wall-clock runtime of the whole legalization.
+    pub runtime: Duration,
+    /// Average displacement `S_am` (Eq. (2)) of the final placement.
+    pub average_displacement: f64,
+    /// Maximum single-cell displacement.
+    pub max_displacement: f64,
+    /// Accumulated per-operator FOP timings.
+    pub op_stats: FopOpStats,
+    /// Per-region work trace (present when `MglConfig::collect_trace` is set).
+    pub trace: Option<WorkTrace>,
+}
+
+impl LegalizeResult {
+    /// Runtime in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.runtime.as_secs_f64()
+    }
+}
+
+/// The MGL legalizer.
+#[derive(Debug, Clone)]
+pub struct MglLegalizer {
+    config: MglConfig,
+}
+
+impl MglLegalizer {
+    /// Create a legalizer with the given configuration.
+    pub fn new(config: MglConfig) -> Self {
+        Self { config }
+    }
+
+    /// Access the configuration.
+    pub fn config(&self) -> &MglConfig {
+        &self.config
+    }
+
+    /// Legalize every movable cell of the design in place.
+    pub fn legalize(&self, design: &mut Design) -> LegalizeResult {
+        let start = Instant::now();
+        let cfg = &self.config;
+
+        // step (a): input & pre-move
+        design.pre_move();
+        let segmap = SegmentMap::build(design);
+        let density = DensityMap::build(design, cfg.density_bin_sites, cfg.density_bin_rows);
+
+        let targets = design.movable_ids();
+        let mut op_stats = FopOpStats::default();
+        let mut trace = if cfg.collect_trace { Some(WorkTrace::default()) } else { None };
+        let mut placed_in_region = 0usize;
+        let mut fallback_placed = 0usize;
+        let mut failed = Vec::new();
+        let mut prev_window: Option<Rect> = None;
+
+        // step (b): process ordering — either a static order or the sliding-window orderer
+        let mut static_order: Vec<CellId> = Vec::new();
+        let mut sliding = None;
+        match cfg.ordering {
+            OrderingStrategy::Natural => static_order = ordering::natural_order(&targets),
+            OrderingStrategy::SizeDescending => {
+                static_order = ordering::size_descending_order(design, &targets)
+            }
+            OrderingStrategy::SlidingWindowDensity => {
+                sliding = Some(SlidingWindowOrderer::new(
+                    design,
+                    &targets,
+                    cfg.sliding_window,
+                    cfg.window_half_sites,
+                    cfg.window_half_rows,
+                ));
+            }
+        }
+        let mut static_iter = static_order.into_iter();
+
+        loop {
+            let target = match sliding.as_mut() {
+                Some(orderer) => orderer.next(design, &density),
+                None => static_iter.next(),
+            };
+            let Some(target) = target else { break };
+
+            let (placed, window, work) = self.place_target(design, &segmap, target, &mut op_stats);
+            match placed {
+                PlacedBy::Region => placed_in_region += 1,
+                PlacedBy::Fallback => fallback_placed += 1,
+                PlacedBy::None => failed.push(target),
+            }
+            if let Some(trace) = trace.as_mut() {
+                let mut work = work;
+                work.placed_in_region = matches!(placed, PlacedBy::Region);
+                // a region can be preloaded while the previous one is processed only if the two
+                // windows do not overlap (Sec. 3.1.2)
+                if let (Some(prev), Some(entry)) = (prev_window, trace.regions.last_mut()) {
+                    entry.next_region_overlaps = prev.overlaps(&window);
+                }
+                trace.regions.push(work);
+            }
+            prev_window = Some(window);
+        }
+
+        // step (e) epilogue: verify
+        let report = check_legality_with(design, true);
+        let disp = displacement_stats(design);
+        LegalizeResult {
+            legal: report.is_legal(),
+            placed_in_region,
+            fallback_placed,
+            failed,
+            runtime: start.elapsed(),
+            average_displacement: disp.average,
+            max_displacement: disp.max,
+            op_stats,
+            trace,
+        }
+    }
+
+    /// Try to place one target cell: expanding-window FOP first, then the fallback scan.
+    fn place_target(
+        &self,
+        design: &mut Design,
+        segmap: &SegmentMap,
+        target: CellId,
+        op_stats: &mut FopOpStats,
+    ) -> (PlacedBy, Rect, RegionWork) {
+        let cfg = &self.config;
+        let (width, height, gx, gy, parity) = {
+            let c = design.cell(target);
+            (c.width, c.height, c.gx, c.gy, c.row_parity)
+        };
+        let spec = TargetSpec { width, height, gx, gy, parity };
+
+        let mut work = RegionWork {
+            target,
+            target_width: width,
+            target_height: height,
+            ..RegionWork::default()
+        };
+        let mut last_window = target_window(design, target, cfg.window_half_sites, cfg.window_half_rows);
+
+        for expansion in 0..=cfg.max_window_expansions {
+            let half_s = cfg.window_half_sites << expansion;
+            let half_r = cfg.window_half_rows << expansion;
+            let window = target_window(design, target, half_s, half_r);
+            last_window = window;
+            let region = LocalRegion::extract(design, segmap, target, window);
+            if !region.can_host(width, height, parity) {
+                continue;
+            }
+            let outcome = fop::find_optimal_position(&region, &spec, cfg, op_stats);
+            accumulate_work(&mut work, &outcome.work);
+            if let Some(best) = outcome.best {
+                if commit_placement(design, &region, &best, &spec, cfg) {
+                    return (PlacedBy::Region, window, work);
+                }
+            }
+        }
+
+        if fallback_place(design, target, &spec) {
+            (PlacedBy::Fallback, last_window, work)
+        } else {
+            (PlacedBy::None, last_window, work)
+        }
+    }
+}
+
+/// How a target cell ended up being placed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PlacedBy {
+    Region,
+    Fallback,
+    None,
+}
+
+fn accumulate_work(into: &mut RegionWork, from: &RegionWork) {
+    into.local_cells = into.local_cells.max(from.local_cells);
+    into.tall_cells = into.tall_cells.max(from.tall_cells);
+    into.segments = into.segments.max(from.segments);
+    into.insertion_points += from.insertion_points;
+    into.feasible_points += from.feasible_points;
+    into.breakpoints += from.breakpoints;
+    into.subcell_visits += from.subcell_visits;
+    into.shift_passes += from.shift_passes;
+    into.sorted_cells += from.sorted_cells;
+    into.bound_queries += from.bound_queries;
+    into.tall_bound_queries += from.tall_bound_queries;
+}
+
+/// Commit a placement: shift the affected localCells, verify the region stays overlap-free, and
+/// write the new positions (plus the target) into the design. Returns `false` without touching
+/// the design if the verification fails.
+pub fn commit_placement(
+    design: &mut Design,
+    region: &LocalRegion,
+    placement: &Placement,
+    spec: &TargetSpec,
+    cfg: &MglConfig,
+) -> bool {
+    let problem = ShiftProblem {
+        region,
+        point: &placement.point,
+        target_width: spec.width,
+        target_height: spec.height,
+        target_x: placement.x,
+    };
+    let shift = |phase: Phase| match cfg.shift {
+        ShiftAlgorithm::Original => shift_phase_original(&problem, phase),
+        ShiftAlgorithm::Sacs => shift_phase_sacs(&problem, phase),
+    };
+    let Ok(left) = shift(Phase::Left) else { return false };
+    let Ok(right) = shift(Phase::Right) else { return false };
+
+    let mut pos: Vec<i64> = region.cells.iter().map(|c| c.x).collect();
+    for (i, x) in left.positions.iter().chain(right.positions.iter()) {
+        pos[*i] = *x;
+    }
+
+    // verification: per segment row, no overlaps among localCells and the target, and every
+    // cell stays inside its segment
+    let target_rows = placement.row..placement.row + spec.height;
+    for seg in &region.segments {
+        let mut spans: Vec<Interval> = Vec::new();
+        if target_rows.contains(&seg.row) {
+            spans.push(Interval::new(placement.x, placement.x + spec.width));
+        }
+        for (i, c) in region.cells.iter().enumerate() {
+            if c.rows().any(|r| r == seg.row) {
+                let iv = Interval::new(pos[i], pos[i] + c.width);
+                if !seg.span.contains_interval(&iv) {
+                    return false;
+                }
+                spans.push(iv);
+            }
+        }
+        spans.sort_by_key(|s| s.lo);
+        for w in spans.windows(2) {
+            if w[0].overlaps(&w[1]) {
+                return false;
+            }
+        }
+    }
+    if !target_rows.clone().all(|r| {
+        region
+            .segment(r)
+            .map(|s| s.span.contains_interval(&Interval::new(placement.x, placement.x + spec.width)))
+            .unwrap_or(false)
+    }) {
+        return false;
+    }
+
+    // apply
+    for (i, c) in region.cells.iter().enumerate() {
+        design.cell_mut(c.id).x = pos[i];
+    }
+    let t = design.cell_mut(region.target);
+    t.x = placement.x;
+    t.y = placement.row;
+    t.legalized = true;
+    true
+}
+
+/// Fallback placement: scan the whole die for the nearest spot where the target fits between
+/// the already-legalized cells without shifting anything. Used only when no window produced a
+/// feasible insertion point.
+pub fn fallback_place(design: &mut Design, target: CellId, spec: &TargetSpec) -> bool {
+    let (gx, gy) = (spec.gx, spec.gy);
+    // free intervals per row, with legalized movable cells subtracted
+    let legalized: Vec<(i64, i64, Interval)> = design
+        .cells
+        .iter()
+        .filter(|c| !c.fixed && c.legalized && c.id != target)
+        .map(|c| (c.y, c.height, c.x_interval()))
+        .collect();
+    let row_free = |row: i64| -> Vec<Interval> {
+        let mut free = design.free_intervals(row);
+        for (y, h, span) in &legalized {
+            if row >= *y && row < *y + *h {
+                let mut next = Vec::with_capacity(free.len() + 1);
+                for f in free {
+                    next.extend(f.subtract(span));
+                }
+                free = next;
+            }
+        }
+        free
+    };
+
+    let mut best: Option<(f64, i64, i64)> = None; // (cost, x, row)
+    let max_row = design.num_rows - spec.height;
+    for row in 0..=max_row.max(0) {
+        if let Some(p) = spec.parity {
+            if row.rem_euclid(2) as u8 != p {
+                continue;
+            }
+        }
+        // prune rows that cannot beat the current best on vertical distance alone
+        if let Some((cost, _, _)) = best {
+            if (row as f64 - gy).abs() >= cost {
+                continue;
+            }
+        }
+        // intersect the free intervals of all rows the cell would span
+        let mut pieces = row_free(row);
+        for r in row + 1..row + spec.height {
+            let other = row_free(r);
+            let mut next = Vec::new();
+            for p in &pieces {
+                for o in &other {
+                    let i = p.intersect(o);
+                    if i.len() >= spec.width {
+                        next.push(i);
+                    }
+                }
+            }
+            pieces = next;
+            if pieces.is_empty() {
+                break;
+            }
+        }
+        for piece in pieces {
+            if piece.len() < spec.width {
+                continue;
+            }
+            let x = (gx.round() as i64).clamp(piece.lo, piece.hi - spec.width);
+            let cost = (x as f64 - gx).abs() + (row as f64 - gy).abs();
+            if best.map(|(c, _, _)| cost < c).unwrap_or(true) {
+                best = Some((cost, x, row));
+            }
+        }
+    }
+
+    if let Some((_, x, row)) = best {
+        let t = design.cell_mut(target);
+        t.x = x;
+        t.y = row;
+        t.legalized = true;
+        true
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FopVariant;
+    use flex_placement::benchmark::{generate, BenchmarkSpec};
+
+    fn tiny_design(seed: u64) -> Design {
+        generate(&BenchmarkSpec::tiny("legalize-tiny", seed))
+    }
+
+    #[test]
+    fn legalizes_a_small_benchmark_completely() {
+        let mut d = tiny_design(1);
+        let result = MglLegalizer::new(MglConfig::default()).legalize(&mut d);
+        assert!(result.legal, "failed: {:?}, fallback: {}", result.failed, result.fallback_placed);
+        assert!(result.failed.is_empty());
+        assert_eq!(result.placed_in_region + result.fallback_placed, d.num_movable());
+        assert!(result.average_displacement >= 0.0);
+        assert!(result.op_stats.total_ns() > 0);
+    }
+
+    #[test]
+    fn original_configuration_also_legalizes_and_quality_is_comparable() {
+        let mut d1 = tiny_design(2);
+        let mut d2 = tiny_design(2);
+        let flex = MglLegalizer::new(MglConfig::flex()).legalize(&mut d1);
+        let orig = MglLegalizer::new(MglConfig::original()).legalize(&mut d2);
+        assert!(flex.legal);
+        assert!(orig.legal);
+        // same algorithm family: displacements should be in the same ballpark
+        let ratio = flex.average_displacement / orig.average_displacement.max(1e-9);
+        assert!(ratio < 1.6, "flex {} vs original {}", flex.average_displacement, orig.average_displacement);
+    }
+
+    #[test]
+    fn fop_variants_produce_identical_placements() {
+        // The original and reorganized FOP operator chains are bit-identical computations;
+        // switching between them must not change a single cell position.
+        let base = MglConfig {
+            ordering: OrderingStrategy::SizeDescending,
+            ..MglConfig::default()
+        };
+        for shift in [ShiftAlgorithm::Original, ShiftAlgorithm::Sacs] {
+            let mut reference: Option<Vec<(i64, i64)>> = None;
+            for fop in [FopVariant::Original, FopVariant::Reorganized] {
+                let mut d = tiny_design(3);
+                let cfg = MglConfig { shift, fop, ..base.clone() };
+                let res = MglLegalizer::new(cfg).legalize(&mut d);
+                assert!(res.legal);
+                let placement: Vec<(i64, i64)> =
+                    d.cells.iter().filter(|c| !c.fixed).map(|c| (c.x, c.y)).collect();
+                match &reference {
+                    None => reference = Some(placement),
+                    Some(r) => assert_eq!(r, &placement, "shift={shift:?} fop={fop:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shift_algorithms_produce_comparable_quality() {
+        // SACS and the original shifting may differ on leapfrog corner cases, but legality must
+        // hold for both and the average displacement must stay within a few percent.
+        let base = MglConfig {
+            ordering: OrderingStrategy::SizeDescending,
+            ..MglConfig::default()
+        };
+        let mut results = Vec::new();
+        for shift in [ShiftAlgorithm::Original, ShiftAlgorithm::Sacs] {
+            let mut d = tiny_design(3);
+            let cfg = MglConfig { shift, ..base.clone() };
+            let res = MglLegalizer::new(cfg).legalize(&mut d);
+            assert!(res.legal, "{shift:?} produced an illegal placement");
+            results.push(res.average_displacement);
+        }
+        let ratio = results[0].max(results[1]) / results[0].min(results[1]).max(1e-9);
+        assert!(ratio < 1.10, "quality diverged: original {} vs sacs {}", results[0], results[1]);
+    }
+
+    #[test]
+    fn trace_collection_produces_one_entry_per_target() {
+        let mut d = tiny_design(4);
+        let n = d.num_movable();
+        let res = MglLegalizer::new(MglConfig::default().with_trace()).legalize(&mut d);
+        let trace = res.trace.expect("trace requested");
+        assert_eq!(trace.len(), n);
+        assert!(trace.total_points() > 0);
+        assert!(trace.total_breakpoints() > 0);
+    }
+
+    #[test]
+    fn fallback_place_finds_nearest_gap() {
+        let mut d = Design::new("fb", 30, 4);
+        // fill row 1 completely with legalized cells except a gap at [20, 25)
+        for (x, w) in [(0i64, 20i64), (25, 5)] {
+            let mut c = flex_placement::cell::Cell::movable(CellId(0), w, 1, x as f64, 1.0);
+            c.x = x;
+            c.y = 1;
+            c.legalized = true;
+            d.add_cell(c);
+        }
+        let t = d.add_cell(flex_placement::cell::Cell::movable(CellId(0), 4, 1, 10.0, 1.0));
+        let spec = TargetSpec { width: 4, height: 1, gx: 10.0, gy: 1.0, parity: None };
+        assert!(fallback_place(&mut d, t, &spec));
+        let placed = d.cell(t);
+        assert!(placed.legalized);
+        // the nearest fit is either the row-1 gap at x=20 or an adjacent empty row at x=10
+        assert!(check_legality_with(&d, true).is_legal());
+    }
+
+    #[test]
+    fn fallback_fails_when_die_is_full() {
+        let mut d = Design::new("full", 10, 1);
+        let mut c = flex_placement::cell::Cell::movable(CellId(0), 10, 1, 0.0, 0.0);
+        c.x = 0;
+        c.legalized = true;
+        d.add_cell(c);
+        let t = d.add_cell(flex_placement::cell::Cell::movable(CellId(0), 4, 1, 2.0, 0.0));
+        let spec = TargetSpec { width: 4, height: 1, gx: 2.0, gy: 0.0, parity: None };
+        assert!(!fallback_place(&mut d, t, &spec));
+    }
+
+    #[test]
+    fn dense_benchmark_still_fully_legalizes() {
+        let spec = BenchmarkSpec::tiny("dense", 7).with_density(0.85);
+        let mut d = generate(&spec);
+        let res = MglLegalizer::new(MglConfig::default()).legalize(&mut d);
+        assert!(res.legal, "dense case failed: {:?}", res.failed);
+    }
+
+    #[test]
+    fn ordering_strategies_affect_quality_but_not_legality() {
+        let mut best = f64::INFINITY;
+        let mut worst: f64 = 0.0;
+        for ordering in [
+            OrderingStrategy::Natural,
+            OrderingStrategy::SizeDescending,
+            OrderingStrategy::SlidingWindowDensity,
+        ] {
+            let mut d = tiny_design(9);
+            let cfg = MglConfig { ordering, ..MglConfig::default() };
+            let res = MglLegalizer::new(cfg).legalize(&mut d);
+            assert!(res.legal, "{ordering:?} failed");
+            best = best.min(res.average_displacement);
+            worst = worst.max(res.average_displacement);
+        }
+        assert!(best <= worst);
+    }
+}

@@ -1,0 +1,369 @@
+//! Windows, localSegments, localCells and localRegions (Sec. 2.2.1 of the paper).
+//!
+//! The legalization of a target cell is localized within a rectangular window `W`. Within each
+//! row of `W`, the longest continuous run of unblocked sites is the *localSegment*; a legalized
+//! movable cell entirely contained in the localSegments is a *localCell*; legalized cells that
+//! only partially overlap the window are treated as obstacles and carve the segments down
+//! further so that shifting inside the region can never create overlaps with cells outside it.
+//! Unlegalized cells other than the target are ignored — they will be handled when their own
+//! turn comes.
+
+use flex_placement::cell::CellId;
+use flex_placement::geom::{Interval, Rect};
+use flex_placement::layout::Design;
+use flex_placement::segment::SegmentMap;
+use serde::{Deserialize, Serialize};
+
+/// The longest unblocked run of sites of one row inside the window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LocalSegment {
+    /// Row index.
+    pub row: i64,
+    /// Site interval of the segment.
+    pub span: Interval,
+}
+
+/// A legalized movable cell fully contained in the localSegments of the window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocalCell {
+    /// Identity of the cell in the design.
+    pub id: CellId,
+    /// Current left edge (site).
+    pub x: i64,
+    /// Bottom row.
+    pub y: i64,
+    /// Width in sites.
+    pub width: i64,
+    /// Height in rows; a localCell of height `h` contributes `h` subcells, one per row.
+    pub height: i64,
+    /// Global-placement x, against which displacement is accumulated.
+    pub gx: f64,
+}
+
+impl LocalCell {
+    /// Rows spanned by the cell.
+    pub fn rows(&self) -> impl Iterator<Item = i64> {
+        self.y..self.y + self.height
+    }
+
+    /// Right edge (exclusive).
+    pub fn right(&self) -> i64 {
+        self.x + self.width
+    }
+
+    /// Horizontal span.
+    pub fn x_interval(&self) -> Interval {
+        Interval::new(self.x, self.right())
+    }
+
+    /// Current displacement of the cell relative to its global-placement x.
+    pub fn displacement(&self) -> f64 {
+        (self.x as f64 - self.gx).abs()
+    }
+}
+
+/// A localRegion: the window, its localSegments and localCells.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LocalRegion {
+    /// The target cell this region was built for.
+    pub target: CellId,
+    /// The window rectangle.
+    pub window: Rect,
+    /// One localSegment per covered row, sorted by row (rows without usable sites are absent).
+    pub segments: Vec<LocalSegment>,
+    /// The localCells, in design order.
+    pub cells: Vec<LocalCell>,
+    /// Region density: localCell area / segment free area (used by the processing ordering).
+    pub density: f64,
+}
+
+impl LocalRegion {
+    /// Extract the localRegion of `target` within `window`.
+    pub fn extract(design: &Design, segments: &SegmentMap, target: CellId, window: Rect) -> Self {
+        let win_x = window.x_interval();
+        // 1. one candidate segment per row: the widest free interval clipped to the window.
+        let mut segs: Vec<LocalSegment> = Vec::new();
+        for row in window.y_lo.max(0)..window.y_hi.min(design.num_rows) {
+            if let Some(s) = segments.widest_in_window(row, &win_x) {
+                segs.push(LocalSegment { row, span: s.span });
+            }
+        }
+
+        // Obstacle candidates: legalized movable cells other than the target.
+        let obstacles: Vec<&flex_placement::cell::Cell> = design
+            .cells
+            .iter()
+            .filter(|c| !c.fixed && c.legalized && c.id != target)
+            .filter(|c| c.rect().overlaps(&window.expanded(1, 0)) || {
+                // cells just outside the window can still overlap a segment that touches the
+                // window boundary, so consider anything overlapping any candidate segment row
+                segs.iter().any(|s| c.y_interval().contains(s.row) && c.x_interval().overlaps(&s.span))
+            })
+            .collect();
+
+        // 2./3. iterate: classify cells as local (fully inside) or blocking (partially inside);
+        // blocking cells carve the segments, which may demote further cells.
+        let mut local_ids: Vec<usize> = Vec::new();
+        for _ in 0..4 {
+            let is_contained = |c: &flex_placement::cell::Cell, segs: &[LocalSegment]| {
+                c.rows().all(|r| {
+                    segs.iter()
+                        .find(|s| s.row == r)
+                        .map(|s| s.span.contains_interval(&c.x_interval()))
+                        .unwrap_or(false)
+                })
+            };
+            local_ids = obstacles
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| is_contained(c, &segs))
+                .map(|(i, _)| i)
+                .collect();
+            // carve segments with every non-local obstacle that still overlaps them
+            let mut changed = false;
+            let mut new_segs = Vec::with_capacity(segs.len());
+            for seg in &segs {
+                let mut pieces = vec![seg.span];
+                for (i, c) in obstacles.iter().enumerate() {
+                    if local_ids.contains(&i) {
+                        continue;
+                    }
+                    if !c.y_interval().contains(seg.row) {
+                        continue;
+                    }
+                    let span = c.x_interval();
+                    let mut next = Vec::with_capacity(pieces.len() + 1);
+                    for p in pieces {
+                        next.extend(p.subtract(&span));
+                    }
+                    pieces = next;
+                }
+                if let Some(best) = pieces.into_iter().max_by_key(|p| p.len()) {
+                    if best != seg.span {
+                        changed = true;
+                    }
+                    if !best.is_empty() {
+                        new_segs.push(LocalSegment { row: seg.row, span: best });
+                    } else {
+                        changed = true;
+                    }
+                } else {
+                    changed = true;
+                }
+            }
+            segs = new_segs;
+            if !changed {
+                break;
+            }
+        }
+
+        let cells: Vec<LocalCell> = local_ids
+            .iter()
+            .map(|&i| {
+                let c = obstacles[i];
+                LocalCell {
+                    id: c.id,
+                    x: c.x,
+                    y: c.y,
+                    width: c.width,
+                    height: c.height,
+                    gx: c.gx,
+                }
+            })
+            .collect();
+
+        let free: i64 = segs.iter().map(|s| s.span.len()).sum();
+        let used: i64 = cells.iter().map(|c| c.width * c.height).sum();
+        let density = if free > 0 { used as f64 / free as f64 } else { 1.0 };
+
+        let mut region = Self {
+            target,
+            window,
+            segments: segs,
+            cells,
+            density,
+        };
+        region.segments.sort_by_key(|s| s.row);
+        region
+    }
+
+    /// The localSegment of `row`, if any.
+    pub fn segment(&self, row: i64) -> Option<&LocalSegment> {
+        self.segments.iter().find(|s| s.row == row)
+    }
+
+    /// Rows that have a localSegment, in ascending order.
+    pub fn rows(&self) -> Vec<i64> {
+        self.segments.iter().map(|s| s.row).collect()
+    }
+
+    /// Indices (into [`Self::cells`]) of localCells occupying `row`, sorted by x.
+    pub fn cells_in_row(&self, row: i64) -> Vec<usize> {
+        let mut v: Vec<usize> = self
+            .cells
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.rows().any(|r| r == row))
+            .map(|(i, _)| i)
+            .collect();
+        v.sort_by_key(|&i| self.cells[i].x);
+        v
+    }
+
+    /// Number of localCells strictly taller than `rows` rows (drives the Fig. 9 bandwidth study).
+    pub fn num_tall_cells(&self, rows: i64) -> usize {
+        self.cells.iter().filter(|c| c.height > rows).count()
+    }
+
+    /// Total free sites of the region's segments.
+    pub fn free_sites(&self) -> i64 {
+        self.segments.iter().map(|s| s.span.len()).sum()
+    }
+
+    /// Whether the region could possibly host a cell of `width × height` starting at a row with
+    /// the given parity (a cheap necessary condition used before enumerating insertion points).
+    pub fn can_host(&self, width: i64, height: i64, parity: Option<u8>) -> bool {
+        let rows = self.rows();
+        for &r in &rows {
+            if let Some(p) = parity {
+                if r.rem_euclid(2) as u8 != p {
+                    continue;
+                }
+            }
+            let mut ok = true;
+            for rr in r..r + height {
+                match self.segment(rr) {
+                    Some(s) if s.span.len() >= width => {}
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Build the legalization window for a target cell: a rectangle centred on the cell's pre-moved
+/// position, `half_sites` wide and `half_rows` tall on each side, clipped to the die.
+pub fn target_window(design: &Design, target: CellId, half_sites: i64, half_rows: i64) -> Rect {
+    let c = design.cell(target);
+    let cx = c.x + c.width / 2;
+    let cy = c.y + c.height / 2;
+    Rect::new(
+        (cx - half_sites).max(0),
+        (cy - half_rows).max(0),
+        (cx + half_sites).min(design.num_sites_x),
+        (cy + half_rows + c.height).min(design.num_rows),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flex_placement::cell::Cell;
+
+    /// A 60x6 design with a fixed macro and a few legalized cells.
+    fn design() -> Design {
+        let mut d = Design::new("region", 60, 6);
+        d.add_cell(Cell::fixed(CellId(0), 10, 6, 25, 0)); // macro splitting every row
+        let mut a = Cell::movable(CellId(0), 4, 1, 2.0, 1.0);
+        a.x = 2;
+        a.y = 1;
+        a.legalized = true;
+        d.add_cell(a);
+        let mut b = Cell::movable(CellId(0), 6, 2, 10.0, 1.0);
+        b.x = 10;
+        b.y = 1;
+        b.legalized = true;
+        d.add_cell(b);
+        // an unlegalized target cell
+        let mut t = Cell::movable(CellId(0), 5, 1, 8.0, 2.0);
+        t.x = 8;
+        t.y = 2;
+        d.add_cell(t);
+        d
+    }
+
+    #[test]
+    fn extract_collects_segments_and_local_cells() {
+        let d = design();
+        let segmap = SegmentMap::build(&d);
+        let window = Rect::new(0, 0, 25, 4);
+        let region = LocalRegion::extract(&d, &segmap, CellId(3), window);
+        // rows 0..4, each clipped at the macro (x<25): full [0,25)
+        assert_eq!(region.segments.len(), 4);
+        for s in &region.segments {
+            assert_eq!(s.span, Interval::new(0, 25));
+        }
+        // both legalized cells are inside
+        let ids: Vec<CellId> = region.cells.iter().map(|c| c.id).collect();
+        assert!(ids.contains(&CellId(1)));
+        assert!(ids.contains(&CellId(2)));
+        // the unlegalized target is not a localCell
+        assert!(!ids.contains(&CellId(3)));
+        assert!(region.density > 0.0 && region.density < 1.0);
+    }
+
+    #[test]
+    fn partially_covered_cells_become_blockers() {
+        let d = design();
+        let segmap = SegmentMap::build(&d);
+        // window cuts through cell 2 (x in [10,16)): it is not fully contained
+        let window = Rect::new(0, 0, 13, 4);
+        let region = LocalRegion::extract(&d, &segmap, CellId(3), window);
+        let ids: Vec<CellId> = region.cells.iter().map(|c| c.id).collect();
+        assert!(!ids.contains(&CellId(2)));
+        // rows 1 and 2 must exclude the blocker's span [10,16): the longest piece is [0,10)
+        let s1 = region.segment(1).unwrap();
+        assert!(s1.span.hi <= 10);
+        // row 0 is untouched by the blocker
+        assert_eq!(region.segment(0).unwrap().span, Interval::new(0, 13));
+    }
+
+    #[test]
+    fn cells_in_row_are_sorted_by_x() {
+        let d = design();
+        let segmap = SegmentMap::build(&d);
+        let region = LocalRegion::extract(&d, &segmap, CellId(3), Rect::new(0, 0, 25, 4));
+        let row1 = region.cells_in_row(1);
+        assert_eq!(row1.len(), 2);
+        assert!(region.cells[row1[0]].x <= region.cells[row1[1]].x);
+        assert_eq!(region.cells_in_row(2).len(), 1); // only the 2-row cell reaches row 2
+        assert!(region.cells_in_row(5).is_empty());
+    }
+
+    #[test]
+    fn can_host_respects_width_height_and_parity() {
+        let d = design();
+        let segmap = SegmentMap::build(&d);
+        let region = LocalRegion::extract(&d, &segmap, CellId(3), Rect::new(0, 0, 25, 4));
+        assert!(region.can_host(5, 1, None));
+        assert!(region.can_host(5, 2, Some(0)));
+        assert!(!region.can_host(26, 1, None));
+        assert!(!region.can_host(5, 5, None)); // only 4 rows in the window
+    }
+
+    #[test]
+    fn target_window_is_clipped_to_die() {
+        let d = design();
+        let w = target_window(&d, CellId(3), 100, 100);
+        assert_eq!(w, Rect::new(0, 0, 60, 6));
+        let w2 = target_window(&d, CellId(3), 5, 1);
+        assert!(w2.x_lo >= 0 && w2.x_hi <= 60);
+        assert!(w2.width() >= 5);
+    }
+
+    #[test]
+    fn tall_cell_count() {
+        let d = design();
+        let segmap = SegmentMap::build(&d);
+        let region = LocalRegion::extract(&d, &segmap, CellId(3), Rect::new(0, 0, 25, 4));
+        assert_eq!(region.num_tall_cells(1), 1); // the 2-row cell
+        assert_eq!(region.num_tall_cells(3), 0);
+    }
+}

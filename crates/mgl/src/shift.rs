@@ -1,0 +1,444 @@
+//! The original multi-pass cell-shifting algorithm (Fig. 6, Algorithm 3 of the paper).
+//!
+//! Inserting the target cell into an insertion point splices it into every target row's cell
+//! sequence: `…left-chain cells, target, right-chain cells…`. Cell shifting resolves the
+//! overlaps this creates by pushing the left-chain cells further left (*left-move* phase) and
+//! the right-chain cells further right (*right-move* phase); pushed multi-row cells cascade the
+//! pressure into neighbouring rows, where cells are plain positional obstacles.
+//!
+//! The original algorithm traverses subcells bottom-to-top / right-to-left (for the left-move)
+//! with a `finish` flag and repeats whole passes until no cell moves, because a multi-row cell
+//! moved in one row can create an overlap in another row that the current pass has already
+//! visited. The number of passes is unpredictable, which is exactly the property FLEX's SACS
+//! algorithm (see [`crate::sacs`]) removes.
+
+use crate::insertion::InsertionPoint;
+use crate::region::LocalRegion;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Which shifting phase to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Push the cells on the left of the target further left.
+    Left,
+    /// Push the cells on the right of the target further right.
+    Right,
+}
+
+/// A cell-shifting problem: a region, an insertion point, and a trial target position.
+#[derive(Debug, Clone, Copy)]
+pub struct ShiftProblem<'a> {
+    /// The localRegion being legalized.
+    pub region: &'a LocalRegion,
+    /// The insertion point whose chains define which cells sit left/right of the target.
+    pub point: &'a InsertionPoint,
+    /// Width of the target cell in sites.
+    pub target_width: i64,
+    /// Height of the target cell in rows.
+    pub target_height: i64,
+    /// Trial left-edge position of the target cell.
+    pub target_x: i64,
+}
+
+impl<'a> ShiftProblem<'a> {
+    /// Rows the target would occupy.
+    pub fn target_rows(&self) -> std::ops::Range<i64> {
+        self.point.bottom_row..self.point.bottom_row + self.target_height
+    }
+
+    /// Indices of the localCells designated to the **right** of the insertion interval.
+    pub fn right_designated(&self) -> BTreeSet<usize> {
+        self.point.right_chain.iter().flatten().copied().collect()
+    }
+
+    /// Indices of the localCells designated to the **left** of the insertion interval.
+    pub fn left_designated(&self) -> BTreeSet<usize> {
+        self.point.left_chain.iter().flatten().copied().collect()
+    }
+
+    /// Cells that move in `phase` (the phase's own chain).
+    pub fn movers(&self, phase: Phase) -> BTreeSet<usize> {
+        match phase {
+            Phase::Left => self.left_designated(),
+            Phase::Right => self.right_designated(),
+        }
+    }
+
+    /// Cells that are immovable obstacles in `phase` (the opposite chain).
+    pub fn statics(&self, phase: Phase) -> BTreeSet<usize> {
+        match phase {
+            Phase::Left => self.right_designated(),
+            Phase::Right => self.left_designated(),
+        }
+    }
+}
+
+/// Result of one shifting phase.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShiftOutcome {
+    /// `(cell index in region, final x)` for every cell the phase considered, in output order.
+    pub positions: Vec<(usize, i64)>,
+    /// Number of full traversal passes (always 1 for SACS).
+    pub passes: u32,
+    /// Number of subcell visits performed (the work metric driving Fig. 2(g)).
+    pub subcell_visits: u64,
+}
+
+impl ShiftOutcome {
+    /// Final position of a cell, if the phase touched it.
+    pub fn position_of(&self, cell: usize) -> Option<i64> {
+        self.positions.iter().find(|(c, _)| *c == cell).map(|(_, x)| *x)
+    }
+
+    /// The positions as a map keyed by region cell index.
+    pub fn as_map(&self) -> std::collections::BTreeMap<usize, i64> {
+        self.positions.iter().copied().collect()
+    }
+}
+
+/// Shifting failed: a cell would have to be pushed outside its localSegment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Infeasible;
+
+impl std::fmt::Display for Infeasible {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cell shifting pushed a cell outside its localSegment")
+    }
+}
+
+impl std::error::Error for Infeasible {}
+
+/// Run one phase of the **original** multi-pass shifting algorithm.
+pub fn shift_phase_original(problem: &ShiftProblem<'_>, phase: Phase) -> Result<ShiftOutcome, Infeasible> {
+    let region = problem.region;
+    let statics = problem.statics(phase);
+    let movers = problem.movers(phase);
+    let target_rows: Vec<i64> = problem.target_rows().collect();
+
+    // working positions of the participants (everything that is not a static obstacle)
+    let mut pos: Vec<i64> = region.cells.iter().map(|c| c.x).collect();
+    let participants: Vec<usize> = (0..region.cells.len()).filter(|i| !statics.contains(i)).collect();
+
+    let mut passes = 0u32;
+    let mut visits = 0u64;
+    loop {
+        passes += 1;
+        let mut finish = true;
+        // bottom-to-top inter-row traversal
+        for seg in &region.segments {
+            let row = seg.row;
+            let is_target_row = target_rows.contains(&row);
+
+            // the movable cells this phase traverses in this row
+            let mut traverse: Vec<usize> = participants
+                .iter()
+                .copied()
+                .filter(|&i| region.cells[i].rows().any(|r| r == row))
+                .filter(|&i| !is_target_row || movers.contains(&i))
+                .collect();
+            // static obstacles that are positional in this row (non-target rows only: in target
+            // rows the opposite chain lives on the other side of the target and is handled by
+            // the other phase)
+            let mut static_edges: Vec<(i64, i64)> = if is_target_row {
+                Vec::new()
+            } else {
+                region
+                    .cells
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, c)| statics.contains(i) && c.rows().any(|r| r == row))
+                    .map(|(_, c)| (c.x, c.width))
+                    .collect()
+            };
+
+            match phase {
+                Phase::Left => {
+                    traverse.sort_by_key(|&i| std::cmp::Reverse((pos[i], i)));
+                    static_edges.sort_by_key(|&(x, _)| std::cmp::Reverse(x));
+                    let mut statics_iter = static_edges.into_iter().peekable();
+                    let mut bound = if is_target_row {
+                        seg.span.hi.min(problem.target_x)
+                    } else {
+                        seg.span.hi
+                    };
+                    for i in traverse {
+                        visits += 1;
+                        // fold in static obstacles to the right of this cell's current position
+                        while let Some(&(sx, _)) = statics_iter.peek() {
+                            if sx >= pos[i] {
+                                bound = bound.min(sx);
+                                statics_iter.next();
+                            } else {
+                                break;
+                            }
+                        }
+                        let w = region.cells[i].width;
+                        if pos[i] + w > bound {
+                            let new_x = bound - w;
+                            if new_x < seg.span.lo {
+                                return Err(Infeasible);
+                            }
+                            pos[i] = new_x;
+                            finish = false;
+                        }
+                        bound = bound.min(pos[i]);
+                    }
+                }
+                Phase::Right => {
+                    traverse.sort_by_key(|&i| (pos[i], i));
+                    static_edges.sort_by_key(|&(x, _)| x);
+                    let mut statics_iter = static_edges.into_iter().peekable();
+                    let mut bound = if is_target_row {
+                        seg.span.lo.max(problem.target_x + problem.target_width)
+                    } else {
+                        seg.span.lo
+                    };
+                    for i in traverse {
+                        visits += 1;
+                        while let Some(&(sx, sw)) = statics_iter.peek() {
+                            if sx <= pos[i] {
+                                bound = bound.max(sx + sw);
+                                statics_iter.next();
+                            } else {
+                                break;
+                            }
+                        }
+                        let w = region.cells[i].width;
+                        if pos[i] < bound {
+                            if bound + w > seg.span.hi {
+                                return Err(Infeasible);
+                            }
+                            pos[i] = bound;
+                            finish = false;
+                        }
+                        bound = bound.max(pos[i] + w);
+                    }
+                }
+            }
+        }
+        if finish {
+            break;
+        }
+        // safety valve: the loop must terminate because every move is monotone and bounded, but
+        // guard against degenerate regions anyway
+        if passes > 4 * (region.cells.len() as u32 + 2) {
+            return Err(Infeasible);
+        }
+    }
+
+    Ok(ShiftOutcome {
+        positions: participants.iter().map(|&i| (i, pos[i])).collect(),
+        passes,
+        subcell_visits: visits,
+    })
+}
+
+/// Run both phases of the original algorithm and merge the outcomes.
+pub fn shift_original(problem: &ShiftProblem<'_>) -> Result<(ShiftOutcome, ShiftOutcome), Infeasible> {
+    let left = shift_phase_original(problem, Phase::Left)?;
+    let right = shift_phase_original(problem, Phase::Right)?;
+    Ok((left, right))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insertion::enumerate_insertion_points;
+    use crate::region::{LocalCell, LocalRegion, LocalSegment};
+    use flex_placement::cell::CellId;
+    use flex_placement::geom::{Interval, Rect};
+
+    /// Region reproducing the spirit of Fig. 6: multi-row cells that cascade across rows.
+    fn fig6_region() -> LocalRegion {
+        LocalRegion {
+            target: CellId(99),
+            window: Rect::new(0, 0, 40, 3),
+            segments: vec![
+                LocalSegment { row: 0, span: Interval::new(0, 40) },
+                LocalSegment { row: 1, span: Interval::new(0, 40) },
+                LocalSegment { row: 2, span: Interval::new(0, 40) },
+            ],
+            cells: vec![
+                // a: 2-row cell on rows 0-1
+                LocalCell { id: CellId(0), x: 10, y: 0, width: 4, height: 2, gx: 10.0 },
+                // b: 1-row cell left of a on row 1
+                LocalCell { id: CellId(1), x: 5, y: 1, width: 4, height: 1, gx: 5.0 },
+                // c: 3-row cell on rows 0-2 to the left
+                LocalCell { id: CellId(2), x: 1, y: 0, width: 3, height: 3, gx: 1.0 },
+                // d: right-side cell
+                LocalCell { id: CellId(3), x: 20, y: 0, width: 5, height: 1, gx: 20.0 },
+            ],
+            density: 0.3,
+        }
+    }
+
+    fn point_for(region: &LocalRegion, w: i64, h: i64, anchor: f64) -> InsertionPoint {
+        let pts = enumerate_insertion_points(region, w, h, None, anchor, 64);
+        pts.into_iter()
+            .min_by_key(|p| (p.clamp(anchor.round() as i64) - anchor.round() as i64).abs())
+            .expect("feasible point")
+    }
+
+    #[test]
+    fn left_move_pushes_chain_without_overlap() {
+        let region = fig6_region();
+        // target of width 6 inserted around x=14 on row 0: cell a (x=10..14) must slide left,
+        // cascading into b on row 1 and c on rows 0-2
+        let point = point_for(&region, 6, 1, 15.0);
+        let problem = ShiftProblem {
+            region: &region,
+            point: &point,
+            target_width: 6,
+            target_height: 1,
+            target_x: 12,
+        };
+        let out = shift_phase_original(&problem, Phase::Left).unwrap();
+        let map = out.as_map();
+        // cell a must not overlap the target: right edge <= 12
+        assert!(map[&0] + 4 <= 12);
+        // cell b (row 1) must not overlap a
+        assert!(map[&1] + 4 <= map[&0]);
+        // cell c (rows 0-2) must not overlap b (row 1) or a (row 0)
+        assert!(map[&2] + 3 <= map[&1]);
+        assert!(map[&2] + 3 <= map[&0]);
+        assert!(map[&2] >= 0);
+        assert!(out.passes >= 1);
+        assert!(out.subcell_visits > 0);
+    }
+
+    #[test]
+    fn right_move_pushes_right_side() {
+        let region = fig6_region();
+        let point = point_for(&region, 6, 1, 15.0);
+        let problem = ShiftProblem {
+            region: &region,
+            point: &point,
+            target_width: 6,
+            target_height: 1,
+            target_x: 15,
+        };
+        let out = shift_phase_original(&problem, Phase::Right).unwrap();
+        let map = out.as_map();
+        // cell d is on the right chain of row 0: pushed to clear [15, 21)
+        assert!(map[&3] >= 21);
+        assert!(map[&3] + 5 <= 40);
+    }
+
+    #[test]
+    fn cascade_feasibility_is_detected_during_shifting() {
+        let region = fig6_region();
+        // the point whose left chain holds both c and a in row 0
+        let pts = enumerate_insertion_points(&region, 6, 1, None, 15.0, 64);
+        let point = pts
+            .iter()
+            .find(|p| p.bottom_row == 0 && p.left_chain[0].len() == 2)
+            .expect("point with two left-chain cells");
+        // At full compression (x_lo = 7) the row-0 chain fits, but pushing cell a left of the
+        // target forces b and then c out of row 1: the cascade makes this x infeasible, which
+        // the per-row insertion-interval estimate cannot see but shifting must detect.
+        let tight = ShiftProblem {
+            region: &region,
+            point,
+            target_width: 6,
+            target_height: 1,
+            target_x: point.x_lo,
+        };
+        assert_eq!(shift_phase_original(&tight, Phase::Left), Err(Infeasible));
+
+        // With a little slack (x = 12) the same point is feasible and both designated cells end
+        // up left of the target.
+        let relaxed = ShiftProblem { target_x: 12, ..tight };
+        let out = shift_phase_original(&relaxed, Phase::Left).unwrap();
+        let map = out.as_map();
+        assert!(map[&0] + 4 <= 12);
+        assert!(map[&2] + 3 <= map[&0]);
+        assert!(map[&2] >= 0);
+    }
+
+    #[test]
+    fn no_movement_when_target_fits_in_open_space() {
+        let region = fig6_region();
+        let point = point_for(&region, 4, 1, 30.0);
+        let problem = ShiftProblem {
+            region: &region,
+            point: &point,
+            target_width: 4,
+            target_height: 1,
+            target_x: 30,
+        };
+        let (left, right) = shift_original(&problem).unwrap();
+        for (i, x) in left.positions.iter().chain(right.positions.iter()) {
+            assert_eq!(*x, region.cells[*i].x, "cell {i} should not move");
+        }
+        assert_eq!(left.passes, 1);
+    }
+
+    #[test]
+    fn infeasible_when_no_room_to_push() {
+        // a packed single row: cells fill [0, 12) of a [0, 14) segment; target width 6 cannot fit
+        let region = LocalRegion {
+            target: CellId(9),
+            window: Rect::new(0, 0, 14, 1),
+            segments: vec![LocalSegment { row: 0, span: Interval::new(0, 14) }],
+            cells: vec![
+                LocalCell { id: CellId(0), x: 0, y: 0, width: 6, height: 1, gx: 0.0 },
+                LocalCell { id: CellId(1), x: 6, y: 0, width: 6, height: 1, gx: 6.0 },
+            ],
+            density: 0.85,
+        };
+        // hand-build a point that claims feasibility of a width-2 target, then ask for width 6
+        let point = InsertionPoint {
+            bottom_row: 0,
+            x_lo: 6,
+            x_hi: 8,
+            left_chain: vec![vec![0]],
+            right_chain: vec![vec![1]],
+        };
+        let problem = ShiftProblem {
+            region: &region,
+            point: &point,
+            target_width: 6,
+            target_height: 1,
+            target_x: 4,
+        };
+        assert_eq!(shift_phase_original(&problem, Phase::Left), Err(Infeasible));
+    }
+
+    #[test]
+    fn multi_row_target_clears_all_its_rows() {
+        let region = fig6_region();
+        let point = point_for(&region, 5, 2, 12.0);
+        let x = point.clamp(12);
+        let problem = ShiftProblem {
+            region: &region,
+            point: &point,
+            target_width: 5,
+            target_height: 2,
+            target_x: x,
+        };
+        let (left, right) = shift_original(&problem).unwrap();
+        let mut pos: Vec<i64> = region.cells.iter().map(|c| c.x).collect();
+        for (i, p) in left.positions.iter().chain(right.positions.iter()) {
+            pos[*i] = *p;
+        }
+        // verify no overlap between any localCell and the target or each other, row by row
+        let target = Interval::new(x, x + 5);
+        for row in 0..3 {
+            let mut spans: Vec<Interval> = Vec::new();
+            if (point.bottom_row..point.bottom_row + 2).contains(&row) {
+                spans.push(target);
+            }
+            for (i, c) in region.cells.iter().enumerate() {
+                if c.rows().any(|r| r == row) {
+                    spans.push(Interval::new(pos[i], pos[i] + c.width));
+                }
+            }
+            for a in 0..spans.len() {
+                for b in a + 1..spans.len() {
+                    assert!(!spans[a].overlaps(&spans[b]), "row {row}: {:?} vs {:?}", spans[a], spans[b]);
+                }
+            }
+        }
+    }
+}

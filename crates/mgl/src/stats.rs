@@ -1,0 +1,284 @@
+//! Operator-level statistics and the work trace consumed by the FPGA performance model.
+//!
+//! Two kinds of bookkeeping live here:
+//!
+//! * [`FopOpStats`] — wall-clock time spent in each FOP operator (cell shifting, breakpoint
+//!   sorting, merging, slope accumulation, value calculation). This is what Fig. 2(g) ("cell
+//!   shifting dominates over 60% of FOP runtime") and Fig. 6(g) ("pre-sorting is ≈10% of FOP
+//!   runtime") report.
+//! * [`RegionWork`] / [`WorkTrace`] — hardware-independent work counts per legalized target
+//!   (insertion points evaluated, breakpoints produced, subcell visits, multi-row bound queries,
+//!   …). The FLEX accelerator model in `flex-core` replays this trace through its pipeline and
+//!   BRAM models to predict FPGA cycles, which is how the Fig. 8/9/10 ablations are produced.
+
+use flex_placement::cell::CellId;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Wall-clock time spent in each FOP operator, accumulated over an entire legalization run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FopOpStats {
+    /// Cell shifting (both phases, original or SACS).
+    pub cell_shift_ns: u64,
+    /// SACS pre-sorting of localCells (the 10% overhead quoted in Fig. 6(g)).
+    pub presort_ns: u64,
+    /// Gathering and sorting breakpoints by x.
+    pub sort_bp_ns: u64,
+    /// Merging breakpoints with identical x (original operator chain).
+    pub merge_bp_ns: u64,
+    /// Forward traversal accumulating right slopes (original chain).
+    pub sum_slopes_r_ns: u64,
+    /// Backward traversal accumulating left slopes (original chain).
+    pub sum_slopes_l_ns: u64,
+    /// Final value computation and minimum search (original chain).
+    pub calc_value_ns: u64,
+    /// fwdtraverse of the reorganized chain (fwdmerge + sum slopesR + calculate vR).
+    pub fwd_traverse_ns: u64,
+    /// bwdtraverse of the reorganized chain (bwdmerge + sum slopesL + calculate vL and v).
+    pub bwd_traverse_ns: u64,
+    /// Everything else inside FOP (curve construction, feasibility checks).
+    pub other_ns: u64,
+}
+
+impl FopOpStats {
+    /// Total time spent inside FOP.
+    pub fn total_ns(&self) -> u64 {
+        self.cell_shift_ns
+            + self.presort_ns
+            + self.sort_bp_ns
+            + self.merge_bp_ns
+            + self.sum_slopes_r_ns
+            + self.sum_slopes_l_ns
+            + self.calc_value_ns
+            + self.fwd_traverse_ns
+            + self.bwd_traverse_ns
+            + self.other_ns
+    }
+
+    /// Fraction of FOP time spent in cell shifting (the Fig. 2(g) statistic).
+    pub fn cell_shift_fraction(&self) -> f64 {
+        let total = self.total_ns();
+        if total == 0 {
+            0.0
+        } else {
+            self.cell_shift_ns as f64 / total as f64
+        }
+    }
+
+    /// Fraction of FOP time spent pre-sorting localCells (the Fig. 6(g) statistic).
+    pub fn presort_fraction(&self) -> f64 {
+        let total = self.total_ns();
+        if total == 0 {
+            0.0
+        } else {
+            self.presort_ns as f64 / total as f64
+        }
+    }
+
+    /// Accumulate another stats record into this one.
+    pub fn merge(&mut self, other: &FopOpStats) {
+        self.cell_shift_ns += other.cell_shift_ns;
+        self.presort_ns += other.presort_ns;
+        self.sort_bp_ns += other.sort_bp_ns;
+        self.merge_bp_ns += other.merge_bp_ns;
+        self.sum_slopes_r_ns += other.sum_slopes_r_ns;
+        self.sum_slopes_l_ns += other.sum_slopes_l_ns;
+        self.calc_value_ns += other.calc_value_ns;
+        self.fwd_traverse_ns += other.fwd_traverse_ns;
+        self.bwd_traverse_ns += other.bwd_traverse_ns;
+        self.other_ns += other.other_ns;
+    }
+
+    /// Record a duration into a field selected by the operator name used in the paper's figures.
+    pub fn add(&mut self, op: FopOperator, d: Duration) {
+        let ns = d.as_nanos() as u64;
+        match op {
+            FopOperator::CellShift => self.cell_shift_ns += ns,
+            FopOperator::Presort => self.presort_ns += ns,
+            FopOperator::SortBp => self.sort_bp_ns += ns,
+            FopOperator::MergeBp => self.merge_bp_ns += ns,
+            FopOperator::SumSlopesR => self.sum_slopes_r_ns += ns,
+            FopOperator::SumSlopesL => self.sum_slopes_l_ns += ns,
+            FopOperator::CalcValue => self.calc_value_ns += ns,
+            FopOperator::FwdTraverse => self.fwd_traverse_ns += ns,
+            FopOperator::BwdTraverse => self.bwd_traverse_ns += ns,
+            FopOperator::Other => self.other_ns += ns,
+        }
+    }
+}
+
+/// The FOP operators named in Fig. 3(e) / Fig. 5 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FopOperator {
+    /// Cell shifting (left-move + right-move).
+    CellShift,
+    /// SACS pre-sorting of localCells.
+    Presort,
+    /// sort bp.
+    SortBp,
+    /// merge bp.
+    MergeBp,
+    /// sum slopesR.
+    SumSlopesR,
+    /// sum slopesL.
+    SumSlopesL,
+    /// calculate value.
+    CalcValue,
+    /// fwdtraverse (reorganized chain).
+    FwdTraverse,
+    /// bwdtraverse (reorganized chain).
+    BwdTraverse,
+    /// Anything else (curve construction, bookkeeping).
+    Other,
+}
+
+/// Hardware-independent work performed while legalizing one target cell.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RegionWork {
+    /// The target cell.
+    pub target: CellId,
+    /// Width of the target in sites.
+    pub target_width: i64,
+    /// Height of the target in rows.
+    pub target_height: i64,
+    /// Number of localCells in the final region.
+    pub local_cells: u64,
+    /// Number of localCells taller than three rows (drives the Fig. 9 bandwidth analysis).
+    pub tall_cells: u64,
+    /// Number of localSegments (rows) in the region.
+    pub segments: u64,
+    /// Insertion points enumerated.
+    pub insertion_points: u64,
+    /// Insertion points that survived feasibility checks and were fully evaluated.
+    pub feasible_points: u64,
+    /// Breakpoints generated across all evaluated points.
+    pub breakpoints: u64,
+    /// Subcell visits performed by cell shifting.
+    pub subcell_visits: u64,
+    /// Full shifting passes performed (original algorithm only; 2 per point for SACS —
+    /// one per phase).
+    pub shift_passes: u64,
+    /// Cells fed through the SACS pre-sorter.
+    pub sorted_cells: u64,
+    /// Per-row bound (CSP/CSE) queries issued by SACS.
+    pub bound_queries: u64,
+    /// Bound queries issued on behalf of cells taller than three rows.
+    pub tall_bound_queries: u64,
+    /// Whether the target was eventually committed inside a region (false = fallback placement).
+    pub placed_in_region: bool,
+    /// Whether the region of the *next* target overlapped this one (determines whether the FLEX
+    /// ping-pong preload can hide the data transfer, Sec. 3.1.2).
+    pub next_region_overlaps: bool,
+}
+
+/// The full work trace of a legalization run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WorkTrace {
+    /// Per-target work, in processing order.
+    pub regions: Vec<RegionWork>,
+}
+
+impl WorkTrace {
+    /// Number of regions processed.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// Total insertion points evaluated.
+    pub fn total_points(&self) -> u64 {
+        self.regions.iter().map(|r| r.insertion_points).sum()
+    }
+
+    /// Total breakpoints generated.
+    pub fn total_breakpoints(&self) -> u64 {
+        self.regions.iter().map(|r| r.breakpoints).sum()
+    }
+
+    /// Total subcell visits performed by cell shifting.
+    pub fn total_subcell_visits(&self) -> u64 {
+        self.regions.iter().map(|r| r.subcell_visits).sum()
+    }
+
+    /// Fraction of regions whose successor region did not overlap (preloadable).
+    pub fn preloadable_fraction(&self) -> f64 {
+        if self.regions.is_empty() {
+            return 0.0;
+        }
+        self.regions.iter().filter(|r| !r.next_region_overlaps).count() as f64 / self.regions.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_fractions() {
+        let mut s = FopOpStats::default();
+        s.add(FopOperator::CellShift, Duration::from_nanos(600));
+        s.add(FopOperator::SortBp, Duration::from_nanos(100));
+        s.add(FopOperator::MergeBp, Duration::from_nanos(100));
+        s.add(FopOperator::SumSlopesR, Duration::from_nanos(50));
+        s.add(FopOperator::SumSlopesL, Duration::from_nanos(50));
+        s.add(FopOperator::CalcValue, Duration::from_nanos(100));
+        assert_eq!(s.total_ns(), 1000);
+        assert!((s.cell_shift_fraction() - 0.6).abs() < 1e-12);
+        assert_eq!(s.presort_fraction(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates_every_field() {
+        let mut a = FopOpStats::default();
+        a.add(FopOperator::Presort, Duration::from_nanos(10));
+        a.add(FopOperator::FwdTraverse, Duration::from_nanos(20));
+        let mut b = FopOpStats::default();
+        b.add(FopOperator::Presort, Duration::from_nanos(5));
+        b.add(FopOperator::BwdTraverse, Duration::from_nanos(7));
+        b.add(FopOperator::Other, Duration::from_nanos(3));
+        a.merge(&b);
+        assert_eq!(a.presort_ns, 15);
+        assert_eq!(a.fwd_traverse_ns, 20);
+        assert_eq!(a.bwd_traverse_ns, 7);
+        assert_eq!(a.other_ns, 3);
+        assert_eq!(a.total_ns(), 45);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_fractions() {
+        let s = FopOpStats::default();
+        assert_eq!(s.cell_shift_fraction(), 0.0);
+        assert_eq!(s.total_ns(), 0);
+    }
+
+    #[test]
+    fn trace_aggregates() {
+        let mut t = WorkTrace::default();
+        assert!(t.is_empty());
+        t.regions.push(RegionWork {
+            target: CellId(0),
+            insertion_points: 10,
+            breakpoints: 50,
+            subcell_visits: 100,
+            next_region_overlaps: false,
+            ..RegionWork::default()
+        });
+        t.regions.push(RegionWork {
+            target: CellId(1),
+            insertion_points: 5,
+            breakpoints: 20,
+            subcell_visits: 30,
+            next_region_overlaps: true,
+            ..RegionWork::default()
+        });
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.total_points(), 15);
+        assert_eq!(t.total_breakpoints(), 70);
+        assert_eq!(t.total_subcell_visits(), 130);
+        assert!((t.preloadable_fraction() - 0.5).abs() < 1e-12);
+    }
+}

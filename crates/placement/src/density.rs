@@ -1,0 +1,231 @@
+//! Bin-based density maps.
+//!
+//! The sliding-window processing ordering of FLEX (Sec. 3.1.2) prioritizes target cells whose
+//! *localRegion* is denser; the global-placement simulator also uses a density map to spread
+//! cells. Both need a cheap "how full is this area of the die" query, which this module provides
+//! via a uniform grid of bins accumulating cell area.
+
+use crate::geom::Rect;
+use crate::layout::Design;
+use serde::{Deserialize, Serialize};
+
+/// A uniform grid of density bins over the die.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DensityMap {
+    bin_w: i64,
+    bin_h: i64,
+    nx: usize,
+    ny: usize,
+    /// Occupied area per bin (movable + fixed + blockage), in site·row units.
+    occupied: Vec<f64>,
+    /// Free capacity per bin (bin area minus fixed/blockage area).
+    capacity: Vec<f64>,
+}
+
+impl DensityMap {
+    /// Build a density map with bins of `bin_w × bin_h` sites/rows.
+    pub fn build(design: &Design, bin_w: i64, bin_h: i64) -> Self {
+        let bin_w = bin_w.max(1);
+        let bin_h = bin_h.max(1);
+        let nx = ((design.num_sites_x + bin_w - 1) / bin_w).max(1) as usize;
+        let ny = ((design.num_rows + bin_h - 1) / bin_h).max(1) as usize;
+        let mut map = Self {
+            bin_w,
+            bin_h,
+            nx,
+            ny,
+            occupied: vec![0.0; nx * ny],
+            capacity: vec![0.0; nx * ny],
+        };
+        // capacity starts as the geometric bin area clipped to the die
+        let die = design.die();
+        for by in 0..ny {
+            for bx in 0..nx {
+                let r = map.bin_rect(bx, by).intersect(&die);
+                map.capacity[by * nx + bx] = r.area().max(0) as f64;
+            }
+        }
+        // fixed cells and blockages consume capacity
+        for c in design.cells.iter().filter(|c| c.fixed) {
+            map.splat(&c.rect(), |cap, area| *cap -= area, true);
+        }
+        for b in &design.blockages {
+            map.splat(b, |cap, area| *cap -= area, true);
+        }
+        for cap in &mut map.capacity {
+            *cap = cap.max(0.0);
+        }
+        // movable cells occupy
+        for c in design.cells.iter().filter(|c| !c.fixed) {
+            map.add_rect(&c.rect());
+        }
+        map
+    }
+
+    fn bin_rect(&self, bx: usize, by: usize) -> Rect {
+        Rect::new(
+            bx as i64 * self.bin_w,
+            by as i64 * self.bin_h,
+            (bx as i64 + 1) * self.bin_w,
+            (by as i64 + 1) * self.bin_h,
+        )
+    }
+
+    fn bin_range(&self, rect: &Rect) -> (usize, usize, usize, usize) {
+        let bx0 = (rect.x_lo.div_euclid(self.bin_w)).clamp(0, self.nx as i64 - 1) as usize;
+        let by0 = (rect.y_lo.div_euclid(self.bin_h)).clamp(0, self.ny as i64 - 1) as usize;
+        let bx1 = ((rect.x_hi - 1).div_euclid(self.bin_w)).clamp(0, self.nx as i64 - 1) as usize;
+        let by1 = ((rect.y_hi - 1).div_euclid(self.bin_h)).clamp(0, self.ny as i64 - 1) as usize;
+        (bx0, by0, bx1, by1)
+    }
+
+    fn splat(&mut self, rect: &Rect, apply: impl Fn(&mut f64, f64), to_capacity: bool) {
+        if rect.is_empty() {
+            return;
+        }
+        let (bx0, by0, bx1, by1) = self.bin_range(rect);
+        for by in by0..=by1 {
+            for bx in bx0..=bx1 {
+                let area = self.bin_rect(bx, by).overlap_area(rect) as f64;
+                if area > 0.0 {
+                    let idx = by * self.nx + bx;
+                    if to_capacity {
+                        apply(&mut self.capacity[idx], area);
+                    } else {
+                        apply(&mut self.occupied[idx], area);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Add a movable cell's rectangle to the occupancy.
+    pub fn add_rect(&mut self, rect: &Rect) {
+        self.splat(rect, |occ, a| *occ += a, false);
+    }
+
+    /// Remove a movable cell's rectangle from the occupancy.
+    pub fn remove_rect(&mut self, rect: &Rect) {
+        self.splat(rect, |occ, a| *occ -= a, false);
+    }
+
+    /// Grid dimensions (bins in x, bins in y).
+    pub fn dims(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Density (occupied / capacity) of the bin containing site/row `(x, y)`.
+    pub fn density_at(&self, x: i64, y: i64) -> f64 {
+        let bx = x.div_euclid(self.bin_w).clamp(0, self.nx as i64 - 1) as usize;
+        let by = y.div_euclid(self.bin_h).clamp(0, self.ny as i64 - 1) as usize;
+        let idx = by * self.nx + bx;
+        if self.capacity[idx] <= 0.0 {
+            1.0
+        } else {
+            self.occupied[idx] / self.capacity[idx]
+        }
+    }
+
+    /// Average density of all bins a rectangle touches, weighted by overlap area.
+    pub fn density_in(&self, rect: &Rect) -> f64 {
+        if rect.is_empty() {
+            return 0.0;
+        }
+        let (bx0, by0, bx1, by1) = self.bin_range(rect);
+        let mut occ = 0.0;
+        let mut cap = 0.0;
+        for by in by0..=by1 {
+            for bx in bx0..=bx1 {
+                let overlap = self.bin_rect(bx, by).overlap_area(rect) as f64;
+                if overlap <= 0.0 {
+                    continue;
+                }
+                let idx = by * self.nx + bx;
+                let bin_cap = self.capacity[idx];
+                let bin_area = self.bin_rect(bx, by).area() as f64;
+                let frac = overlap / bin_area;
+                occ += self.occupied[idx] * frac;
+                cap += bin_cap * frac;
+            }
+        }
+        if cap <= 0.0 {
+            1.0
+        } else {
+            occ / cap
+        }
+    }
+
+    /// The maximum bin density in the map.
+    pub fn max_density(&self) -> f64 {
+        let mut max = 0.0f64;
+        for i in 0..self.occupied.len() {
+            let d = if self.capacity[i] <= 0.0 {
+                if self.occupied[i] > 0.0 {
+                    f64::INFINITY
+                } else {
+                    0.0
+                }
+            } else {
+                self.occupied[i] / self.capacity[i]
+            };
+            max = max.max(d);
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{Cell, CellId};
+
+    fn design() -> Design {
+        let mut d = Design::new("den", 40, 8);
+        d.add_cell(Cell::movable(CellId(0), 10, 2, 0.0, 0.0));
+        d.add_cell(Cell::movable(CellId(0), 10, 2, 5.0, 1.0));
+        d.add_cell(Cell::fixed(CellId(0), 20, 4, 20, 4));
+        d
+    }
+
+    #[test]
+    fn build_accounts_fixed_as_capacity_loss() {
+        let d = design();
+        let map = DensityMap::build(&d, 10, 4);
+        // the bins covering the fixed macro have zero capacity → density 1.0
+        assert_eq!(map.density_at(25, 6), 1.0);
+        // bottom-left corner holds two 10x2 movable cells overlapping partially
+        assert!(map.density_at(0, 0) > 0.0);
+    }
+
+    #[test]
+    fn add_remove_roundtrip() {
+        let d = design();
+        let mut map = DensityMap::build(&d, 10, 4);
+        let before = map.density_at(0, 0);
+        let r = Rect::from_size(0, 0, 5, 2);
+        map.add_rect(&r);
+        assert!(map.density_at(0, 0) > before);
+        map.remove_rect(&r);
+        assert!((map.density_at(0, 0) - before).abs() < 1e-9);
+    }
+
+    #[test]
+    fn density_in_window_is_between_zero_and_max() {
+        let d = design();
+        let map = DensityMap::build(&d, 10, 4);
+        let win = Rect::new(0, 0, 20, 4);
+        let dens = map.density_in(&win);
+        assert!(dens > 0.0);
+        assert!(dens <= map.max_density() + 1e-9);
+        assert_eq!(map.density_in(&Rect::new(0, 0, 0, 0)), 0.0);
+    }
+
+    #[test]
+    fn dims_cover_die() {
+        let d = design();
+        let map = DensityMap::build(&d, 16, 3);
+        let (nx, ny) = map.dims();
+        assert_eq!(nx, 3); // ceil(40/16)
+        assert_eq!(ny, 3); // ceil(8/3)
+    }
+}

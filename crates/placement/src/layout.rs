@@ -1,0 +1,351 @@
+//! The [`Design`] container: die, rows, cells and blockages.
+
+use crate::cell::{Cell, CellId};
+use crate::geom::{Interval, Rect};
+use crate::row::{Rail, Row};
+use serde::{Deserialize, Serialize};
+
+/// A complete mixed-cell-height design: a uniform die of rows/sites plus cells and blockages.
+///
+/// All coordinates are in site/row units (see [`crate::geom`]). The physical site width and row
+/// height are retained so that callers can convert displacements back to microns if desired; the
+/// paper's `S_am` metric is computed in row-height units, which is what [`crate::metrics`] uses.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Design {
+    /// Human-readable benchmark name (e.g. `des_perf_1`).
+    pub name: String,
+    /// Number of placement sites per row.
+    pub num_sites_x: i64,
+    /// Number of rows in the die.
+    pub num_rows: i64,
+    /// Physical site width (microns); informational only.
+    pub site_width: f64,
+    /// Physical row height (microns); informational only.
+    pub row_height: f64,
+    /// Rail polarity at the bottom of row 0.
+    pub base_rail: Rail,
+    /// All cells (movable and fixed). `cells[i].id == CellId(i)`.
+    pub cells: Vec<Cell>,
+    /// Rectangular placement blockages (in addition to fixed cells).
+    pub blockages: Vec<Rect>,
+}
+
+impl Design {
+    /// Create an empty design with the given die dimensions.
+    pub fn new(name: impl Into<String>, num_sites_x: i64, num_rows: i64) -> Self {
+        Self {
+            name: name.into(),
+            num_sites_x,
+            num_rows,
+            site_width: 0.2,
+            row_height: 2.0,
+            base_rail: Rail::Vdd,
+            cells: Vec::new(),
+            blockages: Vec::new(),
+        }
+    }
+
+    /// Die bounding box.
+    pub fn die(&self) -> Rect {
+        Rect::new(0, 0, self.num_sites_x, self.num_rows)
+    }
+
+    /// Append a cell, fixing up its id to match its index. Returns the assigned id.
+    pub fn add_cell(&mut self, mut cell: Cell) -> CellId {
+        let id = CellId(self.cells.len() as u32);
+        cell.id = id;
+        self.cells.push(cell);
+        id
+    }
+
+    /// Append a rectangular blockage.
+    pub fn add_blockage(&mut self, rect: Rect) {
+        self.blockages.push(rect);
+    }
+
+    /// Access a cell by id.
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.index()]
+    }
+
+    /// Mutable access to a cell by id.
+    pub fn cell_mut(&mut self, id: CellId) -> &mut Cell {
+        &mut self.cells[id.index()]
+    }
+
+    /// Number of cells (movable + fixed).
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Ids of all movable cells.
+    pub fn movable_ids(&self) -> Vec<CellId> {
+        self.cells.iter().filter(|c| !c.fixed).map(|c| c.id).collect()
+    }
+
+    /// Ids of all fixed cells.
+    pub fn fixed_ids(&self) -> Vec<CellId> {
+        self.cells.iter().filter(|c| c.fixed).map(|c| c.id).collect()
+    }
+
+    /// Number of movable cells.
+    pub fn num_movable(&self) -> usize {
+        self.cells.iter().filter(|c| !c.fixed).count()
+    }
+
+    /// Iterator over the rows of the die.
+    pub fn rows(&self) -> impl Iterator<Item = Row> + '_ {
+        (0..self.num_rows).map(move |r| Row::new(r, 0, self.num_sites_x, Rail::of_row(r, self.base_rail)))
+    }
+
+    /// Row `index`, if it exists.
+    pub fn row(&self, index: i64) -> Option<Row> {
+        if index >= 0 && index < self.num_rows {
+            Some(Row::new(index, 0, self.num_sites_x, Rail::of_row(index, self.base_rail)))
+        } else {
+            None
+        }
+    }
+
+    /// Total area of movable cells (site·row units).
+    pub fn movable_area(&self) -> i64 {
+        self.cells.iter().filter(|c| !c.fixed).map(|c| c.area()).sum()
+    }
+
+    /// Total area blocked by fixed cells and blockages, clipped to the die.
+    pub fn blocked_area(&self) -> i64 {
+        let die = self.die();
+        let fixed: i64 = self
+            .cells
+            .iter()
+            .filter(|c| c.fixed)
+            .map(|c| c.rect().overlap_area(&die))
+            .sum();
+        let blk: i64 = self.blockages.iter().map(|b| b.overlap_area(&die)).sum();
+        fixed + blk
+    }
+
+    /// Free (placeable) area of the die.
+    pub fn free_area(&self) -> i64 {
+        (self.die().area() - self.blocked_area()).max(0)
+    }
+
+    /// Design density: movable area / free area (the `Den.(%)` column of Table 1).
+    pub fn density(&self) -> f64 {
+        let free = self.free_area();
+        if free == 0 {
+            return f64::INFINITY;
+        }
+        self.movable_area() as f64 / free as f64
+    }
+
+    /// Blocked site intervals in row `row` coming from fixed cells and blockages.
+    pub fn blocked_intervals(&self, row: i64) -> Vec<Interval> {
+        let mut blocked: Vec<Interval> = Vec::new();
+        for c in self.cells.iter().filter(|c| c.fixed) {
+            if c.y_interval().contains(row) {
+                blocked.push(c.x_interval());
+            }
+        }
+        for b in &self.blockages {
+            if b.y_interval().contains(row) {
+                blocked.push(b.x_interval());
+            }
+        }
+        blocked
+    }
+
+    /// Free (unblocked) site intervals in row `row`, sorted left to right.
+    ///
+    /// Only fixed cells and blockages block a row — movable cells live *inside* the free
+    /// intervals and become `localCells` of the MGL algorithm.
+    pub fn free_intervals(&self, row: i64) -> Vec<Interval> {
+        let full = Interval::new(0, self.num_sites_x);
+        let mut blocked = self.blocked_intervals(row);
+        blocked.sort_by_key(|iv| iv.lo);
+        let mut free = vec![full];
+        for b in blocked {
+            let mut next = Vec::with_capacity(free.len() + 1);
+            for f in free {
+                next.extend(f.subtract(&b));
+            }
+            free = next;
+        }
+        free.retain(|iv| !iv.is_empty());
+        free.sort_by_key(|iv| iv.lo);
+        free
+    }
+
+    /// Ids of movable cells whose current rectangle overlaps `rect`.
+    pub fn movable_in_rect(&self, rect: &Rect) -> Vec<CellId> {
+        self.cells
+            .iter()
+            .filter(|c| !c.fixed && c.rect().overlaps(rect))
+            .map(|c| c.id)
+            .collect()
+    }
+
+    /// Total overlapping area between pairs of movable cells plus movable-vs-blocked area.
+    ///
+    /// This is an O(n log n) sweep over row-bucketed cells, intended for verification and for
+    /// the global-placement simulator's spreading loop, not for inner legalization loops.
+    pub fn total_overlap_area(&self) -> i64 {
+        let mut per_row: Vec<Vec<(Interval, bool, CellId)>> = vec![Vec::new(); self.num_rows.max(0) as usize];
+        for c in &self.cells {
+            for r in c.rows() {
+                if r >= 0 && r < self.num_rows {
+                    per_row[r as usize].push((c.x_interval(), c.fixed, c.id));
+                }
+            }
+        }
+        for b in &self.blockages {
+            for r in b.y_lo.max(0)..b.y_hi.min(self.num_rows) {
+                per_row[r as usize].push((b.x_interval(), true, CellId(u32::MAX)));
+            }
+        }
+        let mut total = 0i64;
+        for row in &mut per_row {
+            row.sort_by_key(|(iv, _, _)| iv.lo);
+            for i in 0..row.len() {
+                let (a, a_fixed, _) = row[i];
+                for j in i + 1..row.len() {
+                    let (b, b_fixed, _) = row[j];
+                    if b.lo >= a.hi {
+                        break;
+                    }
+                    if a_fixed && b_fixed {
+                        continue;
+                    }
+                    total += a.overlap_len(&b);
+                }
+            }
+        }
+        total
+    }
+
+    /// Snap every movable cell to the nearest legal-parity row and clamp it inside the die.
+    ///
+    /// This is step (a) "input & pre-move" of the legalization flow (Fig. 3(e)): cells are
+    /// temporarily positioned in the nearest designated rows while tolerating overlaps.
+    pub fn pre_move(&mut self) {
+        let num_rows = self.num_rows;
+        let num_sites = self.num_sites_x;
+        for c in &mut self.cells {
+            if c.fixed {
+                continue;
+            }
+            let max_row = (num_rows - c.height).max(0);
+            let mut row = c.gy.round() as i64;
+            row = row.clamp(0, max_row);
+            if !c.parity_ok(row) {
+                // move to the nearest row of the right parity, preferring the closer side
+                let down = row - 1;
+                let up = row + 1;
+                row = if down >= 0 && (c.gy - down as f64).abs() <= (up as f64 - c.gy).abs() {
+                    down
+                } else if up <= max_row {
+                    up
+                } else {
+                    (down).max(0)
+                };
+                row = row.clamp(0, max_row);
+            }
+            let max_x = (num_sites - c.width).max(0);
+            c.x = (c.gx.round() as i64).clamp(0, max_x);
+            c.y = row;
+            c.legalized = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_design() -> Design {
+        let mut d = Design::new("t", 100, 10);
+        d.add_cell(Cell::movable(CellId(0), 4, 1, 10.3, 2.2));
+        d.add_cell(Cell::movable(CellId(0), 6, 2, 50.7, 4.8));
+        d.add_cell(Cell::fixed(CellId(0), 10, 3, 40, 0));
+        d.add_blockage(Rect::new(0, 9, 100, 10));
+        d
+    }
+
+    #[test]
+    fn add_cell_reassigns_ids() {
+        let d = small_design();
+        assert_eq!(d.cells[0].id, CellId(0));
+        assert_eq!(d.cells[1].id, CellId(1));
+        assert_eq!(d.cells[2].id, CellId(2));
+        assert_eq!(d.num_movable(), 2);
+        assert_eq!(d.fixed_ids(), vec![CellId(2)]);
+    }
+
+    #[test]
+    fn free_intervals_subtract_fixed_and_blockages() {
+        let d = small_design();
+        // row 1 crosses the fixed macro at x in [40, 50)
+        assert_eq!(d.free_intervals(1), vec![Interval::new(0, 40), Interval::new(50, 100)]);
+        // row 5 is unblocked
+        assert_eq!(d.free_intervals(5), vec![Interval::new(0, 100)]);
+        // row 9 is fully covered by the blockage
+        assert_eq!(d.free_intervals(9), vec![]);
+    }
+
+    #[test]
+    fn density_and_areas() {
+        let d = small_design();
+        assert_eq!(d.movable_area(), 4 + 12);
+        assert_eq!(d.blocked_area(), 30 + 100);
+        assert_eq!(d.free_area(), 1000 - 130);
+        assert!((d.density() - 16.0 / 870.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pre_move_snaps_and_respects_parity() {
+        let mut d = small_design();
+        d.pre_move();
+        let c0 = &d.cells[0];
+        assert_eq!((c0.x, c0.y), (10, 2));
+        let c1 = &d.cells[1];
+        // height-2 cell with gy=4.8 → parity of round(4.8)=5 → odd rows required
+        assert_eq!(c1.row_parity, Some(1));
+        assert!(c1.parity_ok(c1.y));
+        assert!(c1.y >= 0 && c1.y + c1.height <= d.num_rows);
+    }
+
+    #[test]
+    fn pre_move_clamps_to_die() {
+        let mut d = Design::new("clamp", 20, 4);
+        d.add_cell(Cell::movable(CellId(0), 5, 1, 18.9, 3.7));
+        d.add_cell(Cell::movable(CellId(0), 5, 3, -3.0, -2.0));
+        d.pre_move();
+        let c0 = &d.cells[0];
+        assert!(c0.x + c0.width <= 20);
+        assert!(c0.y + c0.height <= 4);
+        let c1 = &d.cells[1];
+        assert_eq!((c1.x, c1.y), (0, 0));
+    }
+
+    #[test]
+    fn overlap_area_counts_movable_pairs() {
+        let mut d = Design::new("ov", 20, 2);
+        d.add_cell(Cell::fixed(CellId(0), 4, 1, 0, 0));
+        d.add_cell(Cell::movable(CellId(0), 4, 1, 2.0, 0.0));
+        d.add_cell(Cell::movable(CellId(0), 4, 1, 4.0, 0.0));
+        // cells at x=2..6 and x=4..8 overlap by 2; fixed at 0..4 overlaps first movable by 2
+        assert_eq!(d.total_overlap_area(), 2 + 2);
+    }
+
+    #[test]
+    fn rows_iterate_with_alternating_rails() {
+        let d = Design::new("rows", 10, 3);
+        let rows: Vec<Row> = d.rows().collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].rail, Rail::Vdd);
+        assert_eq!(rows[1].rail, Rail::Vss);
+        assert_eq!(rows[2].rail, Rail::Vdd);
+        assert!(d.row(3).is_none());
+        assert!(d.row(-1).is_none());
+    }
+}

@@ -1,0 +1,121 @@
+//! A light-weight netlist.
+//!
+//! Legalization quality in the paper is reported as displacement, but a realistic substrate also
+//! needs connectivity so that examples can report half-perimeter wirelength (HPWL) before and
+//! after legalization — the quantity global placement actually optimizes and the reason
+//! legalization must minimize displacement in the first place.
+
+use crate::cell::CellId;
+use crate::layout::Design;
+use serde::{Deserialize, Serialize};
+
+/// A net connecting two or more cells (pin offsets are approximated by cell centers).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Net {
+    /// Cells connected by this net.
+    pub pins: Vec<CellId>,
+}
+
+impl Net {
+    /// Create a net from its pins.
+    pub fn new(pins: Vec<CellId>) -> Self {
+        Self { pins }
+    }
+
+    /// Half-perimeter wirelength of the net at the cells' current positions.
+    pub fn hpwl(&self, design: &Design) -> f64 {
+        if self.pins.len() < 2 {
+            return 0.0;
+        }
+        let mut min_x = f64::INFINITY;
+        let mut max_x = f64::NEG_INFINITY;
+        let mut min_y = f64::INFINITY;
+        let mut max_y = f64::NEG_INFINITY;
+        for &p in &self.pins {
+            let c = design.cell(p);
+            let cx = c.x as f64 + c.width as f64 / 2.0;
+            let cy = c.y as f64 + c.height as f64 / 2.0;
+            min_x = min_x.min(cx);
+            max_x = max_x.max(cx);
+            min_y = min_y.min(cy);
+            max_y = max_y.max(cy);
+        }
+        (max_x - min_x) + (max_y - min_y)
+    }
+}
+
+/// A collection of nets over a design.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Netlist {
+    /// All nets.
+    pub nets: Vec<Net>,
+}
+
+impl Netlist {
+    /// Create an empty netlist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a net; nets with fewer than two pins are ignored.
+    pub fn add_net(&mut self, pins: Vec<CellId>) {
+        if pins.len() >= 2 {
+            self.nets.push(Net::new(pins));
+        }
+    }
+
+    /// Number of nets.
+    pub fn len(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Whether the netlist has no nets.
+    pub fn is_empty(&self) -> bool {
+        self.nets.is_empty()
+    }
+
+    /// Total HPWL over all nets at the current cell positions.
+    pub fn total_hpwl(&self, design: &Design) -> f64 {
+        self.nets.iter().map(|n| n.hpwl(design)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::Cell;
+
+    fn design() -> Design {
+        let mut d = Design::new("n", 100, 10);
+        d.add_cell(Cell::fixed(CellId(0), 2, 1, 0, 0)); // center (1.0, 0.5)
+        d.add_cell(Cell::fixed(CellId(0), 2, 1, 10, 4)); // center (11.0, 4.5)
+        d.add_cell(Cell::fixed(CellId(0), 4, 2, 4, 2)); // center (6.0, 3.0)
+        d
+    }
+
+    #[test]
+    fn hpwl_of_two_pin_net() {
+        let d = design();
+        let n = Net::new(vec![CellId(0), CellId(1)]);
+        assert!((n.hpwl(&d) - (10.0 + 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hpwl_of_multi_pin_net_uses_bounding_box() {
+        let d = design();
+        let n = Net::new(vec![CellId(0), CellId(1), CellId(2)]);
+        assert!((n.hpwl(&d) - (10.0 + 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_nets_are_zero_or_ignored() {
+        let d = design();
+        assert_eq!(Net::new(vec![CellId(0)]).hpwl(&d), 0.0);
+        let mut nl = Netlist::new();
+        nl.add_net(vec![CellId(0)]);
+        assert!(nl.is_empty());
+        nl.add_net(vec![CellId(0), CellId(2)]);
+        assert_eq!(nl.len(), 1);
+        assert!(nl.total_hpwl(&d) > 0.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Reproduce the Fig. 8 / Fig. 10 style ablations on a single design: toggle FLEX's
+//! optimizations one by one (SACS, multi-granularity pipelining, 2-parallel FOP PEs, task
+//! assignment) and print the normalized speedups of the FPGA-side FOP time.
+//!
+//! Run with `cargo run --release --example ablation`.
+
+use flex::core::accelerator::FlexAccelerator;
+use flex::core::config::{FlexConfig, TaskAssignment};
+use flex::placement::benchmark::{generate, BenchmarkSpec};
+
+fn run(label: &str, cfg: FlexConfig, seed: u64, baseline_fpga: Option<f64>) -> f64 {
+    let mut design = generate(&BenchmarkSpec::medium("ablation", seed).scaled(0.4));
+    let out = FlexAccelerator::new(cfg).legalize(&mut design);
+    assert!(out.result.legal, "{label}: illegal result");
+    let fpga = out.timing.fpga_time.as_secs_f64();
+    let speedup = baseline_fpga.map(|b| b / fpga).unwrap_or(1.0);
+    println!(
+        "{:<36} fpga-side {:>9.3} ms   total {:>9.3} ms   speedup vs baseline {:>5.2}x",
+        label,
+        fpga * 1e3,
+        out.timing.total.as_secs_f64() * 1e3,
+        speedup
+    );
+    fpga
+}
+
+fn main() {
+    let seed = 99;
+    println!("Fig. 8 style ablation (normalized FPGA-side speedup):");
+    let base = run("Normal-Pipeline (original shifting)", FlexConfig::normal_pipeline_baseline(), seed, None);
+    run("+ SACS", FlexConfig::with_sacs_only(), seed, Some(base));
+    run("+ Multi-Granularity-Pipeline", FlexConfig::with_multi_granularity(), seed, Some(base));
+    run("+ 2-parallel FOP PEs (full FLEX)", FlexConfig::flex(), seed, Some(base));
+
+    println!();
+    println!("Fig. 10 style task-assignment ablation (total estimated runtime):");
+    let mut d1 = generate(&BenchmarkSpec::medium("ablation-ta", seed).scaled(0.4));
+    let flex = FlexAccelerator::new(FlexConfig::flex()).legalize(&mut d1);
+    let mut d2 = generate(&BenchmarkSpec::medium("ablation-ta", seed).scaled(0.4));
+    let offload_e = FlexAccelerator::new(
+        FlexConfig::flex().with_assignment(TaskAssignment::FopAndUpdateOnFpga),
+    )
+    .legalize(&mut d2);
+    println!(
+        "assign (d) on FPGA, (e) on CPU : {:>9.3} ms",
+        flex.timing.total.as_secs_f64() * 1e3
+    );
+    println!(
+        "assign (d) and (e) on FPGA     : {:>9.3} ms   (FLEX advantage {:.2}x)",
+        offload_e.timing.total.as_secs_f64() * 1e3,
+        offload_e.timing.total.as_secs_f64() / flex.timing.total.as_secs_f64()
+    );
+}

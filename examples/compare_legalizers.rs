@@ -1,0 +1,94 @@
+//! Compare all four legalizers of the paper on one ICCAD2017-style case and print a
+//! Table-1-style row: the multi-threaded CPU MGL (TCAD'22), the CPU-GPU legalizer (DATE'22),
+//! the analytical legalizer (ISPD'25), and FLEX.
+//!
+//! Run with `cargo run --release --example compare_legalizers [-- <case-name> <scale>]`,
+//! e.g. `cargo run --release --example compare_legalizers -- fft_a_md2 0.05`.
+
+use flex::baselines::analytical::AnalyticalLegalizer;
+use flex::baselines::cpu::CpuLegalizer;
+use flex::baselines::cpu_gpu::CpuGpuLegalizer;
+use flex::core::accelerator::FlexAccelerator;
+use flex::core::config::FlexConfig;
+use flex::placement::benchmark::generate;
+use flex::placement::iccad2017;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let case_name = args.get(1).map(String::as_str).unwrap_or("fft_a_md2");
+    let scale: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.03);
+
+    let case = iccad2017::case(case_name).unwrap_or_else(|| {
+        eprintln!("unknown case `{case_name}`; available cases:");
+        for c in iccad2017::CASES {
+            eprintln!("  {}", c.name);
+        }
+        std::process::exit(1);
+    });
+    let spec = iccad2017::spec(case, scale, 7);
+    println!(
+        "case {} at scale {:.2}: {} cells, target density {:.1}%",
+        case.name,
+        scale,
+        spec.num_cells,
+        spec.density * 100.0
+    );
+
+    // TCAD'22: 8-thread CPU MGL
+    let mut d = generate(&spec);
+    let tcad = CpuLegalizer::new(8).legalize(&mut d);
+
+    // DATE'22: CPU-GPU
+    let mut d = generate(&spec);
+    let date = CpuGpuLegalizer::default().legalize(&mut d);
+
+    // ISPD'25: analytical
+    let mut d = generate(&spec);
+    let ispd = AnalyticalLegalizer::default().legalize(&mut d);
+
+    // FLEX
+    let mut d = generate(&spec);
+    let flex = FlexAccelerator::new(FlexConfig::flex()).legalize(&mut d);
+
+    println!();
+    println!(
+        "{:<14} {:>8} {:>12} {:>8}",
+        "legalizer", "AveDis", "Time(s)", "legal"
+    );
+    println!(
+        "{:<14} {:>8.3} {:>12.4} {:>8}",
+        "TCAD'22-MGL", tcad.average_displacement, tcad.seconds(), tcad.legal
+    );
+    println!(
+        "{:<14} {:>8.3} {:>12.4} {:>8}",
+        "DATE'22", date.average_displacement, date.seconds(), date.legal
+    );
+    println!(
+        "{:<14} {:>8.3} {:>12.4} {:>8}",
+        "ISPD'25",
+        ispd.average_displacement,
+        ispd.estimated_gpu_runtime.as_secs_f64(),
+        ispd.legal
+    );
+    println!(
+        "{:<14} {:>8.3} {:>12.4} {:>8}",
+        "FLEX (ours)",
+        flex.average_displacement(),
+        flex.seconds(),
+        flex.result.legal
+    );
+    println!();
+    println!(
+        "Acc(T) = {:.1}x   Acc(D) = {:.1}x   Acc(I) = {:.1}x",
+        tcad.seconds() / flex.seconds(),
+        date.seconds() / flex.seconds(),
+        ispd.estimated_gpu_runtime.as_secs_f64() / flex.seconds()
+    );
+    println!(
+        "paper reference for {}: Acc(T) = {:.1}x, Acc(D) = {:.1}x, Acc(I) = {:.1}x",
+        case.name,
+        case.acc_t(),
+        case.acc_d(),
+        case.acc_i()
+    );
+}

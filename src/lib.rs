@@ -1,0 +1,31 @@
+//! # FLEX — FPGA-CPU Synergy for Mixed-Cell-Height Legalization Acceleration
+//!
+//! This is the facade crate of the FLEX reproduction workspace. It re-exports every
+//! workspace crate under a single name so that examples, integration tests, and downstream
+//! users can depend on one crate:
+//!
+//! * [`placement`] — layout substrate (cells, rows, segments, benchmarks, metrics).
+//! * [`mgl`] — the Multi-row Global Legalization algorithm FLEX builds on.
+//! * [`fpga`] — cycle-approximate FPGA hardware model (BRAM, pipelines, PEs, resources).
+//! * [`core`] — the FLEX accelerator itself (task assignment, multi-granularity pipeline,
+//!   SACS architecture, timing model).
+//! * [`baselines`] — the legalizers the paper compares against.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use flex::placement::benchmark::{BenchmarkSpec, generate};
+//! use flex::core::accelerator::{FlexAccelerator, FlexConfig};
+//!
+//! let spec = BenchmarkSpec::tiny("demo", 42);
+//! let mut design = generate(&spec);
+//! let accel = FlexAccelerator::new(FlexConfig::default());
+//! let outcome = accel.legalize(&mut design);
+//! assert!(outcome.result.legal);
+//! ```
+
+pub use flex_baselines as baselines;
+pub use flex_core as core;
+pub use flex_fpga as fpga;
+pub use flex_mgl as mgl;
+pub use flex_placement as placement;

@@ -1,0 +1,157 @@
+//! Integration tests spanning the whole workspace: benchmark generation → legalization (all
+//! four legalizers) → legality verification → acceleration estimate.
+
+use flex::baselines::analytical::AnalyticalLegalizer;
+use flex::baselines::cpu::CpuLegalizer;
+use flex::baselines::cpu_gpu::CpuGpuLegalizer;
+use flex::core::accelerator::FlexAccelerator;
+use flex::core::config::{FlexConfig, TaskAssignment};
+use flex::mgl::{MglConfig, MglLegalizer};
+use flex::placement::benchmark::{self, BenchmarkSpec};
+use flex::placement::iccad2017;
+use flex::placement::legality::check_legality_with;
+
+fn tiny(seed: u64) -> flex::placement::Design {
+    benchmark::generate(&BenchmarkSpec::tiny("e2e", seed))
+}
+
+#[test]
+fn every_legalizer_produces_a_legal_placement_on_the_same_case() {
+    let mut d1 = tiny(100);
+    let mut d2 = tiny(100);
+    let mut d3 = tiny(100);
+    let mut d4 = tiny(100);
+
+    let cpu = CpuLegalizer::new(4).legalize(&mut d1);
+    let gpu = CpuGpuLegalizer::default().legalize(&mut d2);
+    let ana = AnalyticalLegalizer::default().legalize(&mut d3);
+    let flexr = FlexAccelerator::new(FlexConfig::flex()).legalize(&mut d4);
+
+    assert!(cpu.legal, "TCAD'22 baseline illegal");
+    assert!(gpu.legal, "DATE'22 baseline illegal");
+    assert!(ana.legal, "ISPD'25 baseline illegal");
+    assert!(flexr.result.legal, "FLEX illegal");
+
+    for d in [&d1, &d2, &d3, &d4] {
+        assert!(check_legality_with(d, true).is_legal());
+    }
+}
+
+#[test]
+fn flex_quality_is_competitive_with_the_cpu_baseline() {
+    // the paper reports FLEX improving quality by ~1% over the multi-threaded CPU legalizer and
+    // ~4% over the CPU-GPU legalizer; at small synthetic scale we only require "never much
+    // worse, usually at least as good"
+    // Synthetic 300-cell cases carry a lot of noise, so the bound is loose; the Table 1
+    // reproduction (report_table1) is where the average-quality comparison is made.
+    let mut ratios = Vec::new();
+    for seed in 0..4 {
+        let mut d_flex = tiny(200 + seed);
+        let mut d_cpu = tiny(200 + seed);
+        let flexr = FlexAccelerator::new(FlexConfig::flex()).legalize(&mut d_flex);
+        let cpu = CpuLegalizer::new(8).legalize(&mut d_cpu);
+        if !(flexr.result.legal && cpu.legal) {
+            // a 300-cell synthetic case can be genuinely infeasible for the no-shift fallback;
+            // legality-under-feasibility is covered by the property tests, quality is the topic here
+            eprintln!("seed {seed}: skipped (placement incomplete)");
+            continue;
+        }
+        let ratio = flexr.average_displacement() / cpu.average_displacement.max(1e-9);
+        assert!(ratio < 1.3, "seed {seed}: FLEX quality ratio {ratio:.3}");
+        ratios.push(ratio);
+    }
+    assert!(ratios.len() >= 2, "too few comparable runs");
+    let geomean = ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64;
+    assert!(geomean.exp() < 1.15, "FLEX quality should track the CPU baseline: {ratios:?}");
+}
+
+#[test]
+fn flex_offload_pays_off_against_the_software_run() {
+    let spec = iccad2017::spec(iccad2017::case("fft_a_md2").unwrap(), 0.02, 3);
+    let mut d_flex = benchmark::generate(&spec);
+    let mut d_cpu = benchmark::generate(&spec);
+    let mut d_gpu = benchmark::generate(&spec);
+
+    let flexr = FlexAccelerator::new(FlexConfig::flex()).legalize(&mut d_flex);
+    let cpu = CpuLegalizer::new(8).legalize(&mut d_cpu);
+    let gpu = CpuGpuLegalizer::default().legalize(&mut d_gpu);
+
+    assert!(flexr.result.legal && cpu.legal && gpu.legal);
+    // The FPGA-side offload must pay off against the software run it was derived from and
+    // against the DATE'22 estimate. Acc(T) > 1 needs designs large enough for FOP to dominate
+    // the host-side bookkeeping (see EXPERIMENTS.md), which is outside the unit-test budget,
+    // so it is only reported, not asserted, here.
+    let acc_t = cpu.seconds() / flexr.seconds();
+    let acc_d = gpu.seconds() / flexr.seconds();
+    println!("Acc(T) = {acc_t:.2}, Acc(D) = {acc_d:.2}");
+    assert!(flexr.timing.speedup_vs_software > 1.0);
+    assert!(
+        flexr.software.fop > flexr.timing.fpga_time,
+        "the offloaded FOP must be cheaper on the FPGA than in software"
+    );
+}
+
+#[test]
+fn task_assignment_and_pe_count_ablations_point_the_right_way() {
+    let mut d = tiny(300);
+    let flexr = FlexAccelerator::new(FlexConfig::flex()).legalize(&mut d);
+    let mut d2 = tiny(300);
+    let offload = FlexAccelerator::new(
+        FlexConfig::flex().with_assignment(TaskAssignment::FopAndUpdateOnFpga),
+    )
+    .legalize(&mut d2);
+    assert!(offload.timing.total >= flexr.timing.total);
+
+    let mut d3 = tiny(300);
+    let one_pe = FlexAccelerator::new(FlexConfig::flex().with_pes(1)).legalize(&mut d3);
+    assert!(one_pe.timing.fpga_time >= flexr.timing.fpga_time);
+}
+
+#[test]
+fn legalization_survives_failure_injection() {
+    // blockage-heavy design plus fully blocked rows: the legalizer must either place every cell
+    // legally or report the failures explicitly — never silently emit an illegal layout
+    let spec = benchmark::blockage_heavy_spec("hostile", 17);
+    let mut d = benchmark::generate(&spec);
+    benchmark::block_row(&mut d, 0);
+    let middle_row = d.num_rows / 2;
+    benchmark::block_row(&mut d, middle_row);
+    let res = MglLegalizer::new(MglConfig::flex()).legalize(&mut d);
+    if res.legal {
+        assert!(res.failed.is_empty());
+        assert!(check_legality_with(&d, true).is_legal());
+    } else {
+        assert!(!res.failed.is_empty(), "illegal result must name the failing cells");
+    }
+}
+
+#[test]
+fn high_density_case_is_still_legalized() {
+    let spec = BenchmarkSpec::tiny("dense-e2e", 55).with_density(0.88);
+    let mut d = benchmark::generate(&spec);
+    let out = FlexAccelerator::new(FlexConfig::flex()).legalize(&mut d);
+    assert!(out.result.legal, "failed: {:?}", out.result.failed);
+}
+
+#[test]
+fn iccad2017_catalogue_cases_run_end_to_end_at_reduced_scale() {
+    for case in iccad2017::CASES.iter().take(3) {
+        let spec = iccad2017::spec(case, 0.01, 23);
+        let mut d = benchmark::generate(&spec);
+        let out = FlexAccelerator::new(FlexConfig::flex()).legalize(&mut d);
+        assert!(out.result.legal, "{} failed: {:?}", case.name, out.result.failed);
+        assert!(out.timing.speedup_vs_software >= 1.0);
+    }
+}
+
+#[test]
+fn work_trace_is_consistent_with_the_design_size() {
+    let mut d = tiny(400);
+    let n = d.num_movable();
+    let legalizer = MglLegalizer::new(FlexConfig::flex().mgl_config());
+    let res = legalizer.legalize(&mut d);
+    let trace = res.trace.expect("trace collection enabled by the accelerator config");
+    assert_eq!(trace.len(), n);
+    assert!(trace.total_points() >= n as u64, "every target evaluates at least one point");
+    assert!(trace.preloadable_fraction() >= 0.0 && trace.preloadable_fraction() <= 1.0);
+}
