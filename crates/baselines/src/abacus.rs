@@ -58,7 +58,12 @@ impl AbacusRow {
             return None;
         }
         let mut order: Vec<&AbacusCell> = cells.iter().collect();
-        order.sort_by(|a, b| a.desired_x.partial_cmp(&b.desired_x).unwrap().then(a.id.cmp(&b.id)));
+        order.sort_by(|a, b| {
+            a.desired_x
+                .partial_cmp(&b.desired_x)
+                .unwrap()
+                .then(a.id.cmp(&b.id))
+        });
 
         let lo = self.span.lo as f64;
         let hi = self.span.hi as f64;
@@ -82,7 +87,8 @@ impl AbacusRow {
                 if prev.x + prev.total_width as f64 > cluster.x + 1e-9 {
                     let prev = clusters.pop().unwrap();
                     // shift the appended cluster's desired positions by the predecessor's width
-                    let merged_q = prev.q + cluster.q - cluster.total_weight * prev.total_width as f64;
+                    let merged_q =
+                        prev.q + cluster.q - cluster.total_weight * prev.total_width as f64;
                     let mut merged = Cluster {
                         first: prev.first,
                         total_weight: prev.total_weight + cluster.total_weight,
@@ -90,7 +96,8 @@ impl AbacusRow {
                         total_width: prev.total_width + cluster.total_width,
                         x: 0.0,
                     };
-                    merged.x = (merged.q / merged.total_weight).clamp(lo, hi - merged.total_width as f64);
+                    merged.x =
+                        (merged.q / merged.total_weight).clamp(lo, hi - merged.total_width as f64);
                     cluster = merged;
                 } else {
                     break;
@@ -147,7 +154,12 @@ mod tests {
     use super::*;
 
     fn cell(id: usize, x: f64, w: i64) -> AbacusCell {
-        AbacusCell { id, desired_x: x, width: w, weight: 1.0 }
+        AbacusCell {
+            id,
+            desired_x: x,
+            width: w,
+            weight: 1.0,
+        }
     }
 
     fn overlaps(placed: &[(usize, i64)], cells: &[AbacusCell]) -> bool {
@@ -177,7 +189,10 @@ mod tests {
         // the merged cluster centres on the common desired position
         let min = placed.iter().map(|&(_, x)| x).min().unwrap();
         let max = placed.iter().map(|&(_, x)| x).max().unwrap();
-        assert!(min >= 44 && max <= 54, "cluster should centre near 50: {placed:?}");
+        assert!(
+            min >= 44 && max <= 54,
+            "cluster should centre near 50: {placed:?}"
+        );
     }
 
     #[test]
@@ -209,6 +224,9 @@ mod tests {
             .iter()
             .map(|&(id, x)| (x as f64 - cells[id].desired_x).abs())
             .sum();
-        assert!(total_disp / 10.0 < 6.0, "average displacement too large: {total_disp}");
+        assert!(
+            total_disp / 10.0 < 6.0,
+            "average displacement too large: {total_disp}"
+        );
     }
 }

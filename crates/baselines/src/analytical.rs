@@ -122,7 +122,8 @@ impl AnalyticalLegalizer {
             .filter(|c| !c.fixed && c.height == 1)
             .map(|c| c.id)
             .collect();
-        let mut anchor: HashMap<CellId, f64> = singles.iter().map(|&id| (id, design.cell(id).gx)).collect();
+        let mut anchor: HashMap<CellId, f64> =
+            singles.iter().map(|&id| (id, design.cell(id).gx)).collect();
 
         let mut iterations_run = 0usize;
         for sweep in 0..self.iterations {
@@ -170,7 +171,9 @@ impl AnalyticalLegalizer {
                         // neighbouring row on the next sweep (here: mark them unassigned)
                         let mut cells = cells.clone();
                         cells.sort_by(|a, b| a.desired_x.partial_cmp(&b.desired_x).unwrap());
-                        let keep = (span.len() / cells.iter().map(|c| c.width).max().unwrap_or(1).max(1)) as usize;
+                        let keep = (span.len()
+                            / cells.iter().map(|c| c.width).max().unwrap_or(1).max(1))
+                            as usize;
                         for c in cells.iter().skip(keep.max(1)) {
                             unassigned.push(CellId(c.id as u32));
                         }
@@ -258,11 +261,15 @@ impl AnalyticalLegalizer {
             let mut offenders: Vec<CellId> = Vec::new();
             for v in &report.violations {
                 match v {
-                    flex_placement::legality::Violation::CellOverlap { b, .. } => offenders.push(*b),
+                    flex_placement::legality::Violation::CellOverlap { b, .. } => {
+                        offenders.push(*b)
+                    }
                     flex_placement::legality::Violation::BlockageOverlap { cell, .. }
                     | flex_placement::legality::Violation::OutOfDie { cell }
                     | flex_placement::legality::Violation::ParityViolation { cell, .. }
-                    | flex_placement::legality::Violation::NotLegalized { cell } => offenders.push(*cell),
+                    | flex_placement::legality::Violation::NotLegalized { cell } => {
+                        offenders.push(*cell)
+                    }
                 }
             }
             offenders.sort();
@@ -314,7 +321,11 @@ impl AnalyticalLegalizer {
 /// and already-legalized multi-row cells carved out.
 fn segment_for(design: &Design, segmap: &SegmentMap, row: i64, x: i64) -> Option<Interval> {
     let mut pieces: Vec<Interval> = segmap.row(row).iter().map(|s| s.span).collect();
-    for c in design.cells.iter().filter(|c| !c.fixed && c.legalized && c.height > 1) {
+    for c in design
+        .cells
+        .iter()
+        .filter(|c| !c.fixed && c.legalized && c.height > 1)
+    {
         if c.y_interval().contains(row) {
             let span = c.x_interval();
             let mut next = Vec::with_capacity(pieces.len() + 1);
@@ -327,7 +338,13 @@ fn segment_for(design: &Design, segmap: &SegmentMap, row: i64, x: i64) -> Option
     pieces
         .into_iter()
         .filter(|p| !p.is_empty())
-        .min_by_key(|p| if p.contains(x) { 0 } else { (p.lo - x).abs().min((p.hi - x).abs()) })
+        .min_by_key(|p| {
+            if p.contains(x) {
+                0
+            } else {
+                (p.lo - x).abs().min((p.hi - x).abs())
+            }
+        })
 }
 
 #[cfg(test)]

@@ -22,6 +22,10 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
+/// A batch member's FOP outcome: the extracted region, chosen placement and target spec, or
+/// `None` when no window produced a feasible point.
+type BatchOutcome = (CellId, Option<(LocalRegion, Placement, TargetSpec)>);
+
 /// Result of a CPU-baseline legalization run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CpuLegalizerResult {
@@ -111,8 +115,12 @@ impl CpuLegalizer {
             let mut skipped: Vec<CellId> = Vec::new();
             while batch.len() < self.threads && !pending.is_empty() && skipped.len() < lookahead {
                 let id = pending.pop_front().unwrap();
-                let window =
-                    target_window(design, id, self.config.window_half_sites, self.config.window_half_rows);
+                let window = target_window(
+                    design,
+                    id,
+                    self.config.window_half_sites,
+                    self.config.window_half_rows,
+                );
                 if batch_windows.iter().any(|w| w.overlaps(&window)) {
                     skipped.push(id);
                 } else {
@@ -138,7 +146,7 @@ impl CpuLegalizer {
             let cfg = &self.config;
             let design_ref: &Design = design;
             let segmap_ref = &segmap;
-            let outcomes: Vec<(CellId, Option<(LocalRegion, Placement, TargetSpec)>)> = pool.install(|| {
+            let outcomes: Vec<BatchOutcome> = pool.install(|| {
                 batch
                     .par_iter()
                     .map(|&id| {
@@ -159,10 +167,16 @@ impl CpuLegalizer {
                                 cfg.window_half_rows << expansion,
                             );
                             let region = LocalRegion::extract(design_ref, segmap_ref, id, window);
+                            if region.cells.len() > cfg.max_region_cells {
+                                // larger windows only grow the region: give up on FOP for
+                                // this cell and let the fallback scan place it
+                                break;
+                            }
                             if !region.can_host(spec.width, spec.height, spec.parity) {
                                 continue;
                             }
-                            let out = fop::find_optimal_position(&region, &spec, cfg, &mut local_stats);
+                            let out =
+                                fop::find_optimal_position(&region, &spec, cfg, &mut local_stats);
                             if let Some(best) = out.best {
                                 return (id, Some((region, best, spec)));
                             }
@@ -214,7 +228,11 @@ impl CpuLegalizer {
             fallback_placed,
             failed,
             batches,
-            avg_batch_size: if batches == 0 { 0.0 } else { batch_total as f64 / batches as f64 },
+            avg_batch_size: if batches == 0 {
+                0.0
+            } else {
+                batch_total as f64 / batches as f64
+            },
         }
     }
 }
@@ -239,7 +257,10 @@ mod tests {
         let res = CpuLegalizer::new(8).legalize(&mut d);
         assert!(res.legal, "failed cells: {:?}", res.failed);
         assert!(res.batches > 0);
-        assert!(res.avg_batch_size > 1.0, "8 threads should batch more than one region");
+        assert!(
+            res.avg_batch_size > 1.0,
+            "8 threads should batch more than one region"
+        );
     }
 
     #[test]
@@ -250,6 +271,9 @@ mod tests {
         let b = CpuLegalizer::new(4).legalize(&mut d2);
         assert!(a.legal && b.legal);
         let ratio = b.average_displacement / a.average_displacement.max(1e-9);
-        assert!(ratio < 1.25, "parallel batching degraded quality too much: {ratio:.3}");
+        assert!(
+            ratio < 1.25,
+            "parallel batching degraded quality too much: {ratio:.3}"
+        );
     }
 }

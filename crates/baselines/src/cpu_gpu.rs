@@ -132,9 +132,15 @@ impl CpuGpuLegalizer {
             let mut windows: Vec<Rect> = Vec::new();
             let mut skipped: Vec<CellId> = Vec::new();
             let lookahead = self.batch_size * 4;
-            while batch.len() < self.batch_size && !pending.is_empty() && skipped.len() < lookahead {
+            while batch.len() < self.batch_size && !pending.is_empty() && skipped.len() < lookahead
+            {
                 let id = pending.pop_front().unwrap();
-                let w = target_window(design, id, self.config.window_half_sites, self.config.window_half_rows);
+                let w = target_window(
+                    design,
+                    id,
+                    self.config.window_half_sites,
+                    self.config.window_half_rows,
+                );
                 if windows.iter().any(|x| x.overlaps(&w)) {
                     skipped.push(id);
                 } else {
@@ -156,7 +162,12 @@ impl CpuGpuLegalizer {
             // interval evaluated by one GPU thread
             let mut items_per_region = 0u64;
             for id in &batch {
-                let w = target_window(design, *id, self.config.window_half_sites, self.config.window_half_rows);
+                let w = target_window(
+                    design,
+                    *id,
+                    self.config.window_half_sites,
+                    self.config.window_half_rows,
+                );
                 items_per_region = items_per_region.max((w.width() * w.height()) as u64);
             }
             let batch_time = self.gpu.batch_time(batch.len() as u64, items_per_region);
@@ -178,7 +189,8 @@ impl CpuGpuLegalizer {
                 failed.push(id);
             }
         }
-        let tough_cell_time = Duration::from_secs_f64(tough_start.elapsed().as_secs_f64() / self.cpu_speed);
+        let tough_cell_time =
+            Duration::from_secs_f64(tough_start.elapsed().as_secs_f64() / self.cpu_speed);
 
         let disp = displacement_stats(design);
         let estimated_runtime = gpu_time + tough_cell_time;
@@ -207,7 +219,13 @@ impl CpuGpuLegalizer {
             let c = design.cell(id);
             (c.width, c.height, c.gx, c.gy, c.row_parity)
         };
-        let spec = TargetSpec { width, height, gx, gy, parity };
+        let spec = TargetSpec {
+            width,
+            height,
+            gx,
+            gy,
+            parity,
+        };
         for expansion in 0..=self.config.max_window_expansions {
             let window = target_window(
                 design,
@@ -241,7 +259,10 @@ mod tests {
         let res = CpuGpuLegalizer::default().legalize(&mut d);
         assert!(res.legal, "failed: {:?}", res.failed);
         assert!(res.batches > 0);
-        assert!(res.tough_cells > 0, "the tiny benchmark contains multi-row cells");
+        assert!(
+            res.tough_cells > 0,
+            "the tiny benchmark contains multi-row cells"
+        );
         assert!(res.estimated_runtime > Duration::ZERO);
     }
 
@@ -259,8 +280,12 @@ mod tests {
 
     #[test]
     fn tough_cells_serialize_on_the_cpu() {
-        let spec = BenchmarkSpec::tiny("dategpu-tough", 43)
-            .with_height_mix(vec![(1, 0.5), (2, 0.3), (3, 0.15), (4, 0.05)]);
+        let spec = BenchmarkSpec::tiny("dategpu-tough", 43).with_height_mix(vec![
+            (1, 0.5),
+            (2, 0.3),
+            (3, 0.15),
+            (4, 0.05),
+        ]);
         let mut d = generate(&spec);
         let res = CpuGpuLegalizer::default().legalize(&mut d);
         assert!(res.legal);

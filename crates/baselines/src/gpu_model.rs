@@ -74,7 +74,10 @@ mod tests {
     #[test]
     fn more_cores_do_not_help_small_batches() {
         let small = GpuModel::gtx_1660_ti();
-        let big = GpuModel { cuda_cores: 10_000, ..small };
+        let big = GpuModel {
+            cuda_cores: 10_000,
+            ..small
+        };
         // 200 parallelizable regions: both GPUs do it in one wave
         assert_eq!(small.batch_time(200, 1000), big.batch_time(200, 1000));
         // 5000 regions: the bigger GPU wins
@@ -86,7 +89,10 @@ mod tests {
         let gpu = GpuModel::gtx_1660_ti();
         let frac_small = gpu.sync_fraction(64, 200);
         let frac_large = gpu.sync_fraction(1536, 100_000);
-        assert!(frac_small > 0.3, "sync share {frac_small:.2} of a small batch");
+        assert!(
+            frac_small > 0.3,
+            "sync share {frac_small:.2} of a small batch"
+        );
         assert!(frac_large < frac_small);
     }
 

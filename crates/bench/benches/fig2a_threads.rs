@@ -8,7 +8,10 @@ use std::time::Duration;
 fn bench_thread_scaling(c: &mut Criterion) {
     let spec = BenchmarkSpec::tiny("fig2a", 11);
     let mut group = c.benchmark_group("fig2a/threads");
-    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1));
     for threads in [1usize, 2, 4, 8] {
         group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
             b.iter(|| {

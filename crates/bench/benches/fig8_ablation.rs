@@ -9,7 +9,10 @@ use std::time::Duration;
 fn bench_ablation(c: &mut Criterion) {
     let spec = BenchmarkSpec::tiny("fig8", 17);
     let mut group = c.benchmark_group("fig8");
-    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1));
     for (label, cfg) in [
         ("normal_pipeline", FlexConfig::normal_pipeline_baseline()),
         ("sacs", FlexConfig::with_sacs_only()),

@@ -26,13 +26,32 @@ fn bench_fop(c: &mut Criterion) {
     let region = LocalRegion::extract(&design, &segmap, target, window);
 
     let mut group = c.benchmark_group("fop");
-    group.sample_size(30).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1));
     for (label, shift, fop) in [
-        ("original_shift_original_chain", ShiftAlgorithm::Original, FopVariant::Original),
-        ("sacs_shift_original_chain", ShiftAlgorithm::Sacs, FopVariant::Original),
-        ("sacs_shift_reorganized_chain", ShiftAlgorithm::Sacs, FopVariant::Reorganized),
+        (
+            "original_shift_original_chain",
+            ShiftAlgorithm::Original,
+            FopVariant::Original,
+        ),
+        (
+            "sacs_shift_original_chain",
+            ShiftAlgorithm::Sacs,
+            FopVariant::Original,
+        ),
+        (
+            "sacs_shift_reorganized_chain",
+            ShiftAlgorithm::Sacs,
+            FopVariant::Reorganized,
+        ),
     ] {
-        let cfg = MglConfig { shift, fop, ..MglConfig::default() };
+        let cfg = MglConfig {
+            shift,
+            fop,
+            ..MglConfig::default()
+        };
         group.bench_function(label, |b| {
             b.iter(|| {
                 let mut stats = FopOpStats::default();

@@ -1,0 +1,59 @@
+//! Criterion benchmark: the region-sharded parallel MGL engine vs. the serial legalizer.
+//!
+//! Thread counts come from `FLEX_BENCH_THREADS` (default 8): the sweep runs 1, 2, 4, … up to
+//! that bound. The case size scales with `FLEX_BENCH_SCALE` like the other benches. The
+//! engine produces the exact serial placement at every thread count, so this measures pure
+//! wall-clock scaling of the speculative FOP phase (expect ~1× on a single hardware core).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flex_mgl::parallel::ParallelMglLegalizer;
+use flex_mgl::{MglConfig, MglLegalizer, OrderingStrategy};
+use flex_placement::benchmark::{generate, BenchmarkSpec};
+use std::time::Duration;
+
+fn spec() -> BenchmarkSpec {
+    let cells = (100_000.0 * flex_bench::scale_from_env()) as usize;
+    BenchmarkSpec {
+        num_cells: cells.max(500),
+        ..BenchmarkSpec::medium("parallel-scaling", 42)
+    }
+}
+
+fn cfg() -> MglConfig {
+    MglConfig {
+        ordering: OrderingStrategy::SizeDescending,
+        ..MglConfig::default()
+    }
+}
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let spec = spec();
+    let mut group = c.benchmark_group("parallel_mgl/threads");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5))
+        .warm_up_time(Duration::from_secs(1));
+
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            let mut d = generate(&spec);
+            MglLegalizer::new(cfg()).legalize(&mut d)
+        })
+    });
+
+    let max_threads = flex_bench::threads_from_env();
+    let mut threads = 1usize;
+    while threads <= max_threads {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                let mut d = generate(&spec);
+                ParallelMglLegalizer::new(t, cfg()).legalize(&mut d)
+            })
+        });
+        threads *= 2;
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_scaling);
+criterion_main!(benches);

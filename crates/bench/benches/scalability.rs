@@ -29,7 +29,10 @@ fn region_work() -> RegionWork {
 fn bench_models(c: &mut Criterion) {
     let work = region_work();
     let mut group = c.benchmark_group("scalability");
-    group.sample_size(50).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(50)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
     for pes in [1u64, 2, 4] {
         let model = FopPeModel::new(FlexConfig::flex().with_pes(pes));
         group.bench_with_input(BenchmarkId::new("cluster_cycles", pes), &pes, |b, _| {

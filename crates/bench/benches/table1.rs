@@ -13,7 +13,10 @@ fn bench_table1_case(c: &mut Criterion) {
     let case = iccad2017::case("fft_a_md2").unwrap();
     let spec = iccad2017::spec(case, 0.01, 5);
     let mut group = c.benchmark_group("table1/fft_a_md2");
-    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1));
     group.bench_function(BenchmarkId::new("cpu_mgl", 1), |b| {
         b.iter(|| {
             let mut d = generate(&spec);

@@ -58,7 +58,8 @@ fn fig2bc() {
         "  sync share of GPU time: {:.0}%   (paper: 31–40% on the superblue cases)",
         res.sync_fraction() * 100.0
     );
-    let avg_parallel = d.num_movable() as f64 * (1.0 - res.tough_cells as f64 / d.num_movable() as f64)
+    let avg_parallel = d.num_movable() as f64
+        * (1.0 - res.tough_cells as f64 / d.num_movable() as f64)
         / res.batches.max(1) as f64;
     println!(
         "  avg parallelizable regions per batch: {:.0}  vs  {} CUDA cores (GTX 1660 Ti)",
@@ -92,7 +93,10 @@ fn fig8() {
     let configs = [
         ("Normal-Pipeline", FlexConfig::normal_pipeline_baseline()),
         ("SACS", FlexConfig::with_sacs_only()),
-        ("Multi-Granularity-Pipeline", FlexConfig::with_multi_granularity()),
+        (
+            "Multi-Granularity-Pipeline",
+            FlexConfig::with_multi_granularity(),
+        ),
         ("2Paral-FOP PEs", FlexConfig::flex()),
     ];
     let mut baseline = None;
@@ -115,11 +119,20 @@ fn fig9() {
         "case", "tall%", "SACS", "SACS-Ar", "ImpBW", "Paral"
     );
     let mut cases: Vec<(String, BenchmarkSpec)> = vec![
-        ("des_perf_a_md1".into(), iccad2017::spec(iccad2017::case("des_perf_a_md1").unwrap(), 0.01, 9)),
-        ("pci_b_a_md2".into(), iccad2017::spec(iccad2017::case("pci_b_a_md2").unwrap(), 0.04, 9)),
+        (
+            "des_perf_a_md1".into(),
+            iccad2017::spec(iccad2017::case("des_perf_a_md1").unwrap(), 0.01, 9),
+        ),
+        (
+            "pci_b_a_md2".into(),
+            iccad2017::spec(iccad2017::case("pci_b_a_md2").unwrap(), 0.04, 9),
+        ),
     ];
     for (i, tall) in [(0usize, 0.02f64), (1, 0.06), (2, 0.10)] {
-        cases.push((format!("synthetic tall {:.0}%", tall * 100.0), tall_cell_spec(&format!("tall{i}"), tall, 9)));
+        cases.push((
+            format!("synthetic tall {:.0}%", tall * 100.0),
+            tall_cell_spec(&format!("tall{i}"), tall, 9),
+        ));
     }
     for (name, spec) in cases {
         let mut d = generate(&spec);
@@ -128,16 +141,41 @@ fn fig9() {
         let res = MglLegalizer::new(FlexConfig::flex().mgl_config()).legalize(&mut d);
         let trace = res.trace.unwrap_or_default();
         let steps = [
-            ("SACS", SacsArchConfig { pipelined: false, improved_bandwidth: false, parallel_phases: false }),
-            ("SACS-Ar", SacsArchConfig { pipelined: true, improved_bandwidth: false, parallel_phases: false }),
-            ("SACS-ImpBW", SacsArchConfig { pipelined: true, improved_bandwidth: true, parallel_phases: false }),
+            (
+                "SACS",
+                SacsArchConfig {
+                    pipelined: false,
+                    improved_bandwidth: false,
+                    parallel_phases: false,
+                },
+            ),
+            (
+                "SACS-Ar",
+                SacsArchConfig {
+                    pipelined: true,
+                    improved_bandwidth: false,
+                    parallel_phases: false,
+                },
+            ),
+            (
+                "SACS-ImpBW",
+                SacsArchConfig {
+                    pipelined: true,
+                    improved_bandwidth: true,
+                    parallel_phases: false,
+                },
+            ),
             ("SACS-Paral", SacsArchConfig::full()),
         ];
         let cycles: Vec<f64> = steps
             .iter()
             .map(|(_, arch)| {
                 let pe = SacsPeModel::new(*arch);
-                trace.regions.iter().map(|w| pe.region_cycles(w).count()).sum::<u64>() as f64
+                trace
+                    .regions
+                    .iter()
+                    .map(|w| pe.region_cycles(w).count())
+                    .sum::<u64>() as f64
             })
             .collect();
         println!(
@@ -159,12 +197,23 @@ fn fig10() {
     let mut d = generate(&spec);
     let flex = FlexAccelerator::new(FlexConfig::flex()).legalize(&mut d);
     let mut d = generate(&spec);
-    let alt = FlexAccelerator::new(FlexConfig::flex().with_assignment(TaskAssignment::FopAndUpdateOnFpga))
-        .legalize(&mut d);
+    let alt = FlexAccelerator::new(
+        FlexConfig::flex().with_assignment(TaskAssignment::FopAndUpdateOnFpga),
+    )
+    .legalize(&mut d);
     let ratio = alt.timing.total.as_secs_f64() / flex.timing.total.as_secs_f64();
-    println!("  assign (d) on FPGA (FLEX):      {:>9.4} s", flex.timing.total.as_secs_f64());
-    println!("  assign (d) and (e) on FPGA:     {:>9.4} s", alt.timing.total.as_secs_f64());
-    println!("  FLEX assignment advantage:      {:>9.2}x   (paper: ≈1.2x average)", ratio);
+    println!(
+        "  assign (d) on FPGA (FLEX):      {:>9.4} s",
+        flex.timing.total.as_secs_f64()
+    );
+    println!(
+        "  assign (d) and (e) on FPGA:     {:>9.4} s",
+        alt.timing.total.as_secs_f64()
+    );
+    println!(
+        "  FLEX assignment advantage:      {:>9.2}x   (paper: ≈1.2x average)",
+        ratio
+    );
 }
 
 fn scalability() {
@@ -192,7 +241,10 @@ fn scalability() {
 }
 
 fn main() {
-    println!("=== Figure reproductions (scale factor {}) ===\n", flex_bench::scale_from_env());
+    println!(
+        "=== Figure reproductions (scale factor {}) ===\n",
+        flex_bench::scale_from_env()
+    );
     fig2a();
     println!();
     fig2bc();

@@ -6,7 +6,9 @@
 //!
 //! Run with `cargo run --release -p flex-bench --bin report_table1`.
 
-use flex_bench::{print_table1_header, print_table1_row, run_case, scale_from_env, threads_from_env};
+use flex_bench::{
+    print_table1_header, print_table1_row, run_case, scale_from_env, threads_from_env,
+};
 use flex_placement::iccad2017::CASES;
 
 fn main() {
@@ -23,7 +25,7 @@ fn main() {
     }
 
     let n = rows.len() as f64;
-    let avg = |f: &dyn Fn(&flex_bench::CaseRow) -> f64| rows.iter().map(|r| f(r)).sum::<f64>() / n;
+    let avg = |f: &dyn Fn(&flex_bench::CaseRow) -> f64| rows.iter().map(f).sum::<f64>() / n;
     println!("\n--- averages ---");
     println!(
         "AveDis: TCAD'22 {:.3}  DATE'22 {:.3}  ISPD'25 {:.3}  FLEX {:.3}",
@@ -51,7 +53,11 @@ fn main() {
     println!(
         "paper reference: average Acc(T) 2.9x / Acc(D) 4.5x / Acc(I) 14.7x; maxima 5.4x / 18.3x / 54.2x"
     );
-    let illegal: Vec<&str> = rows.iter().filter(|r| !r.all_legal).map(|r| r.name.as_str()).collect();
+    let illegal: Vec<&str> = rows
+        .iter()
+        .filter(|r| !r.all_legal)
+        .map(|r| r.name.as_str())
+        .collect();
     if illegal.is_empty() {
         println!("all cases fully legal under every legalizer");
     } else {

@@ -8,7 +8,10 @@ use flex_fpga::resources::{flex_resources, max_pes, ALVEO_U50};
 
 fn main() {
     println!("=== Table 2 reproduction: FPGA resource consumption ===\n");
-    println!("{:<32} {:>10} {:>10} {:>8} {:>8}", "", "LUTs", "FFs", "BRAMs", "DSPs");
+    println!(
+        "{:<32} {:>10} {:>10} {:>8} {:>8}",
+        "", "LUTs", "FFs", "BRAMs", "DSPs"
+    );
     for pes in [1u64, 2] {
         let r = flex_resources(pes);
         let label = if pes == 1 {
@@ -16,10 +19,16 @@ fn main() {
         } else {
             format!("{pes} parallelism of FOP PE")
         };
-        println!("{:<32} {:>10} {:>10} {:>8} {:>8}", label, r.luts, r.ffs, r.brams, r.dsps);
+        println!(
+            "{:<32} {:>10} {:>10} {:>8} {:>8}",
+            label, r.luts, r.ffs, r.brams, r.dsps
+        );
     }
     let a = ALVEO_U50;
-    println!("{:<32} {:>10} {:>10} {:>8} {:>8}", "Available", a.luts, a.ffs, a.brams, a.dsps);
+    println!(
+        "{:<32} {:>10} {:>10} {:>8} {:>8}",
+        "Available", a.luts, a.ffs, a.brams, a.dsps
+    );
 
     println!("\n--- utilization and scaling (Sec. 5.4) ---");
     for pes in 1..=4u64 {

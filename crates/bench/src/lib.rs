@@ -8,6 +8,8 @@
 //! fraction of the original cell count that is generated (default 0.02, i.e. a few thousand
 //! cells per case, so the whole Table 1 suite completes in minutes on a laptop).
 
+pub mod golden;
+
 use flex_baselines::analytical::AnalyticalLegalizer;
 use flex_baselines::cpu::CpuLegalizer;
 use flex_baselines::cpu_gpu::CpuGpuLegalizer;

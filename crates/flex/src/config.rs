@@ -85,6 +85,10 @@ pub struct FlexConfig {
     /// Cycles charged for the cross-PE synchronization that merges two insertion-point results
     /// ("a simple synchronization operation … taking several clock cycles", Sec. 5.4).
     pub pe_sync_cycles: u64,
+    /// Worker threads for the host-side steps (a)–(c): with more than one, the functional
+    /// legalization runs on `flex_mgl::parallel::ParallelMglLegalizer`, overlapping region
+    /// extraction and FOP across row shards while producing the exact serial placement.
+    pub host_threads: usize,
 }
 
 impl Default for FlexConfig {
@@ -100,6 +104,7 @@ impl Default for FlexConfig {
             pingpong_preload: true,
             link: LinkModel::default(),
             pe_sync_cycles: 6,
+            host_threads: 1,
         }
     }
 }
@@ -155,6 +160,13 @@ impl FlexConfig {
     /// Set the SACS architecture options (builder style).
     pub fn with_sacs_arch(mut self, sacs: SacsArchConfig) -> Self {
         self.sacs = sacs;
+        self
+    }
+
+    /// Set the host-side worker-thread count (builder style). Values above one run the
+    /// CPU-side steps (a)–(c) on the region-sharded parallel engine.
+    pub fn with_host_threads(mut self, threads: usize) -> Self {
+        self.host_threads = threads.max(1);
         self
     }
 

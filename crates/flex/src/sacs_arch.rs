@@ -161,7 +161,10 @@ mod tests {
         let par = SacsPeModel::new(SacsArchConfig::full());
         let w = work(300, 420, 60);
         let ratio = seq.shift_cycles(&w).count() as f64 / par.shift_cycles(&w).count() as f64;
-        assert!((1.6..=2.0).contains(&ratio), "parallel-phase speedup {ratio:.2}");
+        assert!(
+            (1.6..=2.0).contains(&ratio),
+            "parallel-phase speedup {ratio:.2}"
+        );
     }
 
     #[test]

@@ -36,14 +36,31 @@ pub enum Executor {
     Fpga,
 }
 
+/// Fraction of the CPU-side non-FOP time that step (e) — insert & update — accounts for.
+/// Step (e) performs a shifting pass similar to FOP's, so it dominates the non-FOP time.
+pub const INSERT_UPDATE_SHARE: f64 = 0.35;
+
+/// Amdahl-style model of how the CPU-side work scales when steps (a)–(c) are spread across
+/// region shards on `threads` workers: region preparation parallelizes, the in-order commit
+/// of step (e) does not. Returns the multiplier on the serial non-FOP time (1.0 for one
+/// thread, approaching [`INSERT_UPDATE_SHARE`] as threads grow).
+pub fn host_overlap_factor(threads: usize) -> f64 {
+    let threads = threads.max(1) as f64;
+    INSERT_UPDATE_SHARE + (1.0 - INSERT_UPDATE_SHARE) / threads
+}
+
 /// Which device executes `step` under `assignment`.
 pub fn executor(assignment: TaskAssignment, step: FlowStep) -> Executor {
     match (assignment, step) {
         (TaskAssignment::AllCpu, _) => Executor::Cpu,
-        (_, FlowStep::InputPreMove | FlowStep::ProcessOrdering | FlowStep::DefineLocalRegion) => Executor::Cpu,
+        (_, FlowStep::InputPreMove | FlowStep::ProcessOrdering | FlowStep::DefineLocalRegion) => {
+            Executor::Cpu
+        }
         (TaskAssignment::FopOnFpga, FlowStep::Fop) => Executor::Fpga,
         (TaskAssignment::FopOnFpga, FlowStep::InsertUpdate) => Executor::Cpu,
-        (TaskAssignment::FopAndUpdateOnFpga, FlowStep::Fop | FlowStep::InsertUpdate) => Executor::Fpga,
+        (TaskAssignment::FopAndUpdateOnFpga, FlowStep::Fop | FlowStep::InsertUpdate) => {
+            Executor::Fpga
+        }
     }
 }
 
@@ -92,7 +109,9 @@ pub fn visible_transfer(
         return Duration::ZERO;
     }
     let download_hidden = match assignment {
-        TaskAssignment::FopOnFpga => preload_enabled && !work.next_region_overlaps && !is_first_region,
+        TaskAssignment::FopOnFpga => {
+            preload_enabled && !work.next_region_overlaps && !is_first_region
+        }
         TaskAssignment::FopAndUpdateOnFpga => false,
         TaskAssignment::AllCpu => true,
     };
@@ -122,11 +141,19 @@ mod tests {
     #[test]
     fn flex_assignment_matches_the_paper() {
         use FlowStep::*;
-        for step in [InputPreMove, ProcessOrdering, DefineLocalRegion, InsertUpdate] {
+        for step in [
+            InputPreMove,
+            ProcessOrdering,
+            DefineLocalRegion,
+            InsertUpdate,
+        ] {
             assert_eq!(executor(TaskAssignment::FopOnFpga, step), Executor::Cpu);
         }
         assert_eq!(executor(TaskAssignment::FopOnFpga, Fop), Executor::Fpga);
-        assert_eq!(executor(TaskAssignment::FopAndUpdateOnFpga, InsertUpdate), Executor::Fpga);
+        assert_eq!(
+            executor(TaskAssignment::FopAndUpdateOnFpga, InsertUpdate),
+            Executor::Fpga
+        );
         assert_eq!(executor(TaskAssignment::AllCpu, Fop), Executor::Cpu);
     }
 
@@ -137,20 +164,57 @@ mod tests {
         let alt = region_traffic(TaskAssignment::FopAndUpdateOnFpga, &w);
         assert_eq!(flex.download, alt.download);
         assert!(alt.upload > 10 * flex.upload);
-        assert_eq!(region_traffic(TaskAssignment::AllCpu, &w), RegionTraffic::default());
+        assert_eq!(
+            region_traffic(TaskAssignment::AllCpu, &w),
+            RegionTraffic::default()
+        );
     }
 
     #[test]
     fn preload_hides_downloads_of_non_overlapping_regions() {
         let link = LinkModel::default();
-        let hidden = visible_transfer(TaskAssignment::FopOnFpga, &link, &work(60, false), true, false);
-        let shown = visible_transfer(TaskAssignment::FopOnFpga, &link, &work(60, true), true, false);
-        let first = visible_transfer(TaskAssignment::FopOnFpga, &link, &work(60, false), true, true);
+        let hidden = visible_transfer(
+            TaskAssignment::FopOnFpga,
+            &link,
+            &work(60, false),
+            true,
+            false,
+        );
+        let shown = visible_transfer(
+            TaskAssignment::FopOnFpga,
+            &link,
+            &work(60, true),
+            true,
+            false,
+        );
+        let first = visible_transfer(
+            TaskAssignment::FopOnFpga,
+            &link,
+            &work(60, false),
+            true,
+            true,
+        );
         assert!(hidden < shown);
         assert!(first > hidden);
         // with preload disabled every download is visible
-        let no_preload = visible_transfer(TaskAssignment::FopOnFpga, &link, &work(60, false), false, false);
+        let no_preload = visible_transfer(
+            TaskAssignment::FopOnFpga,
+            &link,
+            &work(60, false),
+            false,
+            false,
+        );
         assert_eq!(no_preload, shown);
+    }
+
+    #[test]
+    fn host_overlap_factor_is_amdahl_shaped() {
+        assert!((host_overlap_factor(1) - 1.0).abs() < 1e-12);
+        assert!(host_overlap_factor(2) < host_overlap_factor(1));
+        assert!(host_overlap_factor(8) < host_overlap_factor(4));
+        // the serial commit share bounds the speedup
+        assert!(host_overlap_factor(1_000_000) > INSERT_UPDATE_SHARE - 1e-9);
+        assert!(host_overlap_factor(0) == host_overlap_factor(1));
     }
 
     #[test]

@@ -81,7 +81,11 @@ impl OddEvenBram {
             return Cycles::ZERO;
         }
         let first_is_even = first_row.rem_euclid(2) == 0;
-        let evens = if first_is_even { rows.div_ceil(2) } else { rows / 2 };
+        let evens = if first_is_even {
+            rows.div_ceil(2)
+        } else {
+            rows / 2
+        };
         let odds = rows - evens;
         self.even.read_cycles(evens).max(self.odd.read_cycles(odds))
     }

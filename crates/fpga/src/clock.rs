@@ -87,7 +87,11 @@ impl ClockDomain {
     /// Convert a duration to (rounded-up) cycles in this domain.
     pub fn to_cycles(&self, d: Duration) -> Cycles {
         // the tiny epsilon keeps exact multiples of the period from rounding up spuriously
-        Cycles(((d.as_secs_f64() / (self.period_ns() * 1e-9)) - 1e-9).ceil().max(0.0) as u64)
+        Cycles(
+            ((d.as_secs_f64() / (self.period_ns() * 1e-9)) - 1e-9)
+                .ceil()
+                .max(0.0) as u64,
+        )
     }
 
     /// Convert a cycle count from another (faster or slower) domain into this domain,

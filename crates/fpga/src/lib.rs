@@ -30,6 +30,8 @@ pub mod sorter;
 pub use bram::{BramBank, OddEvenBram, PingPongBuffer};
 pub use clock::{ClockDomain, Cycles};
 pub use link::LinkModel;
-pub use pipeline::{fine_grained_cycles, multi_granularity_cycles, normal_pipeline_cycles, OperatorSpec};
+pub use pipeline::{
+    fine_grained_cycles, multi_granularity_cycles, normal_pipeline_cycles, OperatorSpec,
+};
 pub use resources::{Resources, ALVEO_U50};
 pub use sorter::SorterModel;

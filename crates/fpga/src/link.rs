@@ -78,6 +78,42 @@ mod tests {
     }
 
     #[test]
+    fn byte_accounting_matches_the_wire_format() {
+        // one localCell on the wire: position (2×4 B), size (2×4 B), segment row + id (8 B)
+        assert_eq!(BYTES_PER_CELL, 24);
+        // one localSegment: row (4 B) + span lo/hi (8 B)
+        assert_eq!(BYTES_PER_SEGMENT, 12);
+        // one result record: id (4 B) + position (4 B)
+        assert_eq!(BYTES_PER_RESULT, 8);
+
+        // download/upload helpers must be exactly the linear byte model, no hidden padding
+        let link = LinkModel::default();
+        for (cells, segments) in [(0u64, 0u64), (1, 1), (60, 9), (1000, 17)] {
+            assert_eq!(
+                link.region_download(cells, segments),
+                link.transfer(cells * BYTES_PER_CELL + segments * BYTES_PER_SEGMENT)
+            );
+        }
+        for updated in [0u64, 1, 2, 61] {
+            assert_eq!(
+                link.region_upload(updated),
+                link.transfer(updated * BYTES_PER_RESULT)
+            );
+        }
+    }
+
+    #[test]
+    fn transfer_time_is_monotone_in_bytes() {
+        let link = LinkModel::default();
+        let mut last = link.transfer(0);
+        for bytes in [1u64, 24, 1024, 1 << 20, 1 << 30] {
+            let t = link.transfer(bytes);
+            assert!(t >= last, "transfer time must not decrease with size");
+            last = t;
+        }
+    }
+
+    #[test]
     fn region_traffic_scales_with_cells() {
         let link = LinkModel::default();
         let small = link.region_download(10, 5);

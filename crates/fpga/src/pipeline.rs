@@ -27,7 +27,12 @@ pub struct OperatorSpec {
 
 impl OperatorSpec {
     /// Create an operator spec.
-    pub const fn new(name: &'static str, latency: u64, initiation_interval: u64, startup: u64) -> Self {
+    pub const fn new(
+        name: &'static str,
+        latency: u64,
+        initiation_interval: u64,
+        startup: u64,
+    ) -> Self {
         Self {
             name,
             latency,
@@ -131,7 +136,10 @@ mod tests {
         for items in [1u64, 8, 64, 500] {
             let normal = normal_pipeline_cycles(&ops, items);
             let fine = fine_grained_cycles(&ops, items);
-            assert!(fine < normal, "items={items}: fine {fine:?} !< normal {normal:?}");
+            assert!(
+                fine < normal,
+                "items={items}: fine {fine:?} !< normal {normal:?}"
+            );
         }
     }
 

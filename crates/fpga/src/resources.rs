@@ -47,17 +47,31 @@ pub const FLEX_TWO_PE: Resources = Resources {
 impl Resources {
     /// Create a resource bundle.
     pub fn new(luts: u64, ffs: u64, brams: u64, dsps: u64) -> Self {
-        Self { luts, ffs, brams, dsps }
+        Self {
+            luts,
+            ffs,
+            brams,
+            dsps,
+        }
     }
 
     /// Whether this bundle fits inside `budget`.
     pub fn fits_in(&self, budget: &Resources) -> bool {
-        self.luts <= budget.luts && self.ffs <= budget.ffs && self.brams <= budget.brams && self.dsps <= budget.dsps
+        self.luts <= budget.luts
+            && self.ffs <= budget.ffs
+            && self.brams <= budget.brams
+            && self.dsps <= budget.dsps
     }
 
     /// Utilization of each resource class relative to `budget` (fractions, may exceed 1.0).
     pub fn utilization(&self, budget: &Resources) -> ResourceUtilization {
-        let frac = |a: u64, b: u64| if b == 0 { f64::INFINITY } else { a as f64 / b as f64 };
+        let frac = |a: u64, b: u64| {
+            if b == 0 {
+                f64::INFINITY
+            } else {
+                a as f64 / b as f64
+            }
+        };
         ResourceUtilization {
             luts: frac(self.luts, budget.luts),
             ffs: frac(self.ffs, budget.ffs),
@@ -76,7 +90,7 @@ impl Resources {
         ];
         per.into_iter()
             .map(|(kind, used, avail)| {
-                let copies = if used == 0 { u64::MAX } else { avail / used };
+                let copies = avail.checked_div(used).unwrap_or(u64::MAX);
                 (kind, copies)
             })
             .min_by_key(|(_, copies)| *copies)
@@ -200,6 +214,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // the Table 2 constants ARE the subject here
     fn flex_resources_reproduces_table2() {
         assert_eq!(flex_resources(1), FLEX_ONE_PE);
         assert_eq!(flex_resources(2), FLEX_TWO_PE);
@@ -213,7 +228,10 @@ mod tests {
         let (n, binding) = max_pes(&ALVEO_U50);
         // with 347 extra BRAMs per PE and 1344 available, BRAM binds first (Sec. 5.4)
         assert_eq!(binding, ResourceKind::Brams);
-        assert!((3..=4).contains(&n), "U50 should fit 3-4 PEs before BRAM runs out, got {n}");
+        assert!(
+            (3..=4).contains(&n),
+            "U50 should fit 3-4 PEs before BRAM runs out, got {n}"
+        );
         assert!(flex_resources(n).fits_in(&ALVEO_U50));
         assert!(!flex_resources(n + 1).fits_in(&ALVEO_U50));
     }

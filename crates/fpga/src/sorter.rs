@@ -126,7 +126,11 @@ mod tests {
 
     #[test]
     fn cycles_grow_monotonically() {
-        for kind in [SorterKind::Insertion, SorterKind::Merge, SorterKind::Combined] {
+        for kind in [
+            SorterKind::Insertion,
+            SorterKind::Merge,
+            SorterKind::Combined,
+        ] {
             let s = SorterModel::new(kind, 16);
             let mut prev = Cycles(0);
             for n in [1u64, 2, 8, 16, 17, 64, 200, 1000] {
@@ -141,7 +145,10 @@ mod tests {
     fn sorter_resources_are_small_relative_to_a_fop_pe() {
         let s = SorterModel::default();
         let r = s.resources();
-        assert!(r.luts * 10 < FLEX_ONE_PE.luts, "sorter LUTs should be a small fraction of a PE");
+        assert!(
+            r.luts * 10 < FLEX_ONE_PE.luts,
+            "sorter LUTs should be a small fraction of a PE"
+        );
         assert!(r.brams < 16);
     }
 

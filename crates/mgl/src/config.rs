@@ -58,6 +58,12 @@ pub struct MglConfig {
     /// Upper bound on the number of insertion points evaluated per localRegion (guards against
     /// pathological regions; the paper quotes "hundreds" per region).
     pub max_insertion_points: usize,
+    /// Upper bound on the number of localCells a region may contain before the legalizer stops
+    /// expanding the window and falls back to the whole-die scan. Window expansions on large
+    /// designs can otherwise grow regions to thousands of cells, making a single FOP call
+    /// (insertion points × cell shifting) quadratically expensive; the fallback scan is exact
+    /// and far cheaper at that size. Small designs never reach this bound.
+    pub max_region_cells: usize,
     /// Collect the per-region work trace consumed by the FPGA performance model.
     pub collect_trace: bool,
     /// Collect per-operator wall-clock statistics (Fig. 2(g) / Fig. 6(g)).
@@ -79,6 +85,7 @@ impl Default for MglConfig {
             ordering: OrderingStrategy::SlidingWindowDensity,
             sliding_window: 16,
             max_insertion_points: 160,
+            max_region_cells: 768,
             collect_trace: false,
             collect_op_stats: true,
             density_bin_sites: 32,

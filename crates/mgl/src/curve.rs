@@ -71,14 +71,26 @@ impl DisplacementCurve {
         if valley < freeze {
             Self {
                 breakpoints: vec![
-                    Breakpoint { x: valley, left_slope: -1.0, right_slope: 1.0 },
-                    Breakpoint { x: freeze, left_slope: 1.0, right_slope: 0.0 },
+                    Breakpoint {
+                        x: valley,
+                        left_slope: -1.0,
+                        right_slope: 1.0,
+                    },
+                    Breakpoint {
+                        x: freeze,
+                        left_slope: 1.0,
+                        right_slope: 0.0,
+                    },
                 ],
                 anchor: (valley, 0.0),
             }
         } else {
             Self {
-                breakpoints: vec![Breakpoint { x: freeze, left_slope: -1.0, right_slope: 0.0 }],
+                breakpoints: vec![Breakpoint {
+                    x: freeze,
+                    left_slope: -1.0,
+                    right_slope: 0.0,
+                }],
                 anchor: (freeze, settled),
             }
         }
@@ -98,14 +110,26 @@ impl DisplacementCurve {
         if valley > freeze {
             Self {
                 breakpoints: vec![
-                    Breakpoint { x: freeze, left_slope: 0.0, right_slope: -1.0 },
-                    Breakpoint { x: valley, left_slope: -1.0, right_slope: 1.0 },
+                    Breakpoint {
+                        x: freeze,
+                        left_slope: 0.0,
+                        right_slope: -1.0,
+                    },
+                    Breakpoint {
+                        x: valley,
+                        left_slope: -1.0,
+                        right_slope: 1.0,
+                    },
                 ],
                 anchor: (valley, 0.0),
             }
         } else {
             Self {
-                breakpoints: vec![Breakpoint { x: freeze, left_slope: 0.0, right_slope: 1.0 }],
+                breakpoints: vec![Breakpoint {
+                    x: freeze,
+                    left_slope: 0.0,
+                    right_slope: 1.0,
+                }],
                 anchor: (freeze, settled),
             }
         }

@@ -93,23 +93,20 @@ pub fn find_optimal_position(
 
     let mut best: Option<Placement> = None;
     for point in points {
-        match evaluate_point(region, target, &point, config, op_stats, work) {
-            Some((x, cost)) => {
-                work.feasible_points += 1;
-                let better = match &best {
-                    None => true,
-                    Some(b) => cost < b.cost - 1e-9,
-                };
-                if better {
-                    best = Some(Placement {
-                        x,
-                        row: point.bottom_row,
-                        cost,
-                        point,
-                    });
-                }
+        if let Some((x, cost)) = evaluate_point(region, target, &point, config, op_stats, work) {
+            work.feasible_points += 1;
+            let better = match &best {
+                None => true,
+                Some(b) => cost < b.cost - 1e-9,
+            };
+            if better {
+                best = Some(Placement {
+                    x,
+                    row: point.bottom_row,
+                    cost,
+                    point,
+                });
             }
-            None => {}
         }
     }
     outcome.best = best;
@@ -177,7 +174,10 @@ fn evaluate_point(
     let lo = point.x_lo as f64;
     let hi = point.x_hi as f64;
     let t_sort_bp = Instant::now();
-    let mut bps: Vec<Breakpoint> = curves.iter().flat_map(|c| c.breakpoints.iter().copied()).collect();
+    let mut bps: Vec<Breakpoint> = curves
+        .iter()
+        .flat_map(|c| c.breakpoints.iter().copied())
+        .collect();
     bps.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap());
     op_stats.add(FopOperator::SortBp, t_sort_bp.elapsed());
     work.breakpoints += bps.len() as u64;
@@ -191,7 +191,9 @@ fn evaluate_point(
         .sum();
     let (best_x, horiz_cost) = match config.fop {
         FopVariant::Original => original_pipeline(&bps, base_slope, anchor_value, lo, hi, op_stats),
-        FopVariant::Reorganized => reorganized_pipeline(&bps, base_slope, anchor_value, lo, hi, op_stats),
+        FopVariant::Reorganized => {
+            reorganized_pipeline(&bps, base_slope, anchor_value, lo, hi, op_stats)
+        }
     };
 
     let vertical = (point.bottom_row as f64 - target.gy).abs();
@@ -228,7 +230,8 @@ fn build_curves(
         let c = &region.cells[i];
         if pos != c.x {
             let s = pos - (point.x_hi + target.width);
-            let mut curve = DisplacementCurve::right_cell(c.x as f64, c.gx, s as f64, target.width as f64);
+            let mut curve =
+                DisplacementCurve::right_cell(c.x as f64, c.gx, s as f64, target.width as f64);
             curve.anchor.1 -= (c.x as f64 - c.gx).abs();
             curves.push(curve);
         }
@@ -306,7 +309,11 @@ fn scan_minimum(
             None => 0,
             Some(i) => i + 1,
         };
-        let next_x = if next_idx < merged.len() { merged[next_idx].x } else { f64::INFINITY };
+        let next_x = if next_idx < merged.len() {
+            merged[next_idx].x
+        } else {
+            f64::INFINITY
+        };
         let step_end = next_x.min(hi);
         if step_end > x {
             let slope = slope_after(idx);
@@ -363,8 +370,7 @@ fn original_pipeline(
     // calculate value: integrate the slopes from the domain edge and pick the minimum
     let t_val = Instant::now();
     debug_assert!(
-        merged.is_empty()
-            || (slopes_r.last().unwrap() + slopes_l.first().unwrap()).abs() < 1e-9,
+        merged.is_empty() || (slopes_r.last().unwrap() + slopes_l.first().unwrap()).abs() < 1e-9,
         "prefix and suffix slope sums must cancel"
     );
     let result = scan_minimum(&merged, &slopes_r, base_slope, anchor_value, lo, hi);
@@ -439,13 +445,40 @@ mod tests {
             target: CellId(9),
             window: Rect::new(0, 0, 40, 2),
             segments: vec![
-                LocalSegment { row: 0, span: Interval::new(0, 40) },
-                LocalSegment { row: 1, span: Interval::new(0, 40) },
+                LocalSegment {
+                    row: 0,
+                    span: Interval::new(0, 40),
+                },
+                LocalSegment {
+                    row: 1,
+                    span: Interval::new(0, 40),
+                },
             ],
             cells: vec![
-                LocalCell { id: CellId(0), x: 8, y: 0, width: 5, height: 1, gx: 9.0 },
-                LocalCell { id: CellId(1), x: 20, y: 0, width: 6, height: 2, gx: 19.0 },
-                LocalCell { id: CellId(2), x: 4, y: 1, width: 4, height: 1, gx: 4.0 },
+                LocalCell {
+                    id: CellId(0),
+                    x: 8,
+                    y: 0,
+                    width: 5,
+                    height: 1,
+                    gx: 9.0,
+                },
+                LocalCell {
+                    id: CellId(1),
+                    x: 20,
+                    y: 0,
+                    width: 6,
+                    height: 2,
+                    gx: 19.0,
+                },
+                LocalCell {
+                    id: CellId(2),
+                    x: 4,
+                    y: 1,
+                    width: 4,
+                    height: 1,
+                    gx: 4.0,
+                },
             ],
             density: 0.2,
         }
@@ -484,10 +517,22 @@ mod tests {
         for shift in [ShiftAlgorithm::Original, ShiftAlgorithm::Sacs] {
             let mut s1 = FopOpStats::default();
             let mut s2 = FopOpStats::default();
-            let cfg_orig = MglConfig { shift, fop: FopVariant::Original, ..MglConfig::default() };
-            let cfg_reorg = MglConfig { shift, fop: FopVariant::Reorganized, ..MglConfig::default() };
-            let a = find_optimal_position(&region, &t, &cfg_orig, &mut s1).best.unwrap();
-            let b = find_optimal_position(&region, &t, &cfg_reorg, &mut s2).best.unwrap();
+            let cfg_orig = MglConfig {
+                shift,
+                fop: FopVariant::Original,
+                ..MglConfig::default()
+            };
+            let cfg_reorg = MglConfig {
+                shift,
+                fop: FopVariant::Reorganized,
+                ..MglConfig::default()
+            };
+            let a = find_optimal_position(&region, &t, &cfg_orig, &mut s1)
+                .best
+                .unwrap();
+            let b = find_optimal_position(&region, &t, &cfg_reorg, &mut s2)
+                .best
+                .unwrap();
             assert_eq!(a.x, b.x);
             assert_eq!(a.row, b.row);
             assert!((a.cost - b.cost).abs() < 1e-9);
@@ -514,8 +559,10 @@ mod tests {
             let lo = rng.random_range(0..20i64) as f64;
             let hi = lo + rng.random_range(1..25i64) as f64;
             let (rx, rv) = minimize_sum(&curves, lo, hi);
-            let mut bps: Vec<Breakpoint> =
-                curves.iter().flat_map(|c| c.breakpoints.iter().copied()).collect();
+            let mut bps: Vec<Breakpoint> = curves
+                .iter()
+                .flat_map(|c| c.breakpoints.iter().copied())
+                .collect();
             bps.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap());
             let anchor: f64 = curves.iter().map(|c| c.eval(lo)).sum();
             let base: f64 = curves
@@ -526,8 +573,14 @@ mod tests {
             let mut st = FopOpStats::default();
             let (ox, ov) = original_pipeline(&bps, base, anchor, lo, hi, &mut st);
             let (fx, fv) = reorganized_pipeline(&bps, base, anchor, lo, hi, &mut st);
-            assert!((ov - rv).abs() < 1e-6, "original {ov} vs reference {rv} (x {ox} vs {rx})");
-            assert!((fv - rv).abs() < 1e-6, "reorganized {fv} vs reference {rv} (x {fx} vs {rx})");
+            assert!(
+                (ov - rv).abs() < 1e-6,
+                "original {ov} vs reference {rv} (x {ox} vs {rx})"
+            );
+            assert!(
+                (fv - rv).abs() < 1e-6,
+                "reorganized {fv} vs reference {rv} (x {fx} vs {rx})"
+            );
         }
     }
 
@@ -555,14 +608,37 @@ mod tests {
         let region = LocalRegion {
             target: CellId(9),
             window: Rect::new(0, 0, 30, 1),
-            segments: vec![LocalSegment { row: 0, span: Interval::new(0, 30) }],
+            segments: vec![LocalSegment {
+                row: 0,
+                span: Interval::new(0, 30),
+            }],
             cells: vec![
-                LocalCell { id: CellId(0), x: 2, y: 0, width: 8, height: 1, gx: 2.0 },
-                LocalCell { id: CellId(1), x: 10, y: 0, width: 8, height: 1, gx: 10.0 },
+                LocalCell {
+                    id: CellId(0),
+                    x: 2,
+                    y: 0,
+                    width: 8,
+                    height: 1,
+                    gx: 2.0,
+                },
+                LocalCell {
+                    id: CellId(1),
+                    x: 10,
+                    y: 0,
+                    width: 8,
+                    height: 1,
+                    gx: 10.0,
+                },
             ],
             density: 0.53,
         };
-        let t = TargetSpec { width: 6, height: 1, gx: 9.0, gy: 0.0, parity: None };
+        let t = TargetSpec {
+            width: 6,
+            height: 1,
+            gx: 9.0,
+            gy: 0.0,
+            parity: None,
+        };
         let mut stats = FopOpStats::default();
         let out = find_optimal_position(&region, &t, &MglConfig::default(), &mut stats);
         let best = out.best.expect("still feasible by shifting");
@@ -583,12 +659,21 @@ mod tests {
             target: CellId(9),
             window: Rect::new(0, 0, 20, 4),
             segments: (0..4)
-                .map(|r| LocalSegment { row: r, span: Interval::new(0, 20) })
+                .map(|r| LocalSegment {
+                    row: r,
+                    span: Interval::new(0, 20),
+                })
                 .collect(),
             cells: vec![],
             density: 0.0,
         };
-        let t = TargetSpec { width: 4, height: 1, gx: 8.0, gy: 0.0, parity: None };
+        let t = TargetSpec {
+            width: 4,
+            height: 1,
+            gx: 8.0,
+            gy: 0.0,
+            parity: None,
+        };
         let mut stats = FopOpStats::default();
         let best = find_optimal_position(&region, &t, &MglConfig::default(), &mut stats)
             .best

@@ -49,7 +49,10 @@ impl InsertionPoint {
     /// The key identifying the combination of insertion intervals this point uses
     /// (bottom row plus the split index per row).
     fn dedup_key(&self) -> (i64, Vec<usize>) {
-        (self.bottom_row, self.left_chain.iter().map(Vec::len).collect())
+        (
+            self.bottom_row,
+            self.left_chain.iter().map(Vec::len).collect(),
+        )
     }
 }
 
@@ -168,13 +171,40 @@ mod tests {
             target: CellId(99),
             window: Rect::new(0, 0, 30, 2),
             segments: vec![
-                LocalSegment { row: 0, span: Interval::new(0, 30) },
-                LocalSegment { row: 1, span: Interval::new(0, 30) },
+                LocalSegment {
+                    row: 0,
+                    span: Interval::new(0, 30),
+                },
+                LocalSegment {
+                    row: 1,
+                    span: Interval::new(0, 30),
+                },
             ],
             cells: vec![
-                LocalCell { id: CellId(0), x: 5, y: 0, width: 4, height: 1, gx: 5.0 },
-                LocalCell { id: CellId(1), x: 20, y: 0, width: 4, height: 1, gx: 20.0 },
-                LocalCell { id: CellId(2), x: 10, y: 1, width: 6, height: 1, gx: 10.0 },
+                LocalCell {
+                    id: CellId(0),
+                    x: 5,
+                    y: 0,
+                    width: 4,
+                    height: 1,
+                    gx: 5.0,
+                },
+                LocalCell {
+                    id: CellId(1),
+                    x: 20,
+                    y: 0,
+                    width: 4,
+                    height: 1,
+                    gx: 20.0,
+                },
+                LocalCell {
+                    id: CellId(2),
+                    x: 10,
+                    y: 1,
+                    width: 6,
+                    height: 1,
+                    gx: 10.0,
+                },
             ],
             density: 0.2,
         }
@@ -202,9 +232,11 @@ mod tests {
         // the middle gap of row 0 (between the two cells): left chain width 4, right chain 4
         let mid = pts
             .iter()
-            .find(|p| p.bottom_row == 0 && p.left_chain[0].len() == 1 && p.right_chain[0].len() == 1)
+            .find(|p| {
+                p.bottom_row == 0 && p.left_chain[0].len() == 1 && p.right_chain[0].len() == 1
+            })
             .expect("middle gap present");
-        assert_eq!(mid.x_lo, 0 + 4);
+        assert_eq!(mid.x_lo, 4);
         assert_eq!(mid.x_hi, 30 - 4 - 3);
     }
 

@@ -3,7 +3,7 @@
 use crate::config::{MglConfig, OrderingStrategy, ShiftAlgorithm};
 use crate::fop::{self, Placement, TargetSpec};
 use crate::ordering::{self, SlidingWindowOrderer};
-use crate::region::{target_window, LocalRegion};
+use crate::region::{target_window, LegalizedIndex, LocalRegion};
 use crate::sacs::shift_phase_sacs;
 use crate::shift::{shift_phase_original, Phase, ShiftProblem};
 use crate::stats::{FopOpStats, RegionWork, WorkTrace};
@@ -72,11 +72,16 @@ impl MglLegalizer {
         // step (a): input & pre-move
         design.pre_move();
         let segmap = SegmentMap::build(design);
+        let mut index = LegalizedIndex::build(design);
         let density = DensityMap::build(design, cfg.density_bin_sites, cfg.density_bin_rows);
 
         let targets = design.movable_ids();
         let mut op_stats = FopOpStats::default();
-        let mut trace = if cfg.collect_trace { Some(WorkTrace::default()) } else { None };
+        let mut trace = if cfg.collect_trace {
+            Some(WorkTrace::default())
+        } else {
+            None
+        };
         let mut placed_in_region = 0usize;
         let mut fallback_placed = 0usize;
         let mut failed = Vec::new();
@@ -109,7 +114,8 @@ impl MglLegalizer {
             };
             let Some(target) = target else { break };
 
-            let (placed, window, work) = self.place_target(design, &segmap, target, &mut op_stats);
+            let outcome = place_target(design, &segmap, &mut index, cfg, target, &mut op_stats);
+            let (placed, window, work) = (outcome.placed, outcome.window, outcome.work);
             match placed {
                 PlacedBy::Region => placed_in_region += 1,
                 PlacedBy::Fallback => fallback_placed += 1,
@@ -143,65 +149,147 @@ impl MglLegalizer {
             trace,
         }
     }
-
-    /// Try to place one target cell: expanding-window FOP first, then the fallback scan.
-    fn place_target(
-        &self,
-        design: &mut Design,
-        segmap: &SegmentMap,
-        target: CellId,
-        op_stats: &mut FopOpStats,
-    ) -> (PlacedBy, Rect, RegionWork) {
-        let cfg = &self.config;
-        let (width, height, gx, gy, parity) = {
-            let c = design.cell(target);
-            (c.width, c.height, c.gx, c.gy, c.row_parity)
-        };
-        let spec = TargetSpec { width, height, gx, gy, parity };
-
-        let mut work = RegionWork {
-            target,
-            target_width: width,
-            target_height: height,
-            ..RegionWork::default()
-        };
-        let mut last_window = target_window(design, target, cfg.window_half_sites, cfg.window_half_rows);
-
-        for expansion in 0..=cfg.max_window_expansions {
-            let half_s = cfg.window_half_sites << expansion;
-            let half_r = cfg.window_half_rows << expansion;
-            let window = target_window(design, target, half_s, half_r);
-            last_window = window;
-            let region = LocalRegion::extract(design, segmap, target, window);
-            if !region.can_host(width, height, parity) {
-                continue;
-            }
-            let outcome = fop::find_optimal_position(&region, &spec, cfg, op_stats);
-            accumulate_work(&mut work, &outcome.work);
-            if let Some(best) = outcome.best {
-                if commit_placement(design, &region, &best, &spec, cfg) {
-                    return (PlacedBy::Region, window, work);
-                }
-            }
-        }
-
-        if fallback_place(design, target, &spec) {
-            (PlacedBy::Fallback, last_window, work)
-        } else {
-            (PlacedBy::None, last_window, work)
-        }
-    }
 }
 
 /// How a target cell ended up being placed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum PlacedBy {
+pub enum PlacedBy {
+    /// Committed through FOP inside a localRegion.
     Region,
+    /// Placed by the whole-die fallback scan.
     Fallback,
+    /// Could not be placed at all.
     None,
 }
 
-fn accumulate_work(into: &mut RegionWork, from: &RegionWork) {
+/// What [`place_target`] did for one target cell.
+#[derive(Debug, Clone)]
+pub struct PlaceOutcome {
+    /// How the cell was placed.
+    pub placed: PlacedBy,
+    /// The window of the successful expansion, or the last window tried.
+    pub window: Rect,
+    /// Expansion level at which the cell was committed (meaningful for [`PlacedBy::Region`];
+    /// for fallback/failed cells this is the last expansion tried).
+    pub expansion: u32,
+    /// Bounding box of every design write the placement performed (moved localCells' old and
+    /// new extents plus the target's committed extent); `None` when nothing was written. The
+    /// parallel engine uses this to invalidate only the speculations that actually read
+    /// mutated state.
+    pub writes: Option<Rect>,
+    /// Work counters accumulated over every evaluated expansion.
+    pub work: RegionWork,
+}
+
+/// Place one target cell serially: expanding-window FOP first, then the fallback scan.
+///
+/// This is the per-cell step of the serial [`MglLegalizer`]; the parallel engine
+/// ([`crate::parallel::ParallelMglLegalizer`]) reuses it for cells it cannot speculate on.
+pub fn place_target(
+    design: &mut Design,
+    segmap: &SegmentMap,
+    index: &mut LegalizedIndex,
+    cfg: &MglConfig,
+    target: CellId,
+    op_stats: &mut FopOpStats,
+) -> PlaceOutcome {
+    let (width, height, gx, gy, parity) = {
+        let c = design.cell(target);
+        (c.width, c.height, c.gx, c.gy, c.row_parity)
+    };
+    let spec = TargetSpec {
+        width,
+        height,
+        gx,
+        gy,
+        parity,
+    };
+
+    let mut work = RegionWork {
+        target,
+        target_width: width,
+        target_height: height,
+        ..RegionWork::default()
+    };
+    let mut last_window =
+        target_window(design, target, cfg.window_half_sites, cfg.window_half_rows);
+    let mut last_expansion = 0;
+
+    for expansion in 0..=cfg.max_window_expansions {
+        let half_s = cfg.window_half_sites << expansion;
+        let half_r = cfg.window_half_rows << expansion;
+        let window = target_window(design, target, half_s, half_r);
+        last_window = window;
+        last_expansion = expansion;
+        let region = LocalRegion::extract_indexed(design, segmap, target, window, index);
+        if region.cells.len() > cfg.max_region_cells {
+            // the region would only grow with further expansions: go straight to the fallback
+            break;
+        }
+        if !region.can_host(width, height, parity) {
+            continue;
+        }
+        let outcome = fop::find_optimal_position(&region, &spec, cfg, op_stats);
+        accumulate_work(&mut work, &outcome.work);
+        if let Some(best) = outcome.best {
+            if let Some(plan) = plan_commit(&region, &best, &spec, cfg) {
+                let writes = plan_writes(design, &plan);
+                apply_commit(design, &plan);
+                index.insert(design, target);
+                return PlaceOutcome {
+                    placed: PlacedBy::Region,
+                    window,
+                    expansion,
+                    writes: Some(writes),
+                    work,
+                };
+            }
+        }
+    }
+
+    let (placed, writes) = if fallback_place_indexed(design, index, target, &spec) {
+        index.insert(design, target);
+        (PlacedBy::Fallback, Some(design.cell(target).rect()))
+    } else {
+        (PlacedBy::None, None)
+    };
+    PlaceOutcome {
+        placed,
+        window: last_window,
+        expansion: last_expansion,
+        writes,
+        work,
+    }
+}
+
+/// Smallest rectangle containing both operands.
+fn union_rect(a: Rect, b: Rect) -> Rect {
+    Rect::new(
+        a.x_lo.min(b.x_lo),
+        a.y_lo.min(b.y_lo),
+        a.x_hi.max(b.x_hi),
+        a.y_hi.max(b.y_hi),
+    )
+}
+
+/// Bounding box of every design write applying `plan` would perform: the target's committed
+/// extent plus the old and new extents of every moved localCell. Must be called *before*
+/// [`apply_commit`] (it reads the cells' current positions).
+pub fn plan_writes(design: &Design, plan: &CommitPlan) -> Rect {
+    let t = design.cell(plan.target);
+    let mut writes = Rect::new(plan.x, plan.row, plan.x + t.width, plan.row + t.height);
+    for &(id, new_x) in &plan.moves {
+        let c = design.cell(id);
+        writes = union_rect(writes, c.rect());
+        writes = union_rect(
+            writes,
+            Rect::new(new_x, c.y, new_x + c.width, c.y + c.height),
+        );
+    }
+    writes
+}
+
+pub(crate) fn accumulate_work(into: &mut RegionWork, from: &RegionWork) {
     into.local_cells = into.local_cells.max(from.local_cells);
     into.tall_cells = into.tall_cells.max(from.tall_cells);
     into.segments = into.segments.max(from.segments);
@@ -215,16 +303,32 @@ fn accumulate_work(into: &mut RegionWork, from: &RegionWork) {
     into.tall_bound_queries += from.tall_bound_queries;
 }
 
-/// Commit a placement: shift the affected localCells, verify the region stays overlap-free, and
-/// write the new positions (plus the target) into the design. Returns `false` without touching
-/// the design if the verification fails.
-pub fn commit_placement(
-    design: &mut Design,
+/// The design writes a verified placement implies: every shifted localCell's new x plus the
+/// target's committed position. Computing the plan is pure (no design access), which is what
+/// lets the parallel engine run FOP + verification speculatively on a shared `&Design` and
+/// serialize only the (cheap) application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommitPlan {
+    /// The target cell being committed.
+    pub target: CellId,
+    /// Committed left-edge x of the target.
+    pub x: i64,
+    /// Committed bottom row of the target.
+    pub row: i64,
+    /// New x for every localCell the shift actually moved.
+    pub moves: Vec<(CellId, i64)>,
+}
+
+/// Plan a placement commit: run both shifting phases and verify the region stays overlap-free.
+///
+/// Pure with respect to the design — everything is computed from the extracted `region`.
+/// Returns `None` if either phase is infeasible or the verification fails.
+pub fn plan_commit(
     region: &LocalRegion,
     placement: &Placement,
     spec: &TargetSpec,
     cfg: &MglConfig,
-) -> bool {
+) -> Option<CommitPlan> {
     let problem = ShiftProblem {
         region,
         point: &placement.point,
@@ -236,8 +340,8 @@ pub fn commit_placement(
         ShiftAlgorithm::Original => shift_phase_original(&problem, phase),
         ShiftAlgorithm::Sacs => shift_phase_sacs(&problem, phase),
     };
-    let Ok(left) = shift(Phase::Left) else { return false };
-    let Ok(right) = shift(Phase::Right) else { return false };
+    let left = shift(Phase::Left).ok()?;
+    let right = shift(Phase::Right).ok()?;
 
     let mut pos: Vec<i64> = region.cells.iter().map(|c| c.x).collect();
     for (i, x) in left.positions.iter().chain(right.positions.iter()) {
@@ -256,7 +360,7 @@ pub fn commit_placement(
             if c.rows().any(|r| r == seg.row) {
                 let iv = Interval::new(pos[i], pos[i] + c.width);
                 if !seg.span.contains_interval(&iv) {
-                    return false;
+                    return None;
                 }
                 spans.push(iv);
             }
@@ -264,52 +368,98 @@ pub fn commit_placement(
         spans.sort_by_key(|s| s.lo);
         for w in spans.windows(2) {
             if w[0].overlaps(&w[1]) {
-                return false;
+                return None;
             }
         }
     }
     if !target_rows.clone().all(|r| {
         region
             .segment(r)
-            .map(|s| s.span.contains_interval(&Interval::new(placement.x, placement.x + spec.width)))
+            .map(|s| {
+                s.span
+                    .contains_interval(&Interval::new(placement.x, placement.x + spec.width))
+            })
             .unwrap_or(false)
     }) {
-        return false;
+        return None;
     }
 
-    // apply
-    for (i, c) in region.cells.iter().enumerate() {
-        design.cell_mut(c.id).x = pos[i];
+    let moves = region
+        .cells
+        .iter()
+        .enumerate()
+        .filter(|(i, c)| pos[*i] != c.x)
+        .map(|(i, c)| (c.id, pos[i]))
+        .collect();
+    Some(CommitPlan {
+        target: region.target,
+        x: placement.x,
+        row: placement.row,
+        moves,
+    })
+}
+
+/// Write a verified [`CommitPlan`] into the design.
+pub fn apply_commit(design: &mut Design, plan: &CommitPlan) {
+    for &(id, x) in &plan.moves {
+        design.cell_mut(id).x = x;
     }
-    let t = design.cell_mut(region.target);
-    t.x = placement.x;
-    t.y = placement.row;
+    let t = design.cell_mut(plan.target);
+    t.x = plan.x;
+    t.y = plan.row;
     t.legalized = true;
-    true
+}
+
+/// Commit a placement: shift the affected localCells, verify the region stays overlap-free, and
+/// write the new positions (plus the target) into the design. Returns `false` without touching
+/// the design if the verification fails.
+pub fn commit_placement(
+    design: &mut Design,
+    region: &LocalRegion,
+    placement: &Placement,
+    spec: &TargetSpec,
+    cfg: &MglConfig,
+) -> bool {
+    match plan_commit(region, placement, spec, cfg) {
+        Some(plan) => {
+            apply_commit(design, &plan);
+            true
+        }
+        None => false,
+    }
 }
 
 /// Fallback placement: scan the whole die for the nearest spot where the target fits between
 /// the already-legalized cells without shifting anything. Used only when no window produced a
 /// feasible insertion point.
 pub fn fallback_place(design: &mut Design, target: CellId, spec: &TargetSpec) -> bool {
+    let index = LegalizedIndex::build(design);
+    fallback_place_indexed(design, &index, target, spec)
+}
+
+/// [`fallback_place`] with the obstacle candidates taken from a [`LegalizedIndex`]: each row
+/// only considers the legalized cells actually occupying it, which turns the per-row free-gap
+/// computation from O(all cells) into O(cells on that row).
+pub fn fallback_place_indexed(
+    design: &mut Design,
+    index: &LegalizedIndex,
+    target: CellId,
+    spec: &TargetSpec,
+) -> bool {
     let (gx, gy) = (spec.gx, spec.gy);
-    // free intervals per row, with legalized movable cells subtracted
-    let legalized: Vec<(i64, i64, Interval)> = design
-        .cells
-        .iter()
-        .filter(|c| !c.fixed && c.legalized && c.id != target)
-        .map(|c| (c.y, c.height, c.x_interval()))
-        .collect();
+    // free intervals per row, with the legalized movable cells of that row subtracted
     let row_free = |row: i64| -> Vec<Interval> {
         let mut free = design.free_intervals(row);
-        for (y, h, span) in &legalized {
-            if row >= *y && row < *y + *h {
-                let mut next = Vec::with_capacity(free.len() + 1);
-                for f in free {
-                    next.extend(f.subtract(span));
-                }
-                free = next;
+        for &id in index.cells_in_row(row) {
+            if id == target {
+                continue;
             }
+            let span = design.cell(id).x_interval();
+            let mut next = Vec::with_capacity(free.len() + 1);
+            for f in free {
+                next.extend(f.subtract(&span));
+            }
+            free = next;
         }
         free
     };
@@ -383,9 +533,16 @@ mod tests {
     fn legalizes_a_small_benchmark_completely() {
         let mut d = tiny_design(1);
         let result = MglLegalizer::new(MglConfig::default()).legalize(&mut d);
-        assert!(result.legal, "failed: {:?}, fallback: {}", result.failed, result.fallback_placed);
+        assert!(
+            result.legal,
+            "failed: {:?}, fallback: {}",
+            result.failed, result.fallback_placed
+        );
         assert!(result.failed.is_empty());
-        assert_eq!(result.placed_in_region + result.fallback_placed, d.num_movable());
+        assert_eq!(
+            result.placed_in_region + result.fallback_placed,
+            d.num_movable()
+        );
         assert!(result.average_displacement >= 0.0);
         assert!(result.op_stats.total_ns() > 0);
     }
@@ -400,7 +557,12 @@ mod tests {
         assert!(orig.legal);
         // same algorithm family: displacements should be in the same ballpark
         let ratio = flex.average_displacement / orig.average_displacement.max(1e-9);
-        assert!(ratio < 1.6, "flex {} vs original {}", flex.average_displacement, orig.average_displacement);
+        assert!(
+            ratio < 1.6,
+            "flex {} vs original {}",
+            flex.average_displacement,
+            orig.average_displacement
+        );
     }
 
     #[test]
@@ -415,11 +577,19 @@ mod tests {
             let mut reference: Option<Vec<(i64, i64)>> = None;
             for fop in [FopVariant::Original, FopVariant::Reorganized] {
                 let mut d = tiny_design(3);
-                let cfg = MglConfig { shift, fop, ..base.clone() };
+                let cfg = MglConfig {
+                    shift,
+                    fop,
+                    ..base.clone()
+                };
                 let res = MglLegalizer::new(cfg).legalize(&mut d);
                 assert!(res.legal);
-                let placement: Vec<(i64, i64)> =
-                    d.cells.iter().filter(|c| !c.fixed).map(|c| (c.x, c.y)).collect();
+                let placement: Vec<(i64, i64)> = d
+                    .cells
+                    .iter()
+                    .filter(|c| !c.fixed)
+                    .map(|c| (c.x, c.y))
+                    .collect();
                 match &reference {
                     None => reference = Some(placement),
                     Some(r) => assert_eq!(r, &placement, "shift={shift:?} fop={fop:?}"),
@@ -439,13 +609,21 @@ mod tests {
         let mut results = Vec::new();
         for shift in [ShiftAlgorithm::Original, ShiftAlgorithm::Sacs] {
             let mut d = tiny_design(3);
-            let cfg = MglConfig { shift, ..base.clone() };
+            let cfg = MglConfig {
+                shift,
+                ..base.clone()
+            };
             let res = MglLegalizer::new(cfg).legalize(&mut d);
             assert!(res.legal, "{shift:?} produced an illegal placement");
             results.push(res.average_displacement);
         }
         let ratio = results[0].max(results[1]) / results[0].min(results[1]).max(1e-9);
-        assert!(ratio < 1.10, "quality diverged: original {} vs sacs {}", results[0], results[1]);
+        assert!(
+            ratio < 1.10,
+            "quality diverged: original {} vs sacs {}",
+            results[0],
+            results[1]
+        );
     }
 
     #[test]
@@ -470,8 +648,20 @@ mod tests {
             c.legalized = true;
             d.add_cell(c);
         }
-        let t = d.add_cell(flex_placement::cell::Cell::movable(CellId(0), 4, 1, 10.0, 1.0));
-        let spec = TargetSpec { width: 4, height: 1, gx: 10.0, gy: 1.0, parity: None };
+        let t = d.add_cell(flex_placement::cell::Cell::movable(
+            CellId(0),
+            4,
+            1,
+            10.0,
+            1.0,
+        ));
+        let spec = TargetSpec {
+            width: 4,
+            height: 1,
+            gx: 10.0,
+            gy: 1.0,
+            parity: None,
+        };
         assert!(fallback_place(&mut d, t, &spec));
         let placed = d.cell(t);
         assert!(placed.legalized);
@@ -486,8 +676,20 @@ mod tests {
         c.x = 0;
         c.legalized = true;
         d.add_cell(c);
-        let t = d.add_cell(flex_placement::cell::Cell::movable(CellId(0), 4, 1, 2.0, 0.0));
-        let spec = TargetSpec { width: 4, height: 1, gx: 2.0, gy: 0.0, parity: None };
+        let t = d.add_cell(flex_placement::cell::Cell::movable(
+            CellId(0),
+            4,
+            1,
+            2.0,
+            0.0,
+        ));
+        let spec = TargetSpec {
+            width: 4,
+            height: 1,
+            gx: 2.0,
+            gy: 0.0,
+            parity: None,
+        };
         assert!(!fallback_place(&mut d, t, &spec));
     }
 
@@ -509,7 +711,10 @@ mod tests {
             OrderingStrategy::SlidingWindowDensity,
         ] {
             let mut d = tiny_design(9);
-            let cfg = MglConfig { ordering, ..MglConfig::default() };
+            let cfg = MglConfig {
+                ordering,
+                ..MglConfig::default()
+            };
             let res = MglLegalizer::new(cfg).legalize(&mut d);
             assert!(res.legal, "{ordering:?} failed");
             best = best.min(res.average_displacement);

@@ -25,6 +25,7 @@
 //! * [`stats`] — operator-level runtime statistics and the work trace consumed by the FPGA
 //!   performance model in `flex-core`.
 //! * [`legalize`] — the end-to-end MGL legalizer.
+//! * [`parallel`] — the deterministic region-sharded parallel engine built on top of it.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -35,6 +36,7 @@ pub mod fop;
 pub mod insertion;
 pub mod legalize;
 pub mod ordering;
+pub mod parallel;
 pub mod region;
 pub mod sacs;
 pub mod shift;
@@ -42,5 +44,6 @@ pub mod stats;
 
 pub use config::{FopVariant, MglConfig, OrderingStrategy, ShiftAlgorithm};
 pub use legalize::{LegalizeResult, MglLegalizer};
+pub use parallel::{ParallelLegalizeResult, ParallelMglLegalizer, ShardStats};
 pub use region::{LocalCell, LocalRegion, LocalSegment};
 pub use stats::{FopOpStats, RegionWork, WorkTrace};

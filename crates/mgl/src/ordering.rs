@@ -61,7 +61,13 @@ pub struct SlidingWindowOrderer {
 
 impl SlidingWindowOrderer {
     /// Build the orderer from an initial size-descending sequence.
-    pub fn new(design: &Design, targets: &[CellId], window: usize, half_sites: i64, half_rows: i64) -> Self {
+    pub fn new(
+        design: &Design,
+        targets: &[CellId],
+        window: usize,
+        half_sites: i64,
+        half_rows: i64,
+    ) -> Self {
         Self {
             queue: size_descending_order(design, targets).into(),
             window: window.max(2),
@@ -96,7 +102,8 @@ impl SlidingWindowOrderer {
         if self.queue.len() > 2 {
             let end = self.window.saturating_sub(1).min(self.queue.len());
             if end > 2 {
-                let before: Vec<CellId> = self.queue.iter().skip(1).take(end - 1).copied().collect();
+                let before: Vec<CellId> =
+                    self.queue.iter().skip(1).take(end - 1).copied().collect();
                 let mut tail = before.clone();
                 let cap = self.window as u32;
                 tail.sort_by(|&a, &b| {
@@ -107,9 +114,21 @@ impl SlidingWindowOrderer {
                         (false, true) => return std::cmp::Ordering::Greater,
                         _ => {}
                     }
-                    let da = density.density_in(&density_window(design, a, self.half_sites, self.half_rows));
-                    let db = density.density_in(&density_window(design, b, self.half_sites, self.half_rows));
-                    db.partial_cmp(&da).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+                    let da = density.density_in(&density_window(
+                        design,
+                        a,
+                        self.half_sites,
+                        self.half_rows,
+                    ));
+                    let db = density.density_in(&density_window(
+                        design,
+                        b,
+                        self.half_sites,
+                        self.half_rows,
+                    ));
+                    db.partial_cmp(&da)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(&b))
                 });
                 for (new_idx, id) in tail.iter().enumerate() {
                     let old_idx = before.iter().position(|&x| x == *id).unwrap_or(new_idx);
@@ -142,7 +161,8 @@ pub fn full_order(
         OrderingStrategy::Natural => natural_order(targets),
         OrderingStrategy::SizeDescending => size_descending_order(design, targets),
         OrderingStrategy::SlidingWindowDensity => {
-            let mut orderer = SlidingWindowOrderer::new(design, targets, window, half_sites, half_rows);
+            let mut orderer =
+                SlidingWindowOrderer::new(design, targets, window, half_sites, half_rows);
             let mut order = Vec::with_capacity(targets.len());
             while let Some(id) = orderer.next(design, density) {
                 order.push(id);
@@ -178,7 +198,7 @@ mod tests {
         let order = size_descending_order(&d, &targets);
         assert_eq!(order[0], CellId(0)); // area 20
         assert_eq!(*order.last().unwrap(), CellId(7)); // area 2
-        // permutation property
+                                                       // permutation property
         let mut sorted = order.clone();
         sorted.sort();
         let mut expect = targets.clone();

@@ -1,0 +1,550 @@
+//! The parallel region-sharded MGL engine.
+//!
+//! The paper's CPU baseline (Fig. 2(a)) parallelizes MGL by batching target cells whose
+//! legalization windows do not overlap and synchronizing after every batch — at the cost of
+//! reordering cells and therefore changing the result. This module keeps the batching idea
+//! but makes the engine *placement-identical to the serial legalizer*:
+//!
+//! 1. **Row sharding.** The die's rows are partitioned into disjoint horizontal *bands* (the
+//!    region shards). Each target's base legalization window ([`target_window`] at expansion
+//!    level 0) is assigned to the band that fully contains it; windows living in different
+//!    bands provably cannot overlap. Band membership classifies the work: cells whose
+//!    windows straddle a band boundary always take the serial path, everything else is a
+//!    speculation candidate. (Correctness does not rest on the banding — the commit-time
+//!    write-set check below catches every conflict, same-band or not — the bands bound the
+//!    serial fraction and keep the shard structure explicit.)
+//! 2. **Prefix batches with speculation.** Each round takes the next `lookahead` targets of
+//!    the serial processing order — a *prefix*, never a reordering. Every non-straddler
+//!    member is *speculated* in parallel on the rayon pool: region extraction, FOP (which is
+//!    where the per-shard `shift_phase_*` work runs) and the pure [`plan_commit`]
+//!    verification all execute against the shared pre-batch `&Design`.
+//! 3. **In-order commit with write tracking.** Plans are applied strictly in the serial
+//!    order. Every commit records the bounding box of its design writes
+//!    ([`plan_writes`] / [`PlaceOutcome::writes`]); a later member whose window intersects
+//!    any earlier write — and any member that was not speculated (straddler, conflict) or
+//!    whose speculation found no expansion-0 placement — is handled by the ordinary serial
+//!    [`place_target`] at its slot, window expansions and whole-die fallback included.
+//!
+//! **Serial equivalence.** Because batches are prefixes and commits happen in order, when
+//! cell *i* reaches its commit slot every cell before it (and no cell after it) has been
+//! committed — exactly the serial state. A speculative plan is applied only if nothing
+//! written since the batch started intersects the cell's window (with the same one-site
+//! slack the obstacle filter uses), in which case the speculated region, FOP result and
+//! plan coincide with what the serial legalizer would compute at that slot; otherwise the
+//! cell is recomputed serially at its slot. By induction the final placement, the
+//! displacement stats, the per-cell work trace and the legality verdict are identical to
+//! [`MglLegalizer`] with the same (static) ordering — at any thread count. Wall-clock
+//! fields (`runtime`, the `FopOpStats` nanosecond counters) are measurements and do differ.
+//!
+//! The dynamic [`OrderingStrategy::SlidingWindowDensity`] order is inherently sequential (it
+//! reorders based on densities that change with every commit), so the engine degrades to the
+//! serial legalizer for that configuration.
+
+use crate::config::{MglConfig, OrderingStrategy};
+use crate::fop::{self, TargetSpec};
+use crate::legalize::{
+    accumulate_work, apply_commit, place_target, plan_commit, plan_writes, CommitPlan,
+    LegalizeResult, MglLegalizer, PlaceOutcome, PlacedBy,
+};
+use crate::ordering;
+use crate::region::{target_window, LegalizedIndex, LocalRegion};
+use crate::stats::{FopOpStats, RegionWork, WorkTrace};
+use flex_placement::cell::CellId;
+use flex_placement::geom::Rect;
+use flex_placement::layout::Design;
+use flex_placement::legality::check_legality_with;
+use flex_placement::metrics::displacement_stats;
+use flex_placement::segment::SegmentMap;
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// Lower bound on the speculation batch size (targets taken off the queue front per round).
+/// The default batch size adapts to the worker count — staleness within a batch grows
+/// quadratically with its length, so the engine uses the smallest prefix that still keeps
+/// every worker busy. The placement is the serial one for *every* batch size (see the module
+/// docs), so this is purely a throughput knob.
+pub const MIN_LOOKAHEAD: usize = 8;
+
+/// How many base-window heights one row band spans. Larger bands mean fewer straddlers (which
+/// are always serial) at the cost of more same-band conflict checks during batch formation.
+const BAND_WINDOW_MULTIPLE: i64 = 8;
+
+/// Statistics about how the sharded schedule executed.
+#[derive(Debug, Clone, Default)]
+pub struct ShardStats {
+    /// Number of row bands (region shards) the die was partitioned into.
+    pub bands: usize,
+    /// Rows per band.
+    pub band_rows: i64,
+    /// Targets whose base window straddled a band boundary (never speculated).
+    pub straddlers: usize,
+    /// Prefix batches executed.
+    pub batches: usize,
+    /// Targets speculated in parallel.
+    pub speculated: usize,
+    /// Targets whose speculative plan was committed as-is.
+    pub committed_speculatively: usize,
+    /// Targets handled by the serial path (straddlers, conflicts, failed or stale
+    /// speculations).
+    pub serial_inline: usize,
+    /// Speculations discarded because an earlier commit in the batch wrote into their window.
+    pub dirty_recomputes: usize,
+}
+
+impl ShardStats {
+    /// Fraction of targets whose FOP ran speculatively in parallel.
+    pub fn speculative_fraction(&self) -> f64 {
+        let total = self.committed_speculatively + self.serial_inline;
+        if total == 0 {
+            0.0
+        } else {
+            self.committed_speculatively as f64 / total as f64
+        }
+    }
+}
+
+/// Outcome of a parallel legalization run.
+#[derive(Debug, Clone)]
+pub struct ParallelLegalizeResult {
+    /// The ordinary legalization result (legality, displacement, stats, trace).
+    pub result: LegalizeResult,
+    /// How the sharded schedule executed.
+    pub shards: ShardStats,
+}
+
+/// The parallel region-sharded MGL legalizer.
+#[derive(Debug, Clone)]
+pub struct ParallelMglLegalizer {
+    threads: usize,
+    config: MglConfig,
+    lookahead: usize,
+}
+
+/// Per-target scheduling metadata, indexed by position in the serial order.
+struct TargetMeta {
+    id: CellId,
+    window: Rect,
+    straddler: bool,
+}
+
+/// What one speculative evaluation produced.
+struct Speculation {
+    work: RegionWork,
+    stats: FopOpStats,
+    plan: Option<CommitPlan>,
+}
+
+impl ParallelMglLegalizer {
+    /// Create an engine with `threads` workers and the given MGL configuration.
+    pub fn new(threads: usize, config: MglConfig) -> Self {
+        let threads = threads.max(1);
+        Self {
+            threads,
+            config,
+            lookahead: (4 * threads).max(MIN_LOOKAHEAD),
+        }
+    }
+
+    /// Override the speculation batch size. The schedule (and the placement) is identical to
+    /// the serial legalizer for every value; this only trades parallelism against the amount
+    /// of speculation discarded when a batch's early commits invalidate later members.
+    pub fn with_lookahead(mut self, lookahead: usize) -> Self {
+        self.lookahead = lookahead.max(1);
+        self
+    }
+
+    /// Access the configuration.
+    pub fn config(&self) -> &MglConfig {
+        &self.config
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Legalize every movable cell of the design in place.
+    pub fn legalize(&self, design: &mut Design) -> ParallelLegalizeResult {
+        if self.config.ordering == OrderingStrategy::SlidingWindowDensity {
+            // the dynamic order depends on densities mutated by every commit: sequential by
+            // construction, so run the serial legalizer and report a single shard
+            let result = MglLegalizer::new(self.config.clone()).legalize(design);
+            let shards = ShardStats {
+                bands: 1,
+                band_rows: design.num_rows,
+                ..ShardStats::default()
+            };
+            return ParallelLegalizeResult { result, shards };
+        }
+
+        let start = Instant::now();
+        let cfg = &self.config;
+
+        // step (a): input & pre-move — identical to the serial flow
+        design.pre_move();
+        let segmap = SegmentMap::build(design);
+        let mut index = LegalizedIndex::build(design);
+
+        // step (b): the serial processing order this engine preserves
+        let targets = design.movable_ids();
+        let order: Vec<CellId> = match cfg.ordering {
+            OrderingStrategy::Natural => ordering::natural_order(&targets),
+            OrderingStrategy::SizeDescending => ordering::size_descending_order(design, &targets),
+            OrderingStrategy::SlidingWindowDensity => unreachable!("handled above"),
+        };
+
+        // row shards: band height is a fixed multiple of the base window height, so the shard
+        // layout (and the schedule) is independent of the thread count
+        let max_height = design
+            .cells
+            .iter()
+            .filter(|c| !c.fixed)
+            .map(|c| c.height)
+            .max()
+            .unwrap_or(1);
+        let window_rows = 2 * cfg.window_half_rows + max_height;
+        let band_rows = (window_rows * BAND_WINDOW_MULTIPLE).max(1);
+        let bands = ((design.num_rows.max(1) + band_rows - 1) / band_rows) as usize;
+
+        let meta: Vec<TargetMeta> = order
+            .iter()
+            .map(|&id| {
+                let window = target_window(design, id, cfg.window_half_sites, cfg.window_half_rows);
+                let band_lo = (window.y_lo.max(0) / band_rows) as usize;
+                let band_hi = ((window.y_hi - 1).max(0) / band_rows) as usize;
+                TargetMeta {
+                    id,
+                    window,
+                    straddler: band_lo != band_hi,
+                }
+            })
+            .collect();
+
+        let mut shards = ShardStats {
+            bands,
+            band_rows,
+            straddlers: meta.iter().filter(|m| m.straddler).count(),
+            ..ShardStats::default()
+        };
+
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(self.threads)
+            .build()
+            .expect("failed to build worker pool");
+
+        let mut op_stats = FopOpStats::default();
+        let mut trace = if cfg.collect_trace {
+            Some(WorkTrace::default())
+        } else {
+            None
+        };
+        let mut placed_in_region = 0usize;
+        let mut fallback_placed = 0usize;
+        let mut failed: Vec<CellId> = Vec::new();
+        let mut prev_window: Option<Rect> = None;
+
+        let record = |trace: &mut Option<WorkTrace>,
+                      prev_window: &mut Option<Rect>,
+                      mut work: RegionWork,
+                      window: Rect,
+                      placed_in_region: bool| {
+            if let Some(trace) = trace.as_mut() {
+                work.placed_in_region = placed_in_region;
+                if let (Some(prev), Some(entry)) = (*prev_window, trace.regions.last_mut()) {
+                    entry.next_region_overlaps = prev.overlaps(&window);
+                }
+                trace.regions.push(work);
+            }
+            *prev_window = Some(window);
+        };
+
+        let mut next = 0usize; // position of the first unprocessed target in `meta`
+        while next < meta.len() {
+            // prefix batch: the NEXT `lookahead` targets of the serial order, never a skip
+            let batch: Vec<usize> = (next..(next + self.lookahead).min(meta.len())).collect();
+            next += batch.len();
+            shards.batches += 1;
+
+            // speculation filter: straddlers always take the serial path; everything else is
+            // speculated. Two batch members whose windows share a band may conflict, but the
+            // commit loop's write-set check catches the (rare) case where an earlier commit
+            // actually wrote into a later member's window — window overlap alone usually
+            // leaves both speculations valid, so filtering on it would throw away
+            // parallelism. Different bands need no check at all: their windows are disjoint
+            // by construction.
+            let should_speculate: Vec<bool> =
+                batch.iter().map(|&idx| !meta[idx].straddler).collect();
+
+            // speculative phase: regions, FOP and commit verification against the pre-batch
+            // design state, fanned out over the worker pool
+            let design_ref: &Design = design;
+            let segmap_ref = &segmap;
+            let index_ref = &index;
+            let jobs: Vec<(usize, bool)> = batch
+                .iter()
+                .copied()
+                .zip(should_speculate.iter().copied())
+                .collect();
+            let speculations: Vec<Option<Speculation>> = pool.install(|| {
+                jobs.par_iter()
+                    .map(|&(idx, speculate_it)| {
+                        speculate_it
+                            .then(|| speculate(design_ref, segmap_ref, index_ref, cfg, &meta[idx]))
+                    })
+                    .collect()
+            });
+            shards.speculated += speculations.iter().filter(|s| s.is_some()).count();
+
+            // commit phase: strictly in serial order, tracking what has been written so that
+            // stale speculations are recomputed at their slot from the true serial state
+            let mut writes_so_far: Vec<Rect> = Vec::new();
+            for (&idx, speculation) in batch.iter().zip(speculations) {
+                let m = &meta[idx];
+                // same one-site x slack as the obstacle filter in LocalRegion::extract
+                let guard = m.window.expanded(1, 0);
+                let stale = writes_so_far.iter().any(|w| w.overlaps(&guard));
+                let plan = speculation.as_ref().and_then(|s| s.plan.clone());
+                match (plan, stale) {
+                    (Some(plan), false) => {
+                        let speculation = speculation.expect("plan implies speculation");
+                        let writes = plan_writes(design, &plan);
+                        apply_commit(design, &plan);
+                        index.insert(design, m.id);
+                        op_stats.merge(&speculation.stats);
+                        placed_in_region += 1;
+                        shards.committed_speculatively += 1;
+                        writes_so_far.push(writes);
+                        record(
+                            &mut trace,
+                            &mut prev_window,
+                            speculation.work,
+                            m.window,
+                            true,
+                        );
+                    }
+                    (plan, stale) => {
+                        if stale && (plan.is_some() || speculation.is_some()) {
+                            shards.dirty_recomputes += 1;
+                        }
+                        let out =
+                            place_target(design, &segmap, &mut index, cfg, m.id, &mut op_stats);
+                        shards.serial_inline += 1;
+                        if let Some(writes) = out.writes {
+                            writes_so_far.push(writes);
+                        }
+                        tally(
+                            &out,
+                            &mut placed_in_region,
+                            &mut fallback_placed,
+                            &mut failed,
+                            m.id,
+                        );
+                        record(
+                            &mut trace,
+                            &mut prev_window,
+                            out.work,
+                            out.window,
+                            out.placed == PlacedBy::Region,
+                        );
+                    }
+                }
+            }
+        }
+
+        // step (e) epilogue: verify — identical to the serial flow
+        let report = check_legality_with(design, true);
+        let disp = displacement_stats(design);
+        let result = LegalizeResult {
+            legal: report.is_legal(),
+            placed_in_region,
+            fallback_placed,
+            failed,
+            runtime: start.elapsed(),
+            average_displacement: disp.average,
+            max_displacement: disp.max,
+            op_stats,
+            trace,
+        };
+        ParallelLegalizeResult { result, shards }
+    }
+}
+
+/// Evaluate one target speculatively at expansion level 0 against a shared design snapshot.
+fn speculate(
+    design: &Design,
+    segmap: &SegmentMap,
+    index: &LegalizedIndex,
+    cfg: &MglConfig,
+    meta: &TargetMeta,
+) -> Speculation {
+    let c = design.cell(meta.id);
+    let spec = TargetSpec {
+        width: c.width,
+        height: c.height,
+        gx: c.gx,
+        gy: c.gy,
+        parity: c.row_parity,
+    };
+    let mut stats = FopOpStats::default();
+    let mut work = RegionWork {
+        target: meta.id,
+        target_width: spec.width,
+        target_height: spec.height,
+        ..RegionWork::default()
+    };
+    let region = LocalRegion::extract_indexed(design, segmap, meta.id, meta.window, index);
+    let mut plan = None;
+    if region.cells.len() <= cfg.max_region_cells
+        && region.can_host(spec.width, spec.height, spec.parity)
+    {
+        let outcome = fop::find_optimal_position(&region, &spec, cfg, &mut stats);
+        accumulate_work(&mut work, &outcome.work);
+        if let Some(best) = outcome.best {
+            plan = plan_commit(&region, &best, &spec, cfg);
+        }
+    }
+    Speculation { work, stats, plan }
+}
+
+/// Book a serial placement outcome into the run counters.
+fn tally(
+    out: &PlaceOutcome,
+    placed_in_region: &mut usize,
+    fallback_placed: &mut usize,
+    failed: &mut Vec<CellId>,
+    id: CellId,
+) {
+    match out.placed {
+        PlacedBy::Region => *placed_in_region += 1,
+        PlacedBy::Fallback => *fallback_placed += 1,
+        PlacedBy::None => failed.push(id),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MglConfig;
+    use flex_placement::benchmark::{generate, BenchmarkSpec};
+
+    fn static_cfg() -> MglConfig {
+        MglConfig {
+            ordering: OrderingStrategy::SizeDescending,
+            ..MglConfig::default()
+        }
+    }
+
+    fn positions(d: &Design) -> Vec<(i64, i64)> {
+        d.cells
+            .iter()
+            .filter(|c| !c.fixed)
+            .map(|c| (c.x, c.y))
+            .collect()
+    }
+
+    #[test]
+    fn parallel_run_is_legal_and_complete() {
+        let mut d = generate(&BenchmarkSpec::tiny("par-basic", 5));
+        let out = ParallelMglLegalizer::new(4, static_cfg()).legalize(&mut d);
+        assert!(out.result.legal, "failed: {:?}", out.result.failed);
+        assert_eq!(
+            out.result.placed_in_region + out.result.fallback_placed,
+            d.num_movable()
+        );
+        assert!(out.shards.bands >= 1);
+        assert!(out.shards.batches > 0);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_placement() {
+        let spec = BenchmarkSpec::tiny("par-det", 6);
+        let mut reference: Option<Vec<(i64, i64)>> = None;
+        for threads in [1usize, 2, 4, 8] {
+            let mut d = generate(&spec);
+            let out = ParallelMglLegalizer::new(threads, static_cfg()).legalize(&mut d);
+            assert!(
+                out.result.legal,
+                "{threads} threads produced an illegal layout"
+            );
+            let p = positions(&d);
+            match &reference {
+                None => reference = Some(p),
+                Some(r) => assert_eq!(r, &p, "placement changed at {threads} threads"),
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_the_serial_legalizer_exactly() {
+        // equivalence must hold at every density, expansions and fallbacks included
+        for (seed, density) in [(7u64, 0.45), (8, 0.65), (9, 0.85)] {
+            let spec = BenchmarkSpec::tiny("par-eq", seed).with_density(density);
+            let mut d_par = generate(&spec);
+            let mut d_ser = generate(&spec);
+            let par = ParallelMglLegalizer::new(4, static_cfg()).legalize(&mut d_par);
+            let ser = MglLegalizer::new(static_cfg()).legalize(&mut d_ser);
+            assert_eq!(par.result.legal, ser.legal, "density {density}");
+            assert_eq!(positions(&d_par), positions(&d_ser), "density {density}");
+            assert_eq!(par.result.placed_in_region, ser.placed_in_region);
+            assert_eq!(par.result.fallback_placed, ser.fallback_placed);
+            assert_eq!(par.result.failed, ser.failed);
+            assert!(
+                (par.result.average_displacement - ser.average_displacement).abs() < 1e-12,
+                "displacement diverged at density {density}: {} vs {}",
+                par.result.average_displacement,
+                ser.average_displacement
+            );
+        }
+    }
+
+    #[test]
+    fn trace_matches_the_serial_trace() {
+        let spec = BenchmarkSpec::tiny("par-trace", 9);
+        let cfg = MglConfig {
+            collect_trace: true,
+            ..static_cfg()
+        };
+        let mut d_par = generate(&spec);
+        let mut d_ser = generate(&spec);
+        let par = ParallelMglLegalizer::new(4, cfg.clone()).legalize(&mut d_par);
+        let ser = MglLegalizer::new(cfg).legalize(&mut d_ser);
+        let par_trace = par.result.trace.expect("trace requested");
+        let ser_trace = ser.trace.expect("trace requested");
+        assert_eq!(par_trace.len(), d_par.num_movable());
+        assert_eq!(
+            par_trace, ser_trace,
+            "work traces must be identical entry for entry"
+        );
+    }
+
+    #[test]
+    fn sliding_window_ordering_degrades_to_serial() {
+        let spec = BenchmarkSpec::tiny("par-sliding", 8);
+        let mut d_par = generate(&spec);
+        let mut d_ser = generate(&spec);
+        let cfg = MglConfig::flex();
+        let par = ParallelMglLegalizer::new(4, cfg.clone()).legalize(&mut d_par);
+        let ser = MglLegalizer::new(cfg).legalize(&mut d_ser);
+        assert!(par.result.legal && ser.legal);
+        assert_eq!(par.shards.bands, 1);
+        assert_eq!(positions(&d_par), positions(&d_ser));
+    }
+
+    #[test]
+    fn engine_accounts_every_target_exactly_once() {
+        let spec = BenchmarkSpec::tiny("par-account", 10).with_density(0.7);
+        let mut d = generate(&spec);
+        let n = d.num_movable();
+        let out = ParallelMglLegalizer::new(3, static_cfg()).legalize(&mut d);
+        assert_eq!(
+            out.result.placed_in_region + out.result.fallback_placed + out.result.failed.len(),
+            n
+        );
+        assert_eq!(
+            out.shards.committed_speculatively + out.shards.serial_inline,
+            n
+        );
+        assert!(out.shards.speculated >= out.shards.committed_speculatively);
+        assert!(out.shards.speculative_fraction() > 0.0);
+    }
+}

@@ -77,9 +77,102 @@ pub struct LocalRegion {
     pub density: f64,
 }
 
+/// Row-bucketed index of legalized movable cells, the obstacle candidates of
+/// [`LocalRegion::extract`].
+///
+/// Scanning every design cell per extraction makes legalization O(n²); this index cuts the
+/// candidate set to the cells actually occupying the window's rows. Membership is write-once:
+/// a legalized cell's bottom row and height never change afterwards (commits only shift cells
+/// in x), so the index only ever needs [`LegalizedIndex::insert`] — there is no invalidation.
+#[derive(Debug, Clone)]
+pub struct LegalizedIndex {
+    rows: Vec<Vec<CellId>>,
+}
+
+impl LegalizedIndex {
+    /// Build the index over the design's currently legalized movable cells.
+    pub fn build(design: &Design) -> Self {
+        let mut index = Self {
+            rows: vec![Vec::new(); design.num_rows.max(0) as usize],
+        };
+        for c in design.cells.iter().filter(|c| !c.fixed && c.legalized) {
+            index.insert_rows(c.id, c.y, c.height, design.num_rows);
+        }
+        index
+    }
+
+    /// Register a newly legalized cell under its current rows.
+    pub fn insert(&mut self, design: &Design, id: CellId) {
+        let c = design.cell(id);
+        self.insert_rows(id, c.y, c.height, design.num_rows);
+    }
+
+    fn insert_rows(&mut self, id: CellId, y: i64, height: i64, num_rows: i64) {
+        for row in y.max(0)..(y + height).min(num_rows) {
+            self.rows[row as usize].push(id);
+        }
+    }
+
+    /// Ids of the legalized cells occupying one row (multi-row cells appear on every row they
+    /// span), in insertion order.
+    pub fn cells_in_row(&self, row: i64) -> &[CellId] {
+        if row < 0 || row as usize >= self.rows.len() {
+            &[]
+        } else {
+            &self.rows[row as usize]
+        }
+    }
+
+    /// Ids of legalized cells occupying any row in `[y_lo, y_hi)`, deduplicated, in design
+    /// order (the order [`LocalRegion::extract`]'s full scan would visit them).
+    pub fn candidates(&self, y_lo: i64, y_hi: i64) -> Vec<CellId> {
+        let mut ids: Vec<CellId> = Vec::new();
+        for row in y_lo.max(0)..y_hi.min(self.rows.len() as i64) {
+            ids.extend_from_slice(&self.rows[row as usize]);
+        }
+        ids.sort_by_key(|id| id.0);
+        ids.dedup();
+        ids
+    }
+}
+
 impl LocalRegion {
-    /// Extract the localRegion of `target` within `window`.
+    /// Extract the localRegion of `target` within `window`, scanning every design cell for
+    /// obstacles. Prefer [`LocalRegion::extract_indexed`] inside legalization loops.
     pub fn extract(design: &Design, segments: &SegmentMap, target: CellId, window: Rect) -> Self {
+        let obstacles: Vec<&flex_placement::cell::Cell> = design
+            .cells
+            .iter()
+            .filter(|c| !c.fixed && c.legalized && c.id != target)
+            .collect();
+        Self::extract_from(design, segments, target, window, obstacles)
+    }
+
+    /// Extract the localRegion of `target` within `window`, taking obstacle candidates from a
+    /// [`LegalizedIndex`]. Produces exactly the same region as [`LocalRegion::extract`].
+    pub fn extract_indexed(
+        design: &Design,
+        segments: &SegmentMap,
+        target: CellId,
+        window: Rect,
+        index: &LegalizedIndex,
+    ) -> Self {
+        let obstacles: Vec<&flex_placement::cell::Cell> = index
+            .candidates(window.y_lo, window.y_hi)
+            .into_iter()
+            .filter(|&id| id != target)
+            .map(|id| design.cell(id))
+            .collect();
+        Self::extract_from(design, segments, target, window, obstacles)
+    }
+
+    fn extract_from(
+        design: &Design,
+        segments: &SegmentMap,
+        target: CellId,
+        window: Rect,
+        obstacle_candidates: Vec<&flex_placement::cell::Cell>,
+    ) -> Self {
         let win_x = window.x_interval();
         // 1. one candidate segment per row: the widest free interval clipped to the window.
         let mut segs: Vec<LocalSegment> = Vec::new();
@@ -89,15 +182,16 @@ impl LocalRegion {
             }
         }
 
-        // Obstacle candidates: legalized movable cells other than the target.
-        let obstacles: Vec<&flex_placement::cell::Cell> = design
-            .cells
-            .iter()
-            .filter(|c| !c.fixed && c.legalized && c.id != target)
-            .filter(|c| c.rect().overlaps(&window.expanded(1, 0)) || {
-                // cells just outside the window can still overlap a segment that touches the
-                // window boundary, so consider anything overlapping any candidate segment row
-                segs.iter().any(|s| c.y_interval().contains(s.row) && c.x_interval().overlaps(&s.span))
+        // Obstacle candidates: legalized movable cells near the window.
+        let obstacles: Vec<&flex_placement::cell::Cell> = obstacle_candidates
+            .into_iter()
+            .filter(|c| {
+                c.rect().overlaps(&window.expanded(1, 0)) || {
+                    // cells just outside the window can still overlap a segment that touches the
+                    // window boundary, so consider anything overlapping any candidate segment row
+                    segs.iter()
+                        .any(|s| c.y_interval().contains(s.row) && c.x_interval().overlaps(&s.span))
+                }
             })
             .collect();
 
@@ -143,7 +237,10 @@ impl LocalRegion {
                         changed = true;
                     }
                     if !best.is_empty() {
-                        new_segs.push(LocalSegment { row: seg.row, span: best });
+                        new_segs.push(LocalSegment {
+                            row: seg.row,
+                            span: best,
+                        });
                     } else {
                         changed = true;
                     }
@@ -174,7 +271,11 @@ impl LocalRegion {
 
         let free: i64 = segs.iter().map(|s| s.span.len()).sum();
         let used: i64 = cells.iter().map(|c| c.width * c.height).sum();
-        let density = if free > 0 { used as f64 / free as f64 } else { 1.0 };
+        let density = if free > 0 {
+            used as f64 / free as f64
+        } else {
+            1.0
+        };
 
         let mut region = Self {
             target,

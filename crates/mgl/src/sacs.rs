@@ -70,7 +70,9 @@ pub fn shift_phase_sacs_with_stats(
     // ascending x for the right-move phase.
     let mut positions = canonical.positions;
     match phase {
-        Phase::Left => positions.sort_by_key(|&(i, _)| std::cmp::Reverse((region.cells[i].x, i as i64))),
+        Phase::Left => {
+            positions.sort_by_key(|&(i, _)| std::cmp::Reverse((region.cells[i].x, i as i64)))
+        }
         Phase::Right => positions.sort_by_key(|&(i, _)| (region.cells[i].x, i as i64)),
     }
 
@@ -85,7 +87,10 @@ pub fn shift_phase_sacs_with_stats(
 }
 
 /// Run one SACS phase (positions only).
-pub fn shift_phase_sacs(problem: &ShiftProblem<'_>, phase: Phase) -> Result<ShiftOutcome, Infeasible> {
+pub fn shift_phase_sacs(
+    problem: &ShiftProblem<'_>,
+    phase: Phase,
+) -> Result<ShiftOutcome, Infeasible> {
     shift_phase_sacs_with_stats(problem, phase).map(|(o, _)| o)
 }
 
@@ -111,15 +116,52 @@ mod tests {
             target: CellId(99),
             window: Rect::new(0, 0, 40, 3),
             segments: vec![
-                LocalSegment { row: 0, span: Interval::new(0, 40) },
-                LocalSegment { row: 1, span: Interval::new(0, 40) },
-                LocalSegment { row: 2, span: Interval::new(0, 40) },
+                LocalSegment {
+                    row: 0,
+                    span: Interval::new(0, 40),
+                },
+                LocalSegment {
+                    row: 1,
+                    span: Interval::new(0, 40),
+                },
+                LocalSegment {
+                    row: 2,
+                    span: Interval::new(0, 40),
+                },
             ],
             cells: vec![
-                LocalCell { id: CellId(0), x: 10, y: 0, width: 4, height: 2, gx: 10.0 },
-                LocalCell { id: CellId(1), x: 5, y: 1, width: 4, height: 1, gx: 5.0 },
-                LocalCell { id: CellId(2), x: 1, y: 0, width: 3, height: 3, gx: 1.0 },
-                LocalCell { id: CellId(3), x: 20, y: 0, width: 5, height: 1, gx: 20.0 },
+                LocalCell {
+                    id: CellId(0),
+                    x: 10,
+                    y: 0,
+                    width: 4,
+                    height: 2,
+                    gx: 10.0,
+                },
+                LocalCell {
+                    id: CellId(1),
+                    x: 5,
+                    y: 1,
+                    width: 4,
+                    height: 1,
+                    gx: 5.0,
+                },
+                LocalCell {
+                    id: CellId(2),
+                    x: 1,
+                    y: 0,
+                    width: 3,
+                    height: 3,
+                    gx: 1.0,
+                },
+                LocalCell {
+                    id: CellId(3),
+                    x: 20,
+                    y: 0,
+                    width: 5,
+                    height: 1,
+                    gx: 20.0,
+                },
             ],
             density: 0.3,
         }
@@ -131,7 +173,9 @@ mod tests {
         let pts = enumerate_insertion_points(&region, 6, 1, None, 15.0, 64);
         let point = pts
             .iter()
-            .find(|p| p.bottom_row == 0 && !p.left_chain[0].is_empty() && !p.right_chain[0].is_empty())
+            .find(|p| {
+                p.bottom_row == 0 && !p.left_chain[0].is_empty() && !p.right_chain[0].is_empty()
+            })
             .unwrap();
         let problem = ShiftProblem {
             region: &region,
@@ -244,7 +288,10 @@ mod tests {
                 target: CellId(1000),
                 window: Rect::new(0, 0, width, rows),
                 segments: (0..rows)
-                    .map(|r| LocalSegment { row: r, span: Interval::new(0, width) })
+                    .map(|r| LocalSegment {
+                        row: r,
+                        span: Interval::new(0, width),
+                    })
                     .collect(),
                 cells: Vec::new(),
                 density: 0.0,
@@ -258,7 +305,8 @@ mod tests {
                 let w = rng.random_range(2..=6i64);
                 let x = rng.random_range(0..=(width - w));
                 let span = Interval::new(x, x + w);
-                let clash = (y..y + h).any(|r| occupied[r as usize].iter().any(|iv| iv.overlaps(&span)));
+                let clash =
+                    (y..y + h).any(|r| occupied[r as usize].iter().any(|iv| iv.overlaps(&span)));
                 if clash {
                     continue;
                 }
@@ -293,8 +341,18 @@ mod tests {
                     let b = shift_phase_sacs(&problem, phase);
                     match (&a, &b) {
                         (Ok(a_out), Ok(b_out)) => {
-                            assert_phase_invariants(&region, &problem, phase, a_out, &format!("case {case} original"));
-                            assert_eq!(a_out.as_map(), b_out.as_map(), "case {case} phase {phase:?}");
+                            assert_phase_invariants(
+                                &region,
+                                &problem,
+                                phase,
+                                a_out,
+                                &format!("case {case} original"),
+                            );
+                            assert_eq!(
+                                a_out.as_map(),
+                                b_out.as_map(),
+                                "case {case} phase {phase:?}"
+                            );
                         }
                         (Err(_), Err(_)) => {}
                         _ => panic!("case {case}: feasibility disagreement between schedules"),
@@ -307,8 +365,18 @@ mod tests {
     #[test]
     fn tall_cell_queries_are_tracked() {
         let mut region = fig6_region();
-        region.segments.push(LocalSegment { row: 3, span: Interval::new(0, 40) });
-        region.cells.push(LocalCell { id: CellId(4), x: 14, y: 0, width: 3, height: 4, gx: 14.0 });
+        region.segments.push(LocalSegment {
+            row: 3,
+            span: Interval::new(0, 40),
+        });
+        region.cells.push(LocalCell {
+            id: CellId(4),
+            x: 14,
+            y: 0,
+            width: 3,
+            height: 4,
+            gx: 14.0,
+        });
         let pts = enumerate_insertion_points(&region, 4, 1, None, 18.0, 64);
         let point = pts.iter().find(|p| p.bottom_row == 0).unwrap();
         let problem = ShiftProblem {
@@ -319,7 +387,10 @@ mod tests {
             target_x: point.clamp(18),
         };
         let (_, stats) = shift_phase_sacs_with_stats(&problem, Phase::Left).unwrap();
-        assert!(stats.tall_bound_queries >= 4, "the 4-row cell queries one bound per row");
+        assert!(
+            stats.tall_bound_queries >= 4,
+            "the 4-row cell queries one bound per row"
+        );
     }
 
     #[test]
@@ -336,7 +407,11 @@ mod tests {
         };
         let out = shift_phase_sacs(&problem, Phase::Left).unwrap();
         // left phase emits cells in descending original-x order (the pre-sorted order)
-        let xs: Vec<i64> = out.positions.iter().map(|(i, _)| region.cells[*i].x).collect();
+        let xs: Vec<i64> = out
+            .positions
+            .iter()
+            .map(|(i, _)| region.cells[*i].x)
+            .collect();
         let mut sorted = xs.clone();
         sorted.sort_by_key(|x| std::cmp::Reverse(*x));
         assert_eq!(xs, sorted);

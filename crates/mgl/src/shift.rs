@@ -88,7 +88,10 @@ pub struct ShiftOutcome {
 impl ShiftOutcome {
     /// Final position of a cell, if the phase touched it.
     pub fn position_of(&self, cell: usize) -> Option<i64> {
-        self.positions.iter().find(|(c, _)| *c == cell).map(|(_, x)| *x)
+        self.positions
+            .iter()
+            .find(|(c, _)| *c == cell)
+            .map(|(_, x)| *x)
     }
 
     /// The positions as a map keyed by region cell index.
@@ -110,7 +113,10 @@ impl std::fmt::Display for Infeasible {
 impl std::error::Error for Infeasible {}
 
 /// Run one phase of the **original** multi-pass shifting algorithm.
-pub fn shift_phase_original(problem: &ShiftProblem<'_>, phase: Phase) -> Result<ShiftOutcome, Infeasible> {
+pub fn shift_phase_original(
+    problem: &ShiftProblem<'_>,
+    phase: Phase,
+) -> Result<ShiftOutcome, Infeasible> {
     let region = problem.region;
     let statics = problem.statics(phase);
     let movers = problem.movers(phase);
@@ -118,7 +124,9 @@ pub fn shift_phase_original(problem: &ShiftProblem<'_>, phase: Phase) -> Result<
 
     // working positions of the participants (everything that is not a static obstacle)
     let mut pos: Vec<i64> = region.cells.iter().map(|c| c.x).collect();
-    let participants: Vec<usize> = (0..region.cells.len()).filter(|i| !statics.contains(i)).collect();
+    let participants: Vec<usize> = (0..region.cells.len())
+        .filter(|i| !statics.contains(i))
+        .collect();
 
     let mut passes = 0u32;
     let mut visits = 0u64;
@@ -235,7 +243,9 @@ pub fn shift_phase_original(problem: &ShiftProblem<'_>, phase: Phase) -> Result<
 }
 
 /// Run both phases of the original algorithm and merge the outcomes.
-pub fn shift_original(problem: &ShiftProblem<'_>) -> Result<(ShiftOutcome, ShiftOutcome), Infeasible> {
+pub fn shift_original(
+    problem: &ShiftProblem<'_>,
+) -> Result<(ShiftOutcome, ShiftOutcome), Infeasible> {
     let left = shift_phase_original(problem, Phase::Left)?;
     let right = shift_phase_original(problem, Phase::Right)?;
     Ok((left, right))
@@ -255,19 +265,56 @@ mod tests {
             target: CellId(99),
             window: Rect::new(0, 0, 40, 3),
             segments: vec![
-                LocalSegment { row: 0, span: Interval::new(0, 40) },
-                LocalSegment { row: 1, span: Interval::new(0, 40) },
-                LocalSegment { row: 2, span: Interval::new(0, 40) },
+                LocalSegment {
+                    row: 0,
+                    span: Interval::new(0, 40),
+                },
+                LocalSegment {
+                    row: 1,
+                    span: Interval::new(0, 40),
+                },
+                LocalSegment {
+                    row: 2,
+                    span: Interval::new(0, 40),
+                },
             ],
             cells: vec![
                 // a: 2-row cell on rows 0-1
-                LocalCell { id: CellId(0), x: 10, y: 0, width: 4, height: 2, gx: 10.0 },
+                LocalCell {
+                    id: CellId(0),
+                    x: 10,
+                    y: 0,
+                    width: 4,
+                    height: 2,
+                    gx: 10.0,
+                },
                 // b: 1-row cell left of a on row 1
-                LocalCell { id: CellId(1), x: 5, y: 1, width: 4, height: 1, gx: 5.0 },
+                LocalCell {
+                    id: CellId(1),
+                    x: 5,
+                    y: 1,
+                    width: 4,
+                    height: 1,
+                    gx: 5.0,
+                },
                 // c: 3-row cell on rows 0-2 to the left
-                LocalCell { id: CellId(2), x: 1, y: 0, width: 3, height: 3, gx: 1.0 },
+                LocalCell {
+                    id: CellId(2),
+                    x: 1,
+                    y: 0,
+                    width: 3,
+                    height: 3,
+                    gx: 1.0,
+                },
                 // d: right-side cell
-                LocalCell { id: CellId(3), x: 20, y: 0, width: 5, height: 1, gx: 20.0 },
+                LocalCell {
+                    id: CellId(3),
+                    x: 20,
+                    y: 0,
+                    width: 5,
+                    height: 1,
+                    gx: 20.0,
+                },
             ],
             density: 0.3,
         }
@@ -348,7 +395,10 @@ mod tests {
 
         // With a little slack (x = 12) the same point is feasible and both designated cells end
         // up left of the target.
-        let relaxed = ShiftProblem { target_x: 12, ..tight };
+        let relaxed = ShiftProblem {
+            target_x: 12,
+            ..tight
+        };
         let out = shift_phase_original(&relaxed, Phase::Left).unwrap();
         let map = out.as_map();
         assert!(map[&0] + 4 <= 12);
@@ -380,10 +430,27 @@ mod tests {
         let region = LocalRegion {
             target: CellId(9),
             window: Rect::new(0, 0, 14, 1),
-            segments: vec![LocalSegment { row: 0, span: Interval::new(0, 14) }],
+            segments: vec![LocalSegment {
+                row: 0,
+                span: Interval::new(0, 14),
+            }],
             cells: vec![
-                LocalCell { id: CellId(0), x: 0, y: 0, width: 6, height: 1, gx: 0.0 },
-                LocalCell { id: CellId(1), x: 6, y: 0, width: 6, height: 1, gx: 6.0 },
+                LocalCell {
+                    id: CellId(0),
+                    x: 0,
+                    y: 0,
+                    width: 6,
+                    height: 1,
+                    gx: 0.0,
+                },
+                LocalCell {
+                    id: CellId(1),
+                    x: 6,
+                    y: 0,
+                    width: 6,
+                    height: 1,
+                    gx: 6.0,
+                },
             ],
             density: 0.85,
         };
@@ -436,7 +503,12 @@ mod tests {
             }
             for a in 0..spans.len() {
                 for b in a + 1..spans.len() {
-                    assert!(!spans[a].overlaps(&spans[b]), "row {row}: {:?} vs {:?}", spans[a], spans[b]);
+                    assert!(
+                        !spans[a].overlaps(&spans[b]),
+                        "row {row}: {:?} vs {:?}",
+                        spans[a],
+                        spans[b]
+                    );
                 }
             }
         }

@@ -204,12 +204,24 @@ impl WorkTrace {
         self.regions.iter().map(|r| r.subcell_visits).sum()
     }
 
+    /// Append another trace's regions after this one's, preserving both processing orders.
+    ///
+    /// Like [`FopOpStats::merge`] this is associative, which is what lets the parallel
+    /// legalizer combine per-shard traces in any grouping as long as the shard order is fixed.
+    pub fn merge(&mut self, other: &WorkTrace) {
+        self.regions.extend(other.regions.iter().cloned());
+    }
+
     /// Fraction of regions whose successor region did not overlap (preloadable).
     pub fn preloadable_fraction(&self) -> f64 {
         if self.regions.is_empty() {
             return 0.0;
         }
-        self.regions.iter().filter(|r| !r.next_region_overlaps).count() as f64 / self.regions.len() as f64
+        self.regions
+            .iter()
+            .filter(|r| !r.next_region_overlaps)
+            .count() as f64
+            / self.regions.len() as f64
     }
 }
 
@@ -253,6 +265,69 @@ mod tests {
         let s = FopOpStats::default();
         assert_eq!(s.cell_shift_fraction(), 0.0);
         assert_eq!(s.total_ns(), 0);
+    }
+
+    #[test]
+    fn op_stats_merge_is_associative_and_commutative() {
+        fn stats(seed: u64) -> FopOpStats {
+            let mut s = FopOpStats::default();
+            s.add(FopOperator::CellShift, Duration::from_nanos(seed * 3 + 1));
+            s.add(FopOperator::Presort, Duration::from_nanos(seed * 5 + 2));
+            s.add(FopOperator::SortBp, Duration::from_nanos(seed * 7 + 3));
+            s.add(
+                FopOperator::FwdTraverse,
+                Duration::from_nanos(seed * 11 + 4),
+            );
+            s.add(FopOperator::Other, Duration::from_nanos(seed * 13 + 5));
+            s
+        }
+        let (a, b, c) = (stats(1), stats(20), stats(300));
+
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        assert_eq!(left, right);
+
+        // a ⊕ b == b ⊕ a
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn trace_merge_is_associative_and_preserves_order() {
+        fn trace(ids: &[u32]) -> WorkTrace {
+            WorkTrace {
+                regions: ids
+                    .iter()
+                    .map(|&i| RegionWork {
+                        target: CellId(i),
+                        insertion_points: i as u64,
+                        ..RegionWork::default()
+                    })
+                    .collect(),
+            }
+        }
+        let (a, b, c) = (trace(&[1, 2]), trace(&[3]), trace(&[4, 5]));
+
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+        let order: Vec<u32> = left.regions.iter().map(|r| r.target.0).collect();
+        assert_eq!(order, vec![1, 2, 3, 4, 5]);
+        assert_eq!(left.total_points(), 1 + 2 + 3 + 4 + 5);
     }
 
     #[test]

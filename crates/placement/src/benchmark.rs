@@ -92,7 +92,12 @@ impl BenchmarkSpec {
         if total <= 0.0 {
             return 0.0;
         }
-        self.height_mix.iter().filter(|(h, _)| *h > 3).map(|(_, f)| f).sum::<f64>() / total
+        self.height_mix
+            .iter()
+            .filter(|(h, _)| *h > 3)
+            .map(|(_, f)| f)
+            .sum::<f64>()
+            / total
     }
 }
 
@@ -149,8 +154,11 @@ pub fn generate(spec: &BenchmarkSpec) -> Design {
             let mh = ((per_macro as f64).sqrt() / spec.aspect.sqrt()).ceil() as i64;
             let mh = mh.clamp(2, (num_rows / 3).max(2));
             let mw = (per_macro / mh).clamp(4, (num_sites_x / 3).max(4));
-            let x = rng.random_range(num_sites_x / 8..=(num_sites_x - mw - num_sites_x / 8).max(num_sites_x / 8));
-            let y = rng.random_range(num_rows / 8..=(num_rows - mh - num_rows / 8).max(num_rows / 8));
+            let x = rng.random_range(
+                num_sites_x / 8..=(num_sites_x - mw - num_sites_x / 8).max(num_sites_x / 8),
+            );
+            let y =
+                rng.random_range(num_rows / 8..=(num_rows - mh - num_rows / 8).max(num_rows / 8));
             design.add_cell(Cell::fixed(CellId(0), mw, mh, x, y));
         }
     }
@@ -165,7 +173,11 @@ pub fn generate(spec: &BenchmarkSpec) -> Design {
         num_clusters: (spec.num_cells / 400).clamp(4, 64),
         ..GlobalPlaceConfig::default()
     };
-    global_place::run(&mut design, &gp, spec.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    global_place::run(
+        &mut design,
+        &gp,
+        spec.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    );
 
     design
 }
@@ -267,7 +279,10 @@ mod tests {
         let spec = tall_cell_spec("tall", 0.10, 3);
         let d = generate(&spec);
         let f = tall_cell_fraction(&d, 3);
-        assert!((f - 0.10).abs() < 0.03, "tall fraction {f} should be near 0.10");
+        assert!(
+            (f - 0.10).abs() < 0.03,
+            "tall fraction {f} should be near 0.10"
+        );
         assert!((spec.tall_fraction() - 0.10).abs() < 1e-9);
     }
 

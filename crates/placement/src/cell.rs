@@ -15,7 +15,9 @@ use crate::geom::{Interval, Point, Rect};
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a cell: index into [`crate::layout::Design::cells`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
 pub struct CellId(pub u32);
 
 impl CellId {
@@ -112,7 +114,12 @@ impl Cell {
 
     /// Bounding rectangle at the global-placement position (rounded down to integers).
     pub fn global_rect(&self) -> Rect {
-        Rect::from_size(self.gx.floor() as i64, self.gy.floor() as i64, self.width, self.height)
+        Rect::from_size(
+            self.gx.floor() as i64,
+            self.gy.floor() as i64,
+            self.width,
+            self.height,
+        )
     }
 
     /// Horizontal span at the current position.

@@ -209,7 +209,12 @@ impl Rect {
 
     /// Expand the rectangle by `dx` sites horizontally and `dy` rows vertically on every side.
     pub fn expanded(&self, dx: i64, dy: i64) -> Rect {
-        Rect::new(self.x_lo - dx, self.y_lo - dy, self.x_hi + dx, self.y_hi + dy)
+        Rect::new(
+            self.x_lo - dx,
+            self.y_lo - dy,
+            self.x_hi + dx,
+            self.y_hi + dy,
+        )
     }
 }
 
@@ -254,8 +259,14 @@ mod tests {
     #[test]
     fn interval_subtract_produces_pieces() {
         let a = Interval::new(0, 10);
-        assert_eq!(a.subtract(&Interval::new(3, 6)), vec![Interval::new(0, 3), Interval::new(6, 10)]);
-        assert_eq!(a.subtract(&Interval::new(-5, 4)), vec![Interval::new(4, 10)]);
+        assert_eq!(
+            a.subtract(&Interval::new(3, 6)),
+            vec![Interval::new(0, 3), Interval::new(6, 10)]
+        );
+        assert_eq!(
+            a.subtract(&Interval::new(-5, 4)),
+            vec![Interval::new(4, 10)]
+        );
         assert_eq!(a.subtract(&Interval::new(8, 20)), vec![Interval::new(0, 8)]);
         assert_eq!(a.subtract(&Interval::new(-1, 11)), vec![]);
         assert_eq!(a.subtract(&Interval::new(20, 30)), vec![a]);

@@ -92,7 +92,9 @@ pub fn scatter(design: &mut Design, config: &GlobalPlaceConfig, rng: &mut StdRng
             gx = gx.clamp(0.0, (w - c.width as f64).max(0.0));
             gy = gy.clamp(0.0, (h - c.height as f64).max(0.0));
             let rect = Rect::from_size(gx.round() as i64, gy.round() as i64, c.width, c.height);
-            let blocked = blockages.iter().any(|b| b.overlap_area(&rect) * 2 > rect.area());
+            let blocked = blockages
+                .iter()
+                .any(|b| b.overlap_area(&rect) * 2 > rect.area());
             attempt += 1;
             if !blocked || attempt > 16 {
                 c.gx = gx;
@@ -230,7 +232,11 @@ mod tests {
         }
         let mut c = design(200);
         run(&mut c, &cfg, 100);
-        let same = a.cells.iter().zip(c.cells.iter()).all(|(x, y)| x.gx == y.gx && x.gy == y.gy);
+        let same = a
+            .cells
+            .iter()
+            .zip(c.cells.iter())
+            .all(|(x, y)| x.gx == y.gx && x.gy == y.gy);
         assert!(!same, "different seeds should give different placements");
     }
 
@@ -253,6 +259,9 @@ mod tests {
             })
             .count();
         // the retry loop tolerates a few stragglers but the bulk must land off-macro
-        assert!(mostly_on_macro < 30, "{mostly_on_macro} cells landed on the macro");
+        assert!(
+            mostly_on_macro < 30,
+            "{mostly_on_macro} cells landed on the macro"
+        );
     }
 }

@@ -57,22 +57,214 @@ impl Iccad2017Case {
 
 /// The 16 Table 1 cases with the paper's reference numbers.
 pub const CASES: &[Iccad2017Case] = &[
-    Iccad2017Case { name: "des_perf_1",      num_cells: 112_644, density_pct: 90.6, avedis_tcad22: 0.967, time_tcad22: 4.74, avedis_date22: 1.05, time_date22: 3.47, avedis_ispd25: 0.66, time_ispd25: 7.51,  avedis_flex: 0.665, time_flex: 1.322 },
-    Iccad2017Case { name: "des_perf_a_md1",  num_cells: 108_288, density_pct: 55.1, avedis_tcad22: 0.919, time_tcad22: 1.81, avedis_date22: 0.92, time_date22: 2.00, avedis_ispd25: 1.20, time_ispd25: 8.38,  avedis_flex: 0.904, time_flex: 0.727 },
-    Iccad2017Case { name: "des_perf_a_md2",  num_cells: 108_288, density_pct: 55.9, avedis_tcad22: 1.148, time_tcad22: 1.67, avedis_date22: 1.32, time_date22: 2.00, avedis_ispd25: 1.12, time_ispd25: 16.64, avedis_flex: 1.144, time_flex: 0.663 },
-    Iccad2017Case { name: "des_perf_b_md1",  num_cells: 112_644, density_pct: 55.0, avedis_tcad22: 0.675, time_tcad22: 1.28, avedis_date22: 0.70, time_date22: 6.85, avedis_ispd25: 0.65, time_ispd25: 20.34, avedis_flex: 0.635, time_flex: 0.375 },
-    Iccad2017Case { name: "des_perf_b_md2",  num_cells: 112_644, density_pct: 64.7, avedis_tcad22: 0.618, time_tcad22: 1.31, avedis_date22: 0.72, time_date22: 1.75, avedis_ispd25: 0.70, time_ispd25: 1.11,  avedis_flex: 0.653, time_flex: 0.501 },
-    Iccad2017Case { name: "edit_dist_1_md1", num_cells: 130_661, density_pct: 67.4, avedis_tcad22: 0.664, time_tcad22: 0.98, avedis_date22: 0.67, time_date22: 1.67, avedis_ispd25: 0.63, time_ispd25: 2.68,  avedis_flex: 0.646, time_flex: 0.347 },
-    Iccad2017Case { name: "edit_dist_a_md2", num_cells: 127_413, density_pct: 59.4, avedis_tcad22: 0.614, time_tcad22: 1.30, avedis_date22: 0.73, time_date22: 1.80, avedis_ispd25: 0.67, time_ispd25: 2.22,  avedis_flex: 0.650, time_flex: 0.547 },
-    Iccad2017Case { name: "edit_dist_a_md3", num_cells: 127_413, density_pct: 57.2, avedis_tcad22: 0.783, time_tcad22: 1.78, avedis_date22: 0.91, time_date22: 3.92, avedis_ispd25: 0.79, time_ispd25: 19.21, avedis_flex: 0.771, time_flex: 0.897 },
-    Iccad2017Case { name: "fft_2_md2",       num_cells: 32_281,  density_pct: 82.7, avedis_tcad22: 0.721, time_tcad22: 0.29, avedis_date22: 0.68, time_date22: 0.45, avedis_ispd25: 0.68, time_ispd25: 1.74,  avedis_flex: 0.694, time_flex: 0.112 },
-    Iccad2017Case { name: "fft_a_md2",       num_cells: 30_625,  density_pct: 32.3, avedis_tcad22: 0.563, time_tcad22: 0.22, avedis_date22: 0.65, time_date22: 0.32, avedis_ispd25: 0.75, time_ispd25: 0.51,  avedis_flex: 0.604, time_flex: 0.041 },
-    Iccad2017Case { name: "fft_a_md3",       num_cells: 30_625,  density_pct: 31.2, avedis_tcad22: 0.531, time_tcad22: 0.15, avedis_date22: 0.56, time_date22: 0.34, avedis_ispd25: 0.59, time_ispd25: 0.39,  avedis_flex: 0.567, time_flex: 0.036 },
-    Iccad2017Case { name: "pci_b_a_md1",     num_cells: 29_517,  density_pct: 49.5, avedis_tcad22: 0.652, time_tcad22: 0.33, avedis_date22: 0.63, time_date22: 0.58, avedis_ispd25: 0.92, time_ispd25: 0.70,  avedis_flex: 0.699, time_flex: 0.106 },
-    Iccad2017Case { name: "pci_b_a_md2",     num_cells: 29_517,  density_pct: 57.7, avedis_tcad22: 0.839, time_tcad22: 0.47, avedis_date22: 0.91, time_date22: 0.62, avedis_ispd25: 0.85, time_ispd25: 2.12,  avedis_flex: 0.838, time_flex: 0.130 },
-    Iccad2017Case { name: "pci_b_b_md1",     num_cells: 28_914,  density_pct: 26.6, avedis_tcad22: 0.781, time_tcad22: 0.31, avedis_date22: 0.48, time_date22: 0.62, avedis_ispd25: 1.14, time_ispd25: 0.88,  avedis_flex: 0.821, time_flex: 0.085 },
-    Iccad2017Case { name: "pci_b_b_md2",     num_cells: 28_914,  density_pct: 18.3, avedis_tcad22: 0.704, time_tcad22: 0.32, avedis_date22: 0.63, time_date22: 0.45, avedis_ispd25: 1.01, time_ispd25: 1.69,  avedis_flex: 0.746, time_flex: 0.072 },
-    Iccad2017Case { name: "pci_b_b_md3",     num_cells: 28_914,  density_pct: 22.2, avedis_tcad22: 0.925, time_tcad22: 0.34, avedis_date22: 0.87, time_date22: 0.45, avedis_ispd25: 1.09, time_ispd25: 1.92,  avedis_flex: 0.945, time_flex: 0.082 },
+    Iccad2017Case {
+        name: "des_perf_1",
+        num_cells: 112_644,
+        density_pct: 90.6,
+        avedis_tcad22: 0.967,
+        time_tcad22: 4.74,
+        avedis_date22: 1.05,
+        time_date22: 3.47,
+        avedis_ispd25: 0.66,
+        time_ispd25: 7.51,
+        avedis_flex: 0.665,
+        time_flex: 1.322,
+    },
+    Iccad2017Case {
+        name: "des_perf_a_md1",
+        num_cells: 108_288,
+        density_pct: 55.1,
+        avedis_tcad22: 0.919,
+        time_tcad22: 1.81,
+        avedis_date22: 0.92,
+        time_date22: 2.00,
+        avedis_ispd25: 1.20,
+        time_ispd25: 8.38,
+        avedis_flex: 0.904,
+        time_flex: 0.727,
+    },
+    Iccad2017Case {
+        name: "des_perf_a_md2",
+        num_cells: 108_288,
+        density_pct: 55.9,
+        avedis_tcad22: 1.148,
+        time_tcad22: 1.67,
+        avedis_date22: 1.32,
+        time_date22: 2.00,
+        avedis_ispd25: 1.12,
+        time_ispd25: 16.64,
+        avedis_flex: 1.144,
+        time_flex: 0.663,
+    },
+    Iccad2017Case {
+        name: "des_perf_b_md1",
+        num_cells: 112_644,
+        density_pct: 55.0,
+        avedis_tcad22: 0.675,
+        time_tcad22: 1.28,
+        avedis_date22: 0.70,
+        time_date22: 6.85,
+        avedis_ispd25: 0.65,
+        time_ispd25: 20.34,
+        avedis_flex: 0.635,
+        time_flex: 0.375,
+    },
+    Iccad2017Case {
+        name: "des_perf_b_md2",
+        num_cells: 112_644,
+        density_pct: 64.7,
+        avedis_tcad22: 0.618,
+        time_tcad22: 1.31,
+        avedis_date22: 0.72,
+        time_date22: 1.75,
+        avedis_ispd25: 0.70,
+        time_ispd25: 1.11,
+        avedis_flex: 0.653,
+        time_flex: 0.501,
+    },
+    Iccad2017Case {
+        name: "edit_dist_1_md1",
+        num_cells: 130_661,
+        density_pct: 67.4,
+        avedis_tcad22: 0.664,
+        time_tcad22: 0.98,
+        avedis_date22: 0.67,
+        time_date22: 1.67,
+        avedis_ispd25: 0.63,
+        time_ispd25: 2.68,
+        avedis_flex: 0.646,
+        time_flex: 0.347,
+    },
+    Iccad2017Case {
+        name: "edit_dist_a_md2",
+        num_cells: 127_413,
+        density_pct: 59.4,
+        avedis_tcad22: 0.614,
+        time_tcad22: 1.30,
+        avedis_date22: 0.73,
+        time_date22: 1.80,
+        avedis_ispd25: 0.67,
+        time_ispd25: 2.22,
+        avedis_flex: 0.650,
+        time_flex: 0.547,
+    },
+    Iccad2017Case {
+        name: "edit_dist_a_md3",
+        num_cells: 127_413,
+        density_pct: 57.2,
+        avedis_tcad22: 0.783,
+        time_tcad22: 1.78,
+        avedis_date22: 0.91,
+        time_date22: 3.92,
+        avedis_ispd25: 0.79,
+        time_ispd25: 19.21,
+        avedis_flex: 0.771,
+        time_flex: 0.897,
+    },
+    Iccad2017Case {
+        name: "fft_2_md2",
+        num_cells: 32_281,
+        density_pct: 82.7,
+        avedis_tcad22: 0.721,
+        time_tcad22: 0.29,
+        avedis_date22: 0.68,
+        time_date22: 0.45,
+        avedis_ispd25: 0.68,
+        time_ispd25: 1.74,
+        avedis_flex: 0.694,
+        time_flex: 0.112,
+    },
+    Iccad2017Case {
+        name: "fft_a_md2",
+        num_cells: 30_625,
+        density_pct: 32.3,
+        avedis_tcad22: 0.563,
+        time_tcad22: 0.22,
+        avedis_date22: 0.65,
+        time_date22: 0.32,
+        avedis_ispd25: 0.75,
+        time_ispd25: 0.51,
+        avedis_flex: 0.604,
+        time_flex: 0.041,
+    },
+    Iccad2017Case {
+        name: "fft_a_md3",
+        num_cells: 30_625,
+        density_pct: 31.2,
+        avedis_tcad22: 0.531,
+        time_tcad22: 0.15,
+        avedis_date22: 0.56,
+        time_date22: 0.34,
+        avedis_ispd25: 0.59,
+        time_ispd25: 0.39,
+        avedis_flex: 0.567,
+        time_flex: 0.036,
+    },
+    Iccad2017Case {
+        name: "pci_b_a_md1",
+        num_cells: 29_517,
+        density_pct: 49.5,
+        avedis_tcad22: 0.652,
+        time_tcad22: 0.33,
+        avedis_date22: 0.63,
+        time_date22: 0.58,
+        avedis_ispd25: 0.92,
+        time_ispd25: 0.70,
+        avedis_flex: 0.699,
+        time_flex: 0.106,
+    },
+    Iccad2017Case {
+        name: "pci_b_a_md2",
+        num_cells: 29_517,
+        density_pct: 57.7,
+        avedis_tcad22: 0.839,
+        time_tcad22: 0.47,
+        avedis_date22: 0.91,
+        time_date22: 0.62,
+        avedis_ispd25: 0.85,
+        time_ispd25: 2.12,
+        avedis_flex: 0.838,
+        time_flex: 0.130,
+    },
+    Iccad2017Case {
+        name: "pci_b_b_md1",
+        num_cells: 28_914,
+        density_pct: 26.6,
+        avedis_tcad22: 0.781,
+        time_tcad22: 0.31,
+        avedis_date22: 0.48,
+        time_date22: 0.62,
+        avedis_ispd25: 1.14,
+        time_ispd25: 0.88,
+        avedis_flex: 0.821,
+        time_flex: 0.085,
+    },
+    Iccad2017Case {
+        name: "pci_b_b_md2",
+        num_cells: 28_914,
+        density_pct: 18.3,
+        avedis_tcad22: 0.704,
+        time_tcad22: 0.32,
+        avedis_date22: 0.63,
+        time_date22: 0.45,
+        avedis_ispd25: 1.01,
+        time_ispd25: 1.69,
+        avedis_flex: 0.746,
+        time_flex: 0.072,
+    },
+    Iccad2017Case {
+        name: "pci_b_b_md3",
+        num_cells: 28_914,
+        density_pct: 22.2,
+        avedis_tcad22: 0.925,
+        time_tcad22: 0.34,
+        avedis_date22: 0.87,
+        time_date22: 0.45,
+        avedis_ispd25: 1.09,
+        time_ispd25: 1.92,
+        avedis_flex: 0.945,
+        time_flex: 0.082,
+    },
 ];
 
 /// Look up a case by name.
@@ -137,7 +329,10 @@ mod tests {
     fn catalogue_has_sixteen_cases_with_paper_averages() {
         assert_eq!(CASES.len(), 16);
         let avg_flex_time: f64 = CASES.iter().map(|c| c.time_flex).sum::<f64>() / 16.0;
-        assert!((avg_flex_time - 0.378).abs() < 0.01, "avg FLEX time {avg_flex_time}");
+        assert!(
+            (avg_flex_time - 0.378).abs() < 0.01,
+            "avg FLEX time {avg_flex_time}"
+        );
         let avg_tcad_dis: f64 = CASES.iter().map(|c| c.avedis_tcad22).sum::<f64>() / 16.0;
         assert!((avg_tcad_dis - 0.757).abs() < 0.01);
     }

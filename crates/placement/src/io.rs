@@ -47,9 +47,13 @@ impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ParseError::BadFieldCount { line } => write!(f, "line {line}: wrong number of fields"),
-            ParseError::BadNumber { line, token } => write!(f, "line {line}: cannot parse number {token:?}"),
+            ParseError::BadNumber { line, token } => {
+                write!(f, "line {line}: cannot parse number {token:?}")
+            }
             ParseError::MissingHeader => write!(f, "missing `design` header line"),
-            ParseError::UnknownRecord { line, keyword } => write!(f, "line {line}: unknown record {keyword:?}"),
+            ParseError::UnknownRecord { line, keyword } => {
+                write!(f, "line {line}: unknown record {keyword:?}")
+            }
         }
     }
 }
@@ -112,7 +116,11 @@ pub fn from_text(text: &str) -> Result<Design, ParseError> {
                 if fields.len() != 6 {
                     return Err(ParseError::BadFieldCount { line: line_no });
                 }
-                let mut d = Design::new(fields[1], parse_num(fields[2], line_no)?, parse_num(fields[3], line_no)?);
+                let mut d = Design::new(
+                    fields[1],
+                    parse_num(fields[2], line_no)?,
+                    parse_num(fields[3], line_no)?,
+                );
                 d.site_width = parse_num(fields[4], line_no)?;
                 d.row_height = parse_num(fields[5], line_no)?;
                 d.base_rail = Rail::Vdd;

@@ -80,12 +80,20 @@ impl Design {
 
     /// Ids of all movable cells.
     pub fn movable_ids(&self) -> Vec<CellId> {
-        self.cells.iter().filter(|c| !c.fixed).map(|c| c.id).collect()
+        self.cells
+            .iter()
+            .filter(|c| !c.fixed)
+            .map(|c| c.id)
+            .collect()
     }
 
     /// Ids of all fixed cells.
     pub fn fixed_ids(&self) -> Vec<CellId> {
-        self.cells.iter().filter(|c| c.fixed).map(|c| c.id).collect()
+        self.cells
+            .iter()
+            .filter(|c| c.fixed)
+            .map(|c| c.id)
+            .collect()
     }
 
     /// Number of movable cells.
@@ -95,13 +103,19 @@ impl Design {
 
     /// Iterator over the rows of the die.
     pub fn rows(&self) -> impl Iterator<Item = Row> + '_ {
-        (0..self.num_rows).map(move |r| Row::new(r, 0, self.num_sites_x, Rail::of_row(r, self.base_rail)))
+        (0..self.num_rows)
+            .map(move |r| Row::new(r, 0, self.num_sites_x, Rail::of_row(r, self.base_rail)))
     }
 
     /// Row `index`, if it exists.
     pub fn row(&self, index: i64) -> Option<Row> {
         if index >= 0 && index < self.num_rows {
-            Some(Row::new(index, 0, self.num_sites_x, Rail::of_row(index, self.base_rail)))
+            Some(Row::new(
+                index,
+                0,
+                self.num_sites_x,
+                Rail::of_row(index, self.base_rail),
+            ))
         } else {
             None
         }
@@ -109,7 +123,11 @@ impl Design {
 
     /// Total area of movable cells (site·row units).
     pub fn movable_area(&self) -> i64 {
-        self.cells.iter().filter(|c| !c.fixed).map(|c| c.area()).sum()
+        self.cells
+            .iter()
+            .filter(|c| !c.fixed)
+            .map(|c| c.area())
+            .sum()
     }
 
     /// Total area blocked by fixed cells and blockages, clipped to the die.
@@ -190,7 +208,8 @@ impl Design {
     /// This is an O(n log n) sweep over row-bucketed cells, intended for verification and for
     /// the global-placement simulator's spreading loop, not for inner legalization loops.
     pub fn total_overlap_area(&self) -> i64 {
-        let mut per_row: Vec<Vec<(Interval, bool, CellId)>> = vec![Vec::new(); self.num_rows.max(0) as usize];
+        let mut per_row: Vec<Vec<(Interval, bool, CellId)>> =
+            vec![Vec::new(); self.num_rows.max(0) as usize];
         for c in &self.cells {
             for r in c.rows() {
                 if r >= 0 && r < self.num_rows {
@@ -208,8 +227,7 @@ impl Design {
             row.sort_by_key(|(iv, _, _)| iv.lo);
             for i in 0..row.len() {
                 let (a, a_fixed, _) = row[i];
-                for j in i + 1..row.len() {
-                    let (b, b_fixed, _) = row[j];
+                for &(b, b_fixed, _) in &row[i + 1..] {
                     if b.lo >= a.hi {
                         break;
                     }
@@ -285,7 +303,10 @@ mod tests {
     fn free_intervals_subtract_fixed_and_blockages() {
         let d = small_design();
         // row 1 crosses the fixed macro at x in [40, 50)
-        assert_eq!(d.free_intervals(1), vec![Interval::new(0, 40), Interval::new(50, 100)]);
+        assert_eq!(
+            d.free_intervals(1),
+            vec![Interval::new(0, 40), Interval::new(50, 100)]
+        );
         // row 5 is unblocked
         assert_eq!(d.free_intervals(5), vec![Interval::new(0, 100)]);
         // row 9 is fully covered by the blockage

@@ -98,16 +98,23 @@ pub fn check_legality_with(design: &Design, require_legalized_flag: bool) -> Leg
                 report.violations.push(Violation::OutOfDie { cell: c.id });
             }
             if !c.parity_ok(c.y) {
-                report.violations.push(Violation::ParityViolation { cell: c.id, row: c.y });
+                report.violations.push(Violation::ParityViolation {
+                    cell: c.id,
+                    row: c.y,
+                });
             }
             if require_legalized_flag && !c.legalized {
-                report.violations.push(Violation::NotLegalized { cell: c.id });
+                report
+                    .violations
+                    .push(Violation::NotLegalized { cell: c.id });
             }
             // blockage overlap
             for b in &design.blockages {
                 let area = c.rect().overlap_area(b);
                 if area > 0 {
-                    report.violations.push(Violation::BlockageOverlap { cell: c.id, area });
+                    report
+                        .violations
+                        .push(Violation::BlockageOverlap { cell: c.id, area });
                     report.overlap_area += area;
                 }
             }
@@ -126,15 +133,18 @@ pub fn check_legality_with(design: &Design, require_legalized_flag: bool) -> Leg
         bucket.sort_by_key(|(iv, _, _)| iv.lo);
         for i in 0..bucket.len() {
             let (a_iv, a_id, a_fixed) = bucket[i];
-            for j in i + 1..bucket.len() {
-                let (b_iv, b_id, b_fixed) = bucket[j];
+            for &(b_iv, b_id, b_fixed) in &bucket[i + 1..] {
                 if b_iv.lo >= a_iv.hi {
                     break;
                 }
                 if a_fixed && b_fixed {
                     continue;
                 }
-                let (lo, hi) = if a_id <= b_id { (a_id, b_id) } else { (b_id, a_id) };
+                let (lo, hi) = if a_id <= b_id {
+                    (a_id, b_id)
+                } else {
+                    (b_id, a_id)
+                };
                 if !seen.insert((lo, hi)) {
                     continue;
                 }
@@ -142,7 +152,9 @@ pub fn check_legality_with(design: &Design, require_legalized_flag: bool) -> Leg
                 let b = design.cell(b_id);
                 let area = a.rect().overlap_area(&b.rect());
                 if area > 0 {
-                    report.violations.push(Violation::CellOverlap { a: lo, b: hi, area });
+                    report
+                        .violations
+                        .push(Violation::CellOverlap { a: lo, b: hi, area });
                     report.overlap_area += area;
                 }
             }
@@ -175,7 +187,11 @@ mod tests {
         c.legalized = true;
         d.add_cell(c);
         let rep = check_legality_with(&d, true);
-        assert!(rep.is_legal(), "unexpected violations: {:?}", rep.violations);
+        assert!(
+            rep.is_legal(),
+            "unexpected violations: {:?}",
+            rep.violations
+        );
         assert!(rep.is_empty());
     }
 
@@ -226,7 +242,10 @@ mod tests {
         c.row_parity = Some(0);
         d.add_cell(c);
         let rep = check_legality(&d);
-        assert!(rep.violations.iter().any(|v| matches!(v, Violation::OutOfDie { .. })));
+        assert!(rep
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::OutOfDie { .. })));
         assert!(rep
             .violations
             .iter()
@@ -238,7 +257,10 @@ mod tests {
         let mut d = base();
         d.add_cell(Cell::movable(CellId(0), 4, 1, 0.0, 0.0));
         let strict = check_legality_with(&d, true);
-        assert!(strict.violations.iter().any(|v| matches!(v, Violation::NotLegalized { .. })));
+        assert!(strict
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::NotLegalized { .. })));
         let lax = check_legality(&d);
         assert!(lax.is_legal());
     }

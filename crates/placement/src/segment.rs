@@ -43,7 +43,10 @@ impl Segment {
         if span.is_empty() {
             None
         } else {
-            Some(Segment { row: self.row, span })
+            Some(Segment {
+                row: self.row,
+                span,
+            })
         }
     }
 }
@@ -126,8 +129,14 @@ mod tests {
         let map = SegmentMap::build(&d);
         assert_eq!(map.num_rows(), 4);
         assert_eq!(map.row(0), &[Segment::new(0, 0, 50)]);
-        assert_eq!(map.row(1), &[Segment::new(1, 0, 20), Segment::new(1, 30, 50)]);
-        assert_eq!(map.row(2), &[Segment::new(2, 0, 20), Segment::new(2, 30, 50)]);
+        assert_eq!(
+            map.row(1),
+            &[Segment::new(1, 0, 20), Segment::new(1, 30, 50)]
+        );
+        assert_eq!(
+            map.row(2),
+            &[Segment::new(2, 0, 20), Segment::new(2, 30, 50)]
+        );
         assert_eq!(map.row(3), &[Segment::new(3, 0, 50)]);
         assert_eq!(map.row(7), &[]);
         assert_eq!(map.row(-1), &[]);
@@ -166,7 +175,10 @@ mod tests {
     #[test]
     fn clipped_segment_behaviour() {
         let s = Segment::new(2, 10, 30);
-        assert_eq!(s.clipped(&Interval::new(0, 15)), Some(Segment::new(2, 10, 15)));
+        assert_eq!(
+            s.clipped(&Interval::new(0, 15)),
+            Some(Segment::new(2, 10, 15))
+        );
         assert_eq!(s.clipped(&Interval::new(30, 40)), None);
         assert!(!s.is_empty());
         assert_eq!(s.len(), 20);

@@ -1,0 +1,226 @@
+//! Offline shim for `criterion`.
+//!
+//! Provides the API surface the `flex-bench` benches use — `Criterion::benchmark_group`,
+//! `sample_size` / `measurement_time` / `warm_up_time`, `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!` / `criterion_main!` macros — backed
+//! by a simple wall-clock sampler instead of criterion's statistics engine. Each benchmark
+//! runs one warm-up iteration, then up to `sample_size` timed iterations capped by
+//! `measurement_time`, and prints min / mean / max per benchmark id.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, like criterion's two-part ids.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Id consisting of just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion accepted wherever criterion takes `impl IntoBenchmarkId` or `&str`.
+pub trait IntoBenchmarkId {
+    /// Render to the printed id string.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, one call per sample.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // one warm-up iteration
+        black_box(f());
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            black_box(f());
+            self.samples.push(t.elapsed());
+            if budget_start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+/// A named group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Wall-clock cap on the sampling loop of one benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim warms up with a single iteration regardless.
+    pub fn warm_up_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.run(id.into_id(), f);
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(id.into_id(), |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: String, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut bencher);
+        let s = &bencher.samples;
+        if s.is_empty() {
+            println!("{}/{:<28} (no samples)", self.name, id);
+            return;
+        }
+        let min = s.iter().min().unwrap();
+        let max = s.iter().max().unwrap();
+        let mean = s.iter().sum::<Duration>() / s.len() as u32;
+        println!(
+            "{}/{:<28} [{:>12.3?} {:>12.3?} {:>12.3?}]  ({} samples)",
+            self.name,
+            id,
+            min,
+            mean,
+            max,
+            s.len()
+        );
+    }
+
+    /// End the group (printing happened as each benchmark ran).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            _criterion: self,
+        }
+    }
+}
+
+/// Declare a bench entry point running each listed function with a fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare `main` for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(50));
+        let mut runs = 0usize;
+        group.bench_function("noop", |b| b.iter(|| runs += 1));
+        group.bench_with_input(BenchmarkId::new("param", 4), &4u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        // warm-up + up to sample_size timed iterations
+        assert!(runs >= 2);
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("cpu", 8).into_id(), "cpu/8");
+        assert_eq!(BenchmarkId::from_parameter(8).into_id(), "8");
+        assert_eq!("plain".into_id(), "plain");
+    }
+}

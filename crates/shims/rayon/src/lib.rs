@@ -1,0 +1,313 @@
+//! Offline shim for `rayon`.
+//!
+//! The build container has no network access, so this crate provides the small slice of the
+//! rayon API the workspace uses, implemented with `std::thread::scope`:
+//!
+//! * `batch.par_iter().map(f).collect::<Vec<_>>()` — an *ordered* parallel map,
+//! * `ThreadPoolBuilder::new().num_threads(n).build()?.install(|| …)` — a scoped override of
+//!   the worker count (a thread-local, not a real persistent pool), and
+//! * [`current_num_threads`].
+//!
+//! Semantics match rayon where it matters for this workspace: results come back in input
+//! order, closures run on multiple OS threads (so they must be `Sync`), and a panic in any
+//! worker propagates to the caller. Unlike real rayon there is no work stealing and threads
+//! are spawned per call, which is fine for the coarse-grained batches the legalizers build.
+
+use std::cell::Cell;
+use std::fmt;
+
+thread_local! {
+    /// Worker count installed by [`ThreadPool::install`]; 0 = use the machine default.
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Number of worker threads parallel iterators will use in the current context.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_THREADS.with(|c| c.get());
+    if installed == 0 {
+        default_threads()
+    } else {
+        installed
+    }
+}
+
+/// Error building a thread pool (the shim never actually fails).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Create a builder with the default (machine) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the worker count (0 = machine default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool. Never fails in the shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            threads: if self.num_threads == 0 {
+                default_threads()
+            } else {
+                self.num_threads
+            },
+        })
+    }
+}
+
+/// A "pool": in the shim, just a worker-count override scoped by [`ThreadPool::install`].
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's worker count active for parallel iterators.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = INSTALLED_THREADS.with(|c| c.replace(self.threads));
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        f()
+    }
+
+    /// Worker count of this pool.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// Ordered parallel map of `f` over `items`, chunked across [`current_num_threads`] workers.
+fn par_map_vec<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items;
+    // split from the back to avoid repeated shifting, then restore order
+    while !items.is_empty() {
+        let at = items.len().saturating_sub(chunk_len);
+        chunks.push(items.split_off(at));
+    }
+    chunks.reverse();
+    let f = &f;
+    let mut out: Vec<R> = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(p) => std::panic::resume_unwind(p),
+            }
+        }
+    });
+    out
+}
+
+/// Parallel iterator support: the subset of `rayon::iter` this workspace uses.
+pub mod iter {
+    use super::par_map_vec;
+
+    /// A parallel iterator whose items can be mapped and collected in input order.
+    pub trait ParallelIterator: Sized {
+        /// Item type produced by the iterator.
+        type Item: Send;
+
+        /// Evaluate the iterator eagerly, preserving input order.
+        fn drive(self) -> Vec<Self::Item>;
+
+        /// Map every item through `f` in parallel.
+        fn map<R, F>(self, f: F) -> Map<Self, F>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> R + Sync,
+        {
+            Map { base: self, f }
+        }
+
+        /// Run `f` on every item in parallel.
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn(Self::Item) + Sync,
+        {
+            self.map(f).drive();
+        }
+
+        /// Collect the items, preserving input order.
+        fn collect<C: FromIterator<Self::Item>>(self) -> C {
+            self.drive().into_iter().collect()
+        }
+    }
+
+    /// `.par_iter()` on `&self`, mirroring `rayon::iter::IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Item type (a reference into `self`).
+        type Item: Send + 'a;
+        /// Concrete iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+
+        /// Borrowing parallel iterator over `self`.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    /// `.into_par_iter()` by value, mirroring `rayon::iter::IntoParallelIterator`.
+    pub trait IntoParallelIterator {
+        /// Item type.
+        type Item: Send;
+        /// Concrete iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+
+        /// Consuming parallel iterator over `self`.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    /// Borrowing parallel iterator over a slice.
+    pub struct SliceIter<'a, T> {
+        slice: &'a [T],
+    }
+
+    impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+        type Item = &'a T;
+
+        fn drive(self) -> Vec<Self::Item> {
+            self.slice.iter().collect()
+        }
+    }
+
+    /// Consuming parallel iterator over a vector.
+    pub struct VecIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParallelIterator for VecIter<T> {
+        type Item = T;
+
+        fn drive(self) -> Vec<Self::Item> {
+            self.items
+        }
+    }
+
+    /// Result of [`ParallelIterator::map`]; driving it runs the closure on worker threads.
+    pub struct Map<I, F> {
+        base: I,
+        f: F,
+    }
+
+    impl<I, R, F> ParallelIterator for Map<I, F>
+    where
+        I: ParallelIterator,
+        R: Send,
+        F: Fn(I::Item) -> R + Sync,
+    {
+        type Item = R;
+
+        fn drive(self) -> Vec<R> {
+            par_map_vec(self.base.drive(), self.f)
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        type Iter = SliceIter<'a, T>;
+
+        fn par_iter(&'a self) -> SliceIter<'a, T> {
+            SliceIter { slice: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type Iter = SliceIter<'a, T>;
+
+        fn par_iter(&'a self) -> SliceIter<'a, T> {
+            SliceIter { slice: self }
+        }
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = VecIter<T>;
+
+        fn into_par_iter(self) -> VecIter<T> {
+            VecIter { items: self }
+        }
+    }
+}
+
+/// The rayon prelude: the traits needed for `.par_iter()` / `.map()` / `.collect()`.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn ordered_parallel_map() {
+        let v: Vec<i64> = (0..1000).collect();
+        let out: Vec<i64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let seen = pool.install(current_num_threads);
+        assert_eq!(seen, 3);
+        assert_ne!(current_num_threads(), 0);
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        let empty: Vec<i32> = Vec::new();
+        let out: Vec<i32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [7];
+        let out: Vec<i32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn into_par_iter_consumes() {
+        let v = vec![String::from("a"), String::from("b")];
+        let out: Vec<String> = v.into_par_iter().map(|s| s + "!").collect();
+        assert_eq!(out, vec!["a!", "b!"]);
+    }
+}

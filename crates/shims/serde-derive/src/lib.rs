@@ -1,0 +1,22 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The build container has no network access, so the real `serde` cannot be fetched. The
+//! workspace only uses `#[derive(Serialize, Deserialize)]` as inert markers (no code in the
+//! tree bounds on the serde traits or calls `serde_json`), so these derives expand to nothing.
+//! Structured persistence that the repo actually needs (e.g. the golden-stats JSON in
+//! `flex-bench`) is hand-rolled instead. Swapping this shim for the real crate is a
+//! `Cargo.toml`-only change.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

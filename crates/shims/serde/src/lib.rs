@@ -1,0 +1,8 @@
+//! Offline shim for `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` derive macros as no-ops so that
+//! `use serde::{Deserialize, Serialize};` + `#[derive(Serialize, Deserialize)]` compile without
+//! network access. No trait machinery is provided — nothing in this workspace bounds on the
+//! serde traits. See `crates/shims/serde-derive` for details.
+
+pub use serde_derive::{Deserialize, Serialize};

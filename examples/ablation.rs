@@ -27,10 +27,25 @@ fn run(label: &str, cfg: FlexConfig, seed: u64, baseline_fpga: Option<f64>) -> f
 fn main() {
     let seed = 99;
     println!("Fig. 8 style ablation (normalized FPGA-side speedup):");
-    let base = run("Normal-Pipeline (original shifting)", FlexConfig::normal_pipeline_baseline(), seed, None);
+    let base = run(
+        "Normal-Pipeline (original shifting)",
+        FlexConfig::normal_pipeline_baseline(),
+        seed,
+        None,
+    );
     run("+ SACS", FlexConfig::with_sacs_only(), seed, Some(base));
-    run("+ Multi-Granularity-Pipeline", FlexConfig::with_multi_granularity(), seed, Some(base));
-    run("+ 2-parallel FOP PEs (full FLEX)", FlexConfig::flex(), seed, Some(base));
+    run(
+        "+ Multi-Granularity-Pipeline",
+        FlexConfig::with_multi_granularity(),
+        seed,
+        Some(base),
+    );
+    run(
+        "+ 2-parallel FOP PEs (full FLEX)",
+        FlexConfig::flex(),
+        seed,
+        Some(base),
+    );
 
     println!();
     println!("Fig. 10 style task-assignment ablation (total estimated runtime):");

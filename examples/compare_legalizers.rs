@@ -57,11 +57,17 @@ fn main() {
     );
     println!(
         "{:<14} {:>8.3} {:>12.4} {:>8}",
-        "TCAD'22-MGL", tcad.average_displacement, tcad.seconds(), tcad.legal
+        "TCAD'22-MGL",
+        tcad.average_displacement,
+        tcad.seconds(),
+        tcad.legal
     );
     println!(
         "{:<14} {:>8.3} {:>12.4} {:>8}",
-        "DATE'22", date.average_displacement, date.seconds(), date.legal
+        "DATE'22",
+        date.average_displacement,
+        date.seconds(),
+        date.legal
     );
     println!(
         "{:<14} {:>8.3} {:>12.4} {:>8}",

@@ -30,7 +30,10 @@ fn main() {
     let report = check_legality_with(&design, true);
     let disp = displacement_stats(&design);
     println!("legal placement:        {}", report.is_legal());
-    println!("average displacement:   {:.3} rows (S_am, Eq. 2)", disp.average);
+    println!(
+        "average displacement:   {:.3} rows (S_am, Eq. 2)",
+        disp.average
+    );
     println!("max displacement:       {:.3} rows", disp.max);
     println!(
         "software runtime:       {:.3} ms (host-only MGL run)",
@@ -43,7 +46,13 @@ fn main() {
     );
     println!(
         "FPGA resources:         {} LUTs, {} FFs, {} BRAMs, {} DSPs",
-        outcome.resources.luts, outcome.resources.ffs, outcome.resources.brams, outcome.resources.dsps
+        outcome.resources.luts,
+        outcome.resources.ffs,
+        outcome.resources.brams,
+        outcome.resources.dsps
     );
-    assert!(report.is_legal(), "quickstart must produce a legal placement");
+    assert!(
+        report.is_legal(),
+        "quickstart must produce a legal placement"
+    );
 }

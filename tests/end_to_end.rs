@@ -62,7 +62,10 @@ fn flex_quality_is_competitive_with_the_cpu_baseline() {
     }
     assert!(ratios.len() >= 2, "too few comparable runs");
     let geomean = ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64;
-    assert!(geomean.exp() < 1.15, "FLEX quality should track the CPU baseline: {ratios:?}");
+    assert!(
+        geomean.exp() < 1.15,
+        "FLEX quality should track the CPU baseline: {ratios:?}"
+    );
 }
 
 #[test]
@@ -93,14 +96,35 @@ fn flex_offload_pays_off_against_the_software_run() {
 
 #[test]
 fn task_assignment_and_pe_count_ablations_point_the_right_way() {
+    // Fig. 10 compares the two task assignments on the same workload, so estimate both from
+    // one recorded trace instead of comparing wall-clocks of two separate measured runs
+    // (which is noise-dominated at 300 cells). The software breakdown is pinned to the
+    // paper's operating point — FOP dominates and the FPGA-side time is comparable to the
+    // CPU bookkeeping — which makes the comparison deterministic.
     let mut d = tiny(300);
     let flexr = FlexAccelerator::new(FlexConfig::flex()).legalize(&mut d);
-    let mut d2 = tiny(300);
-    let offload = FlexAccelerator::new(
-        FlexConfig::flex().with_assignment(TaskAssignment::FopAndUpdateOnFpga),
-    )
-    .legalize(&mut d2);
-    assert!(offload.timing.total >= flexr.timing.total);
+    let trace = flexr
+        .result
+        .trace
+        .clone()
+        .expect("flex config collects the trace");
+
+    let software =
+        flex::core::timing::SoftwareBreakdown::pinned_to_fpga_time(flexr.timing.fpga_time);
+    let base = flex::core::timing::estimate(&FlexConfig::flex(), &trace, &software);
+    let offload = flex::core::timing::estimate(
+        &FlexConfig::flex().with_assignment(TaskAssignment::FopAndUpdateOnFpga),
+        &trace,
+        &software,
+    );
+    assert!(
+        offload.total > base.total,
+        "Fig. 10: offloading insert & update must not pay off ({:?} vs {:?})",
+        offload.total,
+        base.total
+    );
+    assert!(offload.visible_transfer > base.visible_transfer);
+    assert!(offload.fpga_time > base.fpga_time);
 
     let mut d3 = tiny(300);
     let one_pe = FlexAccelerator::new(FlexConfig::flex().with_pes(1)).legalize(&mut d3);
@@ -121,7 +145,10 @@ fn legalization_survives_failure_injection() {
         assert!(res.failed.is_empty());
         assert!(check_legality_with(&d, true).is_legal());
     } else {
-        assert!(!res.failed.is_empty(), "illegal result must name the failing cells");
+        assert!(
+            !res.failed.is_empty(),
+            "illegal result must name the failing cells"
+        );
     }
 }
 
@@ -139,7 +166,11 @@ fn iccad2017_catalogue_cases_run_end_to_end_at_reduced_scale() {
         let spec = iccad2017::spec(case, 0.01, 23);
         let mut d = benchmark::generate(&spec);
         let out = FlexAccelerator::new(FlexConfig::flex()).legalize(&mut d);
-        assert!(out.result.legal, "{} failed: {:?}", case.name, out.result.failed);
+        assert!(
+            out.result.legal,
+            "{} failed: {:?}",
+            case.name, out.result.failed
+        );
         assert!(out.timing.speedup_vs_software >= 1.0);
     }
 }
@@ -150,8 +181,13 @@ fn work_trace_is_consistent_with_the_design_size() {
     let n = d.num_movable();
     let legalizer = MglLegalizer::new(FlexConfig::flex().mgl_config());
     let res = legalizer.legalize(&mut d);
-    let trace = res.trace.expect("trace collection enabled by the accelerator config");
+    let trace = res
+        .trace
+        .expect("trace collection enabled by the accelerator config");
     assert_eq!(trace.len(), n);
-    assert!(trace.total_points() >= n as u64, "every target evaluates at least one point");
+    assert!(
+        trace.total_points() >= n as u64,
+        "every target evaluates at least one point"
+    );
     assert!(trace.preloadable_fraction() >= 0.0 && trace.preloadable_fraction() <= 1.0);
 }
