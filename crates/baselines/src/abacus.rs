@@ -1,4 +1,4 @@
-//! The classic Abacus single-row legalizer (Spindler et al., ISPD'08; reference [27]).
+//! The classic Abacus single-row legalizer (Spindler et al., ISPD'08; reference \[27\]).
 //!
 //! Abacus places the cells assigned to one row in x-order with zero overlap while minimizing
 //! the weighted quadratic displacement from their desired positions, using the well-known

@@ -1,4 +1,4 @@
-//! An ISPD'25 LEGALM-style purely analytical legalizer (reference [25]).
+//! An ISPD'25 LEGALM-style purely analytical legalizer (reference \[25\]).
 //!
 //! LEGALM formulates mixed-cell-height legalization as a quadratic program solved with a
 //! linearized augmented-Lagrangian method on a GPU. This reproduction keeps the analytical
@@ -20,6 +20,7 @@
 
 use crate::abacus::{AbacusCell, AbacusRow};
 use crate::gpu_model::GpuModel;
+use flex_mgl::api::{LegalizeReport, Legalizer, RuntimeBreakdown};
 use flex_mgl::fop::TargetSpec;
 use flex_mgl::legalize::fallback_place;
 use flex_placement::cell::CellId;
@@ -314,6 +315,32 @@ impl AnalyticalLegalizer {
             failed,
             iterations: iterations_run,
         }
+    }
+}
+
+impl Legalizer for AnalyticalLegalizer {
+    fn name(&self) -> &'static str {
+        "ispd25-analytical"
+    }
+
+    fn legalize(&self, design: &mut Design) -> LegalizeReport {
+        let result = AnalyticalLegalizer::legalize(self, design);
+        // "in region" here means "placed by the row relaxation"; the overlap-guard retry loop
+        // can re-run the fallback on a cell it already counted, which is exactly the case the
+        // `with_counts` clamp re-balances
+        LegalizeReport::new(self.name(), result.legal, design.num_movable(), design)
+            .with_runtime(RuntimeBreakdown::modeled(
+                result.runtime,
+                result.estimated_gpu_runtime,
+            ))
+            .with_counts(
+                design
+                    .num_movable()
+                    .saturating_sub(result.fallback_placed + result.failed.len()),
+                result.fallback_placed,
+                result.failed.clone(),
+            )
+            .with_details(result)
     }
 }
 

@@ -1,4 +1,4 @@
-//! The single-threaded and multi-threaded CPU MGL legalizer (TCAD'22 [18]).
+//! The single-threaded and multi-threaded CPU MGL legalizer (TCAD'22 \[18\]).
 //!
 //! The multi-threaded variant reproduces the region-level parallelization the paper's Fig. 2(a)
 //! analyses: the size-ordered queue of target cells is scanned for a batch of cells whose
@@ -7,10 +7,11 @@
 //! formation and committing are inherently serial, and the number of non-overlapping regions
 //! available at any moment is limited, which is why the speedup saturates around eight threads.
 
+use flex_mgl::api::{LegalizeReport, Legalizer, RuntimeBreakdown};
 use flex_mgl::config::MglConfig;
 use flex_mgl::fop::{self, Placement, TargetSpec};
-use flex_mgl::legalize::{commit_placement, fallback_place};
-use flex_mgl::region::{target_window, LocalRegion};
+use flex_mgl::legalize::{commit_placement, fallback_place_indexed};
+use flex_mgl::region::{target_window, LegalizedIndex, LocalRegion};
 use flex_mgl::stats::FopOpStats;
 use flex_placement::cell::CellId;
 use flex_placement::geom::Rect;
@@ -85,6 +86,10 @@ impl CpuLegalizer {
         let start = Instant::now();
         design.pre_move();
         let segmap = SegmentMap::build(design);
+        // row-bucketed obstacle index: extraction and fallback only look at the legalized
+        // cells actually occupying the window's rows instead of scanning the whole design,
+        // which keeps the baseline honest (O(cells-in-window) per region) at 50k cells
+        let mut index = LegalizedIndex::build(design);
         let mut op_stats = FopOpStats::default();
 
         // size-descending processing order (the widely adopted baseline ordering)
@@ -142,10 +147,11 @@ impl CpuLegalizer {
             batches += 1;
             batch_total += batch.len();
 
-            // parallel FOP over the batch (read-only view of the design)
+            // parallel FOP over the batch (read-only view of the design and the index)
             let cfg = &self.config;
             let design_ref: &Design = design;
             let segmap_ref = &segmap;
+            let index_ref = &index;
             let outcomes: Vec<BatchOutcome> = pool.install(|| {
                 batch
                     .par_iter()
@@ -166,7 +172,9 @@ impl CpuLegalizer {
                                 cfg.window_half_sites << expansion,
                                 cfg.window_half_rows << expansion,
                             );
-                            let region = LocalRegion::extract(design_ref, segmap_ref, id, window);
+                            let region = LocalRegion::extract_indexed(
+                                design_ref, segmap_ref, id, window, index_ref,
+                            );
                             if region.cells.len() > cfg.max_region_cells {
                                 // larger windows only grow the region: give up on FOP for
                                 // this cell and let the fallback scan place it
@@ -192,8 +200,10 @@ impl CpuLegalizer {
                     Some((region, placement, spec)) => {
                         if commit_placement(design, &region, &placement, &spec, cfg) {
                             placed_in_region += 1;
-                        } else if fallback_place(design, id, &spec) {
+                            index.insert(design, id);
+                        } else if fallback_place_indexed(design, &index, id, &spec) {
                             fallback_placed += 1;
+                            index.insert(design, id);
                         } else {
                             failed.push(id);
                         }
@@ -207,8 +217,9 @@ impl CpuLegalizer {
                             gy: c.gy,
                             parity: c.row_parity,
                         };
-                        if fallback_place(design, id, &spec) {
+                        if fallback_place_indexed(design, &index, id, &spec) {
                             fallback_placed += 1;
+                            index.insert(design, id);
                         } else {
                             failed.push(id);
                         }
@@ -234,6 +245,24 @@ impl CpuLegalizer {
                 batch_total as f64 / batches as f64
             },
         }
+    }
+}
+
+impl Legalizer for CpuLegalizer {
+    fn name(&self) -> &'static str {
+        "tcad22-cpu"
+    }
+
+    fn legalize(&self, design: &mut Design) -> LegalizeReport {
+        let result = CpuLegalizer::legalize(self, design);
+        LegalizeReport::new(self.name(), result.legal, design.num_movable(), design)
+            .with_runtime(RuntimeBreakdown::measured(result.runtime))
+            .with_counts(
+                result.placed_in_region,
+                result.fallback_placed,
+                result.failed.clone(),
+            )
+            .with_details(result)
     }
 }
 

@@ -1,4 +1,4 @@
-//! The DATE'22 CPU-GPU legalizer (reference [30]).
+//! The DATE'22 CPU-GPU legalizer (reference \[30\]).
 //!
 //! The DATE'22 system parallelizes MGL on a GPU by processing batches of non-overlapping
 //! localRegions: for every region in a batch, all single-row insertion intervals are evaluated
@@ -16,6 +16,7 @@
 //! queue.
 
 use crate::gpu_model::GpuModel;
+use flex_mgl::api::{LegalizeReport, Legalizer, RuntimeBreakdown};
 use flex_mgl::config::MglConfig;
 use flex_mgl::fop::{self, TargetSpec};
 use flex_mgl::legalize::{commit_placement, fallback_place};
@@ -245,6 +246,30 @@ impl CpuGpuLegalizer {
             }
         }
         fallback_place(design, id, &spec)
+    }
+}
+
+impl Legalizer for CpuGpuLegalizer {
+    fn name(&self) -> &'static str {
+        "date22-cpu-gpu"
+    }
+
+    fn legalize(&self, design: &mut Design) -> LegalizeReport {
+        let result = CpuGpuLegalizer::legalize(self, design);
+        // the DATE'22 flow does not distinguish region commits from its internal fallback,
+        // so every placed cell is reported as a region placement (see `with_counts`)
+        let cells = design.num_movable();
+        LegalizeReport::new(self.name(), result.legal, cells, design)
+            .with_runtime(RuntimeBreakdown::modeled(
+                result.host_runtime,
+                result.estimated_runtime,
+            ))
+            .with_counts(
+                cells.saturating_sub(result.failed.len()),
+                0,
+                result.failed.clone(),
+            )
+            .with_details(result)
     }
 }
 

@@ -4,17 +4,17 @@
 //! on top of the same layout substrate and (where applicable) the same MGL algorithm, so that
 //! the comparison exercises the *algorithms*, not incidental implementation differences:
 //!
-//! * [`cpu`] — the single-threaded and multi-threaded CPU MGL legalizer (TCAD'22 [18] in the
+//! * [`cpu`] — the single-threaded and multi-threaded CPU MGL legalizer (TCAD'22 \[18\] in the
 //!   paper's references). The multi-threaded variant processes batches of non-overlapping
 //!   localRegions in parallel, which is exactly the region-level parallelism whose saturation
 //!   at ~8 threads Fig. 2(a) reports.
-//! * [`cpu_gpu`] — the DATE'22 CPU-GPU legalizer [30]: brute-force parallel evaluation of
+//! * [`cpu_gpu`] — the DATE'22 CPU-GPU legalizer \[30\]: brute-force parallel evaluation of
 //!   single-row intervals on the GPU, tough (multi-row / failing) cells pushed to a CPU queue,
 //!   with an explicit device-synchronization cost per batch (Fig. 2(b)/(c)).
-//! * [`analytical`] — an ISPD'25 LEGALM-style purely analytical legalizer [25]: iterative
+//! * [`analytical`] — an ISPD'25 LEGALM-style purely analytical legalizer \[25\]: iterative
 //!   row-assignment plus Abacus-style quadratic clustering per row under a multi-row consistency
 //!   penalty, with a GPU throughput model.
-//! * [`abacus`] — the classic single-row Abacus legalizer [27], used by the analytical baseline
+//! * [`abacus`] — the classic single-row Abacus legalizer \[27\], used by the analytical baseline
 //!   and as a reference for single-height designs.
 //! * [`gpu_model`] — a simple GPU execution model (CUDA cores, kernel launch and synchronization
 //!   overheads) shared by the GPU-based baselines.
@@ -29,7 +29,7 @@ pub mod cpu_gpu;
 pub mod gpu_model;
 
 pub use abacus::AbacusRow;
-pub use analytical::AnalyticalLegalizer;
+pub use analytical::{AnalyticalLegalizer, AnalyticalResult};
 pub use cpu::{CpuLegalizer, CpuLegalizerResult};
-pub use cpu_gpu::CpuGpuLegalizer;
+pub use cpu_gpu::{CpuGpuLegalizer, CpuGpuResult};
 pub use gpu_model::GpuModel;

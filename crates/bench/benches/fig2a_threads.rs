@@ -1,7 +1,9 @@
-//! Criterion benchmark for Fig. 2(a): multi-threaded CPU legalization time vs. thread count.
+//! Criterion benchmark for Fig. 2(a): multi-threaded CPU legalization time vs. thread count,
+//! through the unified `EngineKind` factory.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use flex_baselines::cpu::CpuLegalizer;
+use flex_core::config::FlexConfig;
+use flex_core::session::EngineKind;
 use flex_placement::benchmark::{generate, BenchmarkSpec};
 use std::time::Duration;
 
@@ -13,10 +15,11 @@ fn bench_thread_scaling(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(3))
         .warm_up_time(Duration::from_secs(1));
     for threads in [1usize, 2, 4, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+        let engine = EngineKind::CpuMgl.build(&FlexConfig::flex().with_host_threads(threads));
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
             b.iter(|| {
                 let mut d = generate(&spec);
-                CpuLegalizer::new(t).legalize(&mut d)
+                engine.legalize(&mut d)
             })
         });
     }

@@ -1,8 +1,9 @@
-//! Criterion benchmark for Fig. 8: the FLEX flow under each cumulative optimization step.
+//! Criterion benchmark for Fig. 8: the FLEX flow under each cumulative optimization step,
+//! built once per configuration through the unified `EngineKind` factory.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use flex_core::accelerator::FlexAccelerator;
 use flex_core::config::FlexConfig;
+use flex_core::session::EngineKind;
 use flex_placement::benchmark::{generate, BenchmarkSpec};
 use std::time::Duration;
 
@@ -19,10 +20,11 @@ fn bench_ablation(c: &mut Criterion) {
         ("multi_granularity", FlexConfig::with_multi_granularity()),
         ("two_pes", FlexConfig::flex()),
     ] {
+        let engine = EngineKind::Flex.build(&cfg);
         group.bench_function(label, |b| {
             b.iter(|| {
                 let mut d = generate(&spec);
-                FlexAccelerator::new(cfg.clone()).legalize(&mut d)
+                engine.legalize(&mut d)
             })
         });
     }

@@ -6,6 +6,7 @@
 //! wall-clock scaling of the speculative FOP phase (expect ~1× on a single hardware core).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flex_mgl::api::Legalizer;
 use flex_mgl::parallel::ParallelMglLegalizer;
 use flex_mgl::{MglConfig, MglLegalizer, OrderingStrategy};
 use flex_placement::benchmark::{generate, BenchmarkSpec};
@@ -34,20 +35,23 @@ fn bench_parallel_scaling(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(5))
         .warm_up_time(Duration::from_secs(1));
 
+    // both engines measured through the unified trait, as a session would run them
+    let serial: Box<dyn Legalizer> = Box::new(MglLegalizer::new(cfg()));
     group.bench_function("serial", |b| {
         b.iter(|| {
             let mut d = generate(&spec);
-            MglLegalizer::new(cfg()).legalize(&mut d)
+            serial.legalize(&mut d)
         })
     });
 
     let max_threads = flex_bench::threads_from_env();
     let mut threads = 1usize;
     while threads <= max_threads {
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+        let parallel: Box<dyn Legalizer> = Box::new(ParallelMglLegalizer::new(threads, cfg()));
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
             b.iter(|| {
                 let mut d = generate(&spec);
-                ParallelMglLegalizer::new(t, cfg()).legalize(&mut d)
+                parallel.legalize(&mut d)
             })
         });
         threads *= 2;

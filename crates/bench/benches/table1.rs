@@ -1,10 +1,10 @@
 //! Criterion benchmark: one Table 1 case (reduced size) legalized by the CPU baseline and by
-//! the FLEX flow — the end-to-end comparison behind Table 1.
+//! the FLEX flow — the end-to-end comparison behind Table 1, run through the unified
+//! `EngineKind`/`Legalizer` API.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use flex_baselines::cpu::CpuLegalizer;
-use flex_core::accelerator::FlexAccelerator;
 use flex_core::config::FlexConfig;
+use flex_core::session::EngineKind;
 use flex_placement::benchmark::generate;
 use flex_placement::iccad2017;
 use std::time::Duration;
@@ -17,22 +17,20 @@ fn bench_table1_case(c: &mut Criterion) {
         .sample_size(10)
         .measurement_time(Duration::from_secs(3))
         .warm_up_time(Duration::from_secs(1));
-    group.bench_function(BenchmarkId::new("cpu_mgl", 1), |b| {
-        b.iter(|| {
-            let mut d = generate(&spec);
-            CpuLegalizer::new(1).legalize(&mut d)
-        })
-    });
-    group.bench_function(BenchmarkId::new("cpu_mgl", 8), |b| {
-        b.iter(|| {
-            let mut d = generate(&spec);
-            CpuLegalizer::new(8).legalize(&mut d)
-        })
-    });
+    for threads in [1usize, 8] {
+        let engine = EngineKind::CpuMgl.build(&FlexConfig::flex().with_host_threads(threads));
+        group.bench_with_input(BenchmarkId::new("cpu_mgl", threads), &threads, |b, _| {
+            b.iter(|| {
+                let mut d = generate(&spec);
+                engine.legalize(&mut d)
+            })
+        });
+    }
+    let engine = EngineKind::Flex.build(&FlexConfig::flex());
     group.bench_function("flex", |b| {
         b.iter(|| {
             let mut d = generate(&spec);
-            FlexAccelerator::new(FlexConfig::flex()).legalize(&mut d)
+            engine.legalize(&mut d)
         })
     });
     group.finish();

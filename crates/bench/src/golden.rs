@@ -10,6 +10,7 @@
 //! The JSON codec is hand-rolled (flat objects, no escapes needed for the keys used) because
 //! the workspace builds offline with a no-op `serde` shim.
 
+use flex_mgl::api::LegalizeReport;
 use flex_mgl::legalize::LegalizeResult;
 
 /// Quality statistics of one legalization run, excluding anything wall-clock dependent.
@@ -42,6 +43,22 @@ impl GoldenStats {
             max_displacement: result.max_displacement,
             placed_in_region: result.placed_in_region,
             fallback_placed: result.fallback_placed,
+        }
+    }
+
+    /// Capture the stats of a unified-API [`LegalizeReport`]. Field for field identical to
+    /// [`GoldenStats::capture`] on the engine's legacy result — the report carries the same
+    /// counts and the same displacement stats — so migrating a golden test between the two
+    /// entry points never re-blesses a file.
+    pub fn capture_report(case: &str, report: &LegalizeReport) -> Self {
+        Self {
+            case: case.to_string(),
+            cells: report.cells,
+            legal: report.legal,
+            s_am: report.displacement.average,
+            max_displacement: report.displacement.max,
+            placed_in_region: report.placed_in_region,
+            fallback_placed: report.fallback_placed,
         }
     }
 

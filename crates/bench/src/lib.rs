@@ -10,11 +10,8 @@
 
 pub mod golden;
 
-use flex_baselines::analytical::AnalyticalLegalizer;
-use flex_baselines::cpu::CpuLegalizer;
-use flex_baselines::cpu_gpu::CpuGpuLegalizer;
-use flex_core::accelerator::FlexAccelerator;
 use flex_core::config::FlexConfig;
+use flex_core::session::{EngineKind, FlexSession};
 use flex_placement::benchmark::{generate, BenchmarkSpec};
 use flex_placement::iccad2017::Iccad2017Case;
 
@@ -86,34 +83,39 @@ pub fn run_case(case: &Iccad2017Case, scale: f64, seed: u64, threads: usize) -> 
     run_spec(&spec, case.name, threads)
 }
 
-/// Run all four legalizers on an arbitrary benchmark spec.
+/// Run all four legalizers on an arbitrary benchmark spec, through the unified
+/// `Legalizer`/`LegalizeReport` API: one [`FlexSession`], four [`EngineKind`]s, uniform
+/// reports. Only the TCAD'22 baseline takes a configuration override (its worker count).
 pub fn run_spec(spec: &BenchmarkSpec, name: &str, threads: usize) -> CaseRow {
-    let mut d_cpu = generate(spec);
-    let tcad = CpuLegalizer::new(threads).legalize(&mut d_cpu);
-
-    let mut d_gpu = generate(spec);
-    let date = CpuGpuLegalizer::default().legalize(&mut d_gpu);
-
-    let mut d_ana = generate(spec);
-    let ispd = AnalyticalLegalizer::default().legalize(&mut d_ana);
-
-    let mut d_flex = generate(spec);
-    let density_pct = d_flex.density() * 100.0;
-    let flex = FlexAccelerator::new(FlexConfig::flex()).legalize(&mut d_flex);
+    let design = generate(spec);
+    let cells = design.num_movable();
+    let density_pct = design.density() * 100.0;
+    let runs = FlexSession::new(design)
+        .engine_with(
+            EngineKind::CpuMgl,
+            FlexConfig::flex().with_host_threads(threads),
+        )
+        .engine(EngineKind::CpuGpu)
+        .engine(EngineKind::Analytical)
+        .engine(EngineKind::Flex)
+        .run();
+    let [tcad, date, ispd, flex] = &runs[..] else {
+        unreachable!("four engines selected");
+    };
 
     CaseRow {
         name: name.to_string(),
-        cells: d_flex.num_movable(),
+        cells,
         density_pct,
-        tcad_avedis: tcad.average_displacement,
-        tcad_time: tcad.seconds(),
-        date_avedis: date.average_displacement,
-        date_time: date.seconds(),
-        ispd_avedis: ispd.average_displacement,
-        ispd_time: ispd.estimated_gpu_runtime.as_secs_f64(),
-        flex_avedis: flex.average_displacement(),
-        flex_time: flex.seconds(),
-        all_legal: tcad.legal && date.legal && ispd.legal && flex.result.legal,
+        tcad_avedis: tcad.report.displacement.average,
+        tcad_time: tcad.report.seconds(),
+        date_avedis: date.report.displacement.average,
+        date_time: date.report.seconds(),
+        ispd_avedis: ispd.report.displacement.average,
+        ispd_time: ispd.report.seconds(),
+        flex_avedis: flex.report.displacement.average,
+        flex_time: flex.report.seconds(),
+        all_legal: runs.iter().all(|r| r.report.legal),
     }
 }
 

@@ -10,8 +10,13 @@
 //!
 //! The same run also checks the parallel engine differentially: with a static ordering it
 //! must produce stats identical to the serial legalizer.
+//!
+//! Both engines run through the unified `Box<dyn Legalizer>` API; `GoldenStats` is captured
+//! off the uniform `LegalizeReport`, which pins the trait surface itself — a report that
+//! dropped or distorted a stat would show up as a golden mismatch.
 
 use flex_bench::golden::GoldenStats;
+use flex_mgl::api::Legalizer;
 use flex_mgl::parallel::ParallelMglLegalizer;
 use flex_mgl::{MglConfig, MglLegalizer};
 use flex_placement::benchmark::generate;
@@ -34,19 +39,20 @@ fn run_case(case_name: &str) -> GoldenStats {
     // the TCAD'22 configuration: static size-descending order, exercised by both engines
     let cfg = MglConfig::original();
 
+    let serial: Box<dyn Legalizer> = Box::new(MglLegalizer::new(cfg.clone()));
     let mut d_serial = generate(&spec);
-    let serial = MglLegalizer::new(cfg.clone()).legalize(&mut d_serial);
-    let stats = GoldenStats::capture(case_name, d_serial.num_movable(), &serial);
+    let report = serial.legalize(&mut d_serial);
+    let stats = GoldenStats::capture_report(case_name, &report);
     assert!(
         stats.legal,
         "{case_name}: illegal placement, failed {:?}",
-        serial.failed
+        report.failed
     );
 
     // differential check: the region-sharded parallel engine must reproduce the serial stats
+    let parallel: Box<dyn Legalizer> = Box::new(ParallelMglLegalizer::new(4, cfg));
     let mut d_parallel = generate(&spec);
-    let parallel = ParallelMglLegalizer::new(4, cfg).legalize(&mut d_parallel);
-    let par_stats = GoldenStats::capture(case_name, d_parallel.num_movable(), &parallel.result);
+    let par_stats = GoldenStats::capture_report(case_name, &parallel.legalize(&mut d_parallel));
     stats
         .matches(&par_stats, TOL)
         .unwrap_or_else(|e| panic!("{case_name}: parallel diverged from serial: {e}"));

@@ -10,11 +10,10 @@ pub use crate::config::FlexConfig;
 
 use crate::timing::{self, FlexTiming, SoftwareBreakdown};
 use flex_fpga::resources::{flex_resources, Resources};
+use flex_mgl::api::{LegalizeReport, Legalizer, RuntimeBreakdown};
 use flex_mgl::legalize::{LegalizeResult, MglLegalizer};
 use flex_mgl::parallel::{ParallelMglLegalizer, ShardStats};
 use flex_placement::layout::Design;
-
-pub use crate::config::FlexConfig as Config;
 
 /// The FLEX accelerator.
 #[derive(Debug, Clone)]
@@ -95,6 +94,35 @@ impl FlexAccelerator {
 impl Default for FlexAccelerator {
     fn default() -> Self {
         Self::new(FlexConfig::default())
+    }
+}
+
+impl Legalizer for FlexAccelerator {
+    fn name(&self) -> &'static str {
+        "flex"
+    }
+
+    fn legalize(&self, design: &mut Design) -> LegalizeReport {
+        let outcome = FlexAccelerator::legalize(self, design);
+        // wall = the measured host (software) run; estimated = the accelerated FLEX runtime,
+        // which is what Table 1 compares the FLEX column on
+        LegalizeReport::new(
+            self.name(),
+            outcome.result.legal,
+            design.num_movable(),
+            design,
+        )
+        .with_runtime(RuntimeBreakdown::modeled(
+            outcome.software.total,
+            outcome.timing.total,
+        ))
+        .with_counts(
+            outcome.result.placed_in_region,
+            outcome.result.fallback_placed,
+            outcome.result.failed.clone(),
+        )
+        .with_trace(outcome.result.trace.clone())
+        .with_details(outcome)
     }
 }
 

@@ -16,6 +16,9 @@
 //!   SACS-only, and multi-granularity configurations (Sec. 3.2).
 //! * [`timing`] — end-to-end runtime estimation combining CPU work, FPGA cycles and transfers.
 //! * [`accelerator`] — [`accelerator::FlexAccelerator`], the user-facing entry point.
+//! * [`session`] — the unified engine API surface: [`session::EngineKind`] (one factory for
+//!   every legalizer in the workspace behind `Box<dyn Legalizer>`) and the builder-style
+//!   [`session::FlexSession`] comparison harness.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -24,9 +27,12 @@ pub mod accelerator;
 pub mod config;
 pub mod fop_pipeline;
 pub mod sacs_arch;
+pub mod session;
 pub mod task_assign;
 pub mod timing;
 
 pub use accelerator::{FlexAccelerator, FlexOutcome};
 pub use config::{FlexConfig, PipelineMode, SacsArchConfig, TaskAssignment};
+pub use flex_mgl::api::{DisplacementSummary, LegalizeReport, Legalizer, RuntimeBreakdown};
+pub use session::{EngineKind, EngineRun, FlexSession};
 pub use timing::FlexTiming;

@@ -4,7 +4,7 @@
 //! of Fig. 4), and the FOP pipeline sorts breakpoints by x. FLEX combines an insertion sorter
 //! (cheap, fully pipelined, but O(n) per inserted element when used alone) with a merge sorter
 //! (streaming k-way merge) following the Vitis database-library designs cited by the paper
-//! ([1], [2]). The model below captures their throughput so that Fig. 6(g) — pre-sorting is
+//! (\[1\], \[2\]). The model below captures their throughput so that Fig. 6(g) — pre-sorting is
 //! about 10% of FOP runtime — and the sorter's small resource footprint (Sec. 5.4) can be
 //! reproduced.
 

@@ -27,7 +27,7 @@ pub enum FopVariant {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum OrderingStrategy {
     /// Sort by cell area, largest first — the widely adopted baseline the paper attributes
-    /// to the CPU-GPU legalizer [30].
+    /// to the CPU-GPU legalizer \[30\].
     SizeDescending,
     /// FLEX's sliding-window ordering: size-descending initial order, then within a sliding
     /// window the remaining cells are reordered by localRegion density (densest first) while
@@ -95,7 +95,7 @@ impl Default for MglConfig {
 }
 
 impl MglConfig {
-    /// The configuration matching the original multi-threaded CPU legalizer [18]: original
+    /// The configuration matching the original multi-threaded CPU legalizer \[18\]: original
     /// shifting, original FOP operator chain, size-descending ordering.
     pub fn original() -> Self {
         Self {

@@ -1,7 +1,7 @@
 //! # flex-mgl — Multi-row Global Legalization
 //!
 //! A from-scratch implementation of the MGL mixed-cell-height legalization algorithm
-//! (Li et al., TCAD'22 [18] in the paper's references), the algorithmic substrate that FLEX
+//! (Li et al., TCAD'22 \[18\] in the paper's references), the algorithmic substrate that FLEX
 //! accelerates. The flow follows Fig. 3(e) of the paper:
 //!
 //! 1. **input & pre-move** — snap cells to their nearest designated rows (tolerating overlaps),
@@ -26,10 +26,13 @@
 //!   performance model in `flex-core`.
 //! * [`legalize`] — the end-to-end MGL legalizer.
 //! * [`parallel`] — the deterministic region-sharded parallel engine built on top of it.
+//! * [`api`] — the unified [`api::Legalizer`] trait + [`api::LegalizeReport`] every engine in
+//!   the workspace (including the baselines and the FLEX accelerator) implements.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod api;
 pub mod config;
 pub mod curve;
 pub mod fop;
@@ -42,6 +45,7 @@ pub mod sacs;
 pub mod shift;
 pub mod stats;
 
+pub use api::{DisplacementSummary, LegalizeReport, Legalizer, RuntimeBreakdown};
 pub use config::{FopVariant, MglConfig, OrderingStrategy, ShiftAlgorithm};
 pub use legalize::{LegalizeResult, MglLegalizer};
 pub use parallel::{ParallelLegalizeResult, ParallelMglLegalizer, ShardStats};

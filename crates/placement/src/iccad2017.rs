@@ -20,15 +20,15 @@ pub struct Iccad2017Case {
     pub num_cells: usize,
     /// Design density in percent (`Den.(%)`).
     pub density_pct: f64,
-    /// AveDis reported for the multi-threaded CPU legalizer (TCAD'22 MGL [18]).
+    /// AveDis reported for the multi-threaded CPU legalizer (TCAD'22 MGL \[18\]).
     pub avedis_tcad22: f64,
     /// Runtime (s) reported for the multi-threaded CPU legalizer.
     pub time_tcad22: f64,
-    /// AveDis reported for the CPU-GPU legalizer (DATE'22 [30]).
+    /// AveDis reported for the CPU-GPU legalizer (DATE'22 \[30\]).
     pub avedis_date22: f64,
     /// Runtime (s) reported for the CPU-GPU legalizer.
     pub time_date22: f64,
-    /// AveDis reported for the analytical GPU legalizer (ISPD'25 [25]).
+    /// AveDis reported for the analytical GPU legalizer (ISPD'25 \[25\]).
     pub avedis_ispd25: f64,
     /// Runtime (s) reported for the analytical GPU legalizer.
     pub time_ispd25: f64,

@@ -2,16 +2,21 @@
 //! optimizations one by one (SACS, multi-granularity pipelining, 2-parallel FOP PEs, task
 //! assignment) and print the normalized speedups of the FPGA-side FOP time.
 //!
+//! Every run goes through the unified `EngineKind::Flex` factory; the FPGA-side timings come
+//! from the report's typed `details` extension.
+//!
 //! Run with `cargo run --release --example ablation`.
 
-use flex::core::accelerator::FlexAccelerator;
+use flex::core::accelerator::FlexOutcome;
 use flex::core::config::{FlexConfig, TaskAssignment};
+use flex::core::session::EngineKind;
 use flex::placement::benchmark::{generate, BenchmarkSpec};
 
-fn run(label: &str, cfg: FlexConfig, seed: u64, baseline_fpga: Option<f64>) -> f64 {
+fn run(label: &str, cfg: &FlexConfig, seed: u64, baseline_fpga: Option<f64>) -> f64 {
     let mut design = generate(&BenchmarkSpec::medium("ablation", seed).scaled(0.4));
-    let out = FlexAccelerator::new(cfg).legalize(&mut design);
-    assert!(out.result.legal, "{label}: illegal result");
+    let report = EngineKind::Flex.build(cfg).legalize(&mut design);
+    assert!(report.legal, "{label}: illegal result");
+    let out: &FlexOutcome = report.details().expect("flex details");
     let fpga = out.timing.fpga_time.as_secs_f64();
     let speedup = baseline_fpga.map(|b| b / fpga).unwrap_or(1.0);
     println!(
@@ -24,45 +29,47 @@ fn run(label: &str, cfg: FlexConfig, seed: u64, baseline_fpga: Option<f64>) -> f
     fpga
 }
 
+fn total_ms(cfg: &FlexConfig, seed: u64) -> f64 {
+    let mut d = generate(&BenchmarkSpec::medium("ablation-ta", seed).scaled(0.4));
+    let report = EngineKind::Flex.build(cfg).legalize(&mut d);
+    let out: &FlexOutcome = report.details().expect("flex details");
+    out.timing.total.as_secs_f64() * 1e3
+}
+
 fn main() {
     let seed = 99;
     println!("Fig. 8 style ablation (normalized FPGA-side speedup):");
     let base = run(
         "Normal-Pipeline (original shifting)",
-        FlexConfig::normal_pipeline_baseline(),
+        &FlexConfig::normal_pipeline_baseline(),
         seed,
         None,
     );
-    run("+ SACS", FlexConfig::with_sacs_only(), seed, Some(base));
+    run("+ SACS", &FlexConfig::with_sacs_only(), seed, Some(base));
     run(
         "+ Multi-Granularity-Pipeline",
-        FlexConfig::with_multi_granularity(),
+        &FlexConfig::with_multi_granularity(),
         seed,
         Some(base),
     );
     run(
         "+ 2-parallel FOP PEs (full FLEX)",
-        FlexConfig::flex(),
+        &FlexConfig::flex(),
         seed,
         Some(base),
     );
 
     println!();
     println!("Fig. 10 style task-assignment ablation (total estimated runtime):");
-    let mut d1 = generate(&BenchmarkSpec::medium("ablation-ta", seed).scaled(0.4));
-    let flex = FlexAccelerator::new(FlexConfig::flex()).legalize(&mut d1);
-    let mut d2 = generate(&BenchmarkSpec::medium("ablation-ta", seed).scaled(0.4));
-    let offload_e = FlexAccelerator::new(
-        FlexConfig::flex().with_assignment(TaskAssignment::FopAndUpdateOnFpga),
-    )
-    .legalize(&mut d2);
-    println!(
-        "assign (d) on FPGA, (e) on CPU : {:>9.3} ms",
-        flex.timing.total.as_secs_f64() * 1e3
+    let flex_ms = total_ms(&FlexConfig::flex(), seed);
+    let offload_ms = total_ms(
+        &FlexConfig::flex().with_assignment(TaskAssignment::FopAndUpdateOnFpga),
+        seed,
     );
+    println!("assign (d) on FPGA, (e) on CPU : {flex_ms:>9.3} ms");
     println!(
         "assign (d) and (e) on FPGA     : {:>9.3} ms   (FLEX advantage {:.2}x)",
-        offload_e.timing.total.as_secs_f64() * 1e3,
-        offload_e.timing.total.as_secs_f64() / flex.timing.total.as_secs_f64()
+        offload_ms,
+        offload_ms / flex_ms
     );
 }

@@ -1,15 +1,12 @@
 //! Compare all four legalizers of the paper on one ICCAD2017-style case and print a
-//! Table-1-style row: the multi-threaded CPU MGL (TCAD'22), the CPU-GPU legalizer (DATE'22),
-//! the analytical legalizer (ISPD'25), and FLEX.
+//! Table-1-style row — through the unified engine API: one [`FlexSession`], one
+//! [`EngineKind`] per column, one uniform `LegalizeReport` shape for every engine.
 //!
 //! Run with `cargo run --release --example compare_legalizers [-- <case-name> <scale>]`,
 //! e.g. `cargo run --release --example compare_legalizers -- fft_a_md2 0.05`.
 
-use flex::baselines::analytical::AnalyticalLegalizer;
-use flex::baselines::cpu::CpuLegalizer;
-use flex::baselines::cpu_gpu::CpuGpuLegalizer;
-use flex::core::accelerator::FlexAccelerator;
 use flex::core::config::FlexConfig;
+use flex::core::session::{EngineKind, FlexSession};
 use flex::placement::benchmark::generate;
 use flex::placement::iccad2017;
 
@@ -34,61 +31,44 @@ fn main() {
         spec.density * 100.0
     );
 
-    // TCAD'22: 8-thread CPU MGL
-    let mut d = generate(&spec);
-    let tcad = CpuLegalizer::new(8).legalize(&mut d);
-
-    // DATE'22: CPU-GPU
-    let mut d = generate(&spec);
-    let date = CpuGpuLegalizer::default().legalize(&mut d);
-
-    // ISPD'25: analytical
-    let mut d = generate(&spec);
-    let ispd = AnalyticalLegalizer::default().legalize(&mut d);
-
-    // FLEX
-    let mut d = generate(&spec);
-    let flex = FlexAccelerator::new(FlexConfig::flex()).legalize(&mut d);
+    // one session: the design goes in once, every engine legalizes its own copy (the session
+    // config defaults to FlexConfig::flex(); only the CPU baseline's thread count is overridden)
+    let runs = FlexSession::new(generate(&spec))
+        .engine_with(EngineKind::CpuMgl, FlexConfig::flex().with_host_threads(8))
+        .engine(EngineKind::CpuGpu)
+        .engine(EngineKind::Analytical)
+        .engine(EngineKind::Flex)
+        .run();
 
     println!();
     println!(
-        "{:<14} {:>8} {:>12} {:>8}",
+        "{:<18} {:>8} {:>12} {:>8}",
         "legalizer", "AveDis", "Time(s)", "legal"
     );
-    println!(
-        "{:<14} {:>8.3} {:>12.4} {:>8}",
-        "TCAD'22-MGL",
-        tcad.average_displacement,
-        tcad.seconds(),
-        tcad.legal
-    );
-    println!(
-        "{:<14} {:>8.3} {:>12.4} {:>8}",
-        "DATE'22",
-        date.average_displacement,
-        date.seconds(),
-        date.legal
-    );
-    println!(
-        "{:<14} {:>8.3} {:>12.4} {:>8}",
-        "ISPD'25",
-        ispd.average_displacement,
-        ispd.estimated_gpu_runtime.as_secs_f64(),
-        ispd.legal
-    );
-    println!(
-        "{:<14} {:>8.3} {:>12.4} {:>8}",
-        "FLEX (ours)",
-        flex.average_displacement(),
-        flex.seconds(),
-        flex.result.legal
-    );
+    for run in &runs {
+        println!(
+            "{:<18} {:>8.3} {:>12.4} {:>8}",
+            run.kind.name(),
+            run.report.displacement.average,
+            run.report.seconds(),
+            run.report.legal
+        );
+    }
+
+    let time_of = |kind: EngineKind| -> f64 {
+        runs.iter()
+            .find(|r| r.kind == kind)
+            .expect("engine selected above")
+            .report
+            .seconds()
+    };
+    let flex_time = time_of(EngineKind::Flex);
     println!();
     println!(
         "Acc(T) = {:.1}x   Acc(D) = {:.1}x   Acc(I) = {:.1}x",
-        tcad.seconds() / flex.seconds(),
-        date.seconds() / flex.seconds(),
-        ispd.estimated_gpu_runtime.as_secs_f64() / flex.seconds()
+        time_of(EngineKind::CpuMgl) / flex_time,
+        time_of(EngineKind::CpuGpu) / flex_time,
+        time_of(EngineKind::Analytical) / flex_time
     );
     println!(
         "paper reference for {}: Acc(T) = {:.1}x, Acc(D) = {:.1}x, Acc(I) = {:.1}x",

@@ -1,13 +1,13 @@
-//! Quickstart: generate a small mixed-cell-height design, legalize it with FLEX, and print the
-//! quality and timing summary.
+//! Quickstart: generate a small mixed-cell-height design, legalize it with FLEX through the
+//! unified `Legalizer` API, and print the quality and timing summary.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use flex::core::accelerator::FlexAccelerator;
+use flex::core::accelerator::FlexOutcome;
 use flex::core::config::FlexConfig;
+use flex::core::session::EngineKind;
 use flex::placement::benchmark::{generate, BenchmarkSpec};
 use flex::placement::legality::check_legality_with;
-use flex::placement::metrics::displacement_stats;
 
 fn main() {
     // 1. a seeded synthetic benchmark (≈300 mixed-height cells, 55% density)
@@ -22,26 +22,32 @@ fn main() {
         design.density() * 100.0
     );
 
-    // 2. legalize with the full FLEX configuration (2 FOP PEs, SACS, multi-granularity pipeline)
-    let accel = FlexAccelerator::new(FlexConfig::flex());
-    let outcome = accel.legalize(&mut design);
+    // 2. build the engine through the factory (any other EngineKind plugs in the same way)
+    //    and legalize with the full FLEX configuration (2 FOP PEs, SACS, multi-granularity)
+    let engine = EngineKind::Flex.build(&FlexConfig::flex());
+    let report = engine.legalize(&mut design);
 
-    // 3. verify and report
-    let report = check_legality_with(&design, true);
-    let disp = displacement_stats(&design);
-    println!("legal placement:        {}", report.is_legal());
+    // 3. the uniform report carries legality, displacement and the runtime split …
+    println!("legal placement:        {}", report.legal);
     println!(
         "average displacement:   {:.3} rows (S_am, Eq. 2)",
-        disp.average
+        report.displacement.average
     );
-    println!("max displacement:       {:.3} rows", disp.max);
+    println!(
+        "max displacement:       {:.3} rows",
+        report.displacement.max
+    );
     println!(
         "software runtime:       {:.3} ms (host-only MGL run)",
-        outcome.software.total.as_secs_f64() * 1e3
+        report.runtime.wall.as_secs_f64() * 1e3
     );
+
+    // … while the engine-specific outcome (FPGA timing model, resources) stays reachable
+    // through the typed `details` extension
+    let outcome: &FlexOutcome = report.details().expect("FLEX engine details");
     println!(
         "estimated FLEX runtime: {:.3} ms  ({:.2}x speedup)",
-        outcome.timing.total.as_secs_f64() * 1e3,
+        report.seconds() * 1e3,
         outcome.timing.speedup_vs_software
     );
     println!(
@@ -52,7 +58,7 @@ fn main() {
         outcome.resources.dsps
     );
     assert!(
-        report.is_legal(),
+        report.legal && check_legality_with(&design, true).is_legal(),
         "quickstart must produce a legal placement"
     );
 }

@@ -2,11 +2,15 @@
 //! saturates around 8 threads, while FLEX's insertion-point-level parallelism scales with the
 //! number of FOP PEs at minimal synchronization cost.
 //!
+//! Both sweeps are `EngineKind` one-liners over the unified API; the engine-specific numbers
+//! (batch sizes, BRAM counts) come out of the reports' typed `details`.
+//!
 //! Run with `cargo run --release --example scalability`.
 
-use flex::baselines::cpu::CpuLegalizer;
-use flex::core::accelerator::FlexAccelerator;
+use flex::baselines::cpu::CpuLegalizerResult;
+use flex::core::accelerator::FlexOutcome;
 use flex::core::config::FlexConfig;
+use flex::core::session::EngineKind;
 use flex::placement::benchmark::{generate, BenchmarkSpec};
 
 fn main() {
@@ -16,13 +20,16 @@ fn main() {
     let mut base_time = None;
     for threads in [1usize, 2, 4, 8, 10] {
         let mut d = generate(&spec);
-        let res = CpuLegalizer::new(threads).legalize(&mut d);
-        assert!(res.legal);
-        let t = res.seconds();
+        let report = EngineKind::CpuMgl
+            .build(&FlexConfig::flex().with_host_threads(threads))
+            .legalize(&mut d);
+        assert!(report.legal);
+        let t = report.seconds();
         let speedup = base_time.map(|b: f64| b / t).unwrap_or(1.0);
         if base_time.is_none() {
             base_time = Some(t);
         }
+        let res: &CpuLegalizerResult = report.details().expect("cpu details");
         println!(
             "  {:>2} threads: {:>8.3} s   speedup {:>5.2}x   avg batch {:>5.2} regions",
             threads, t, speedup, res.avg_batch_size
@@ -34,8 +41,11 @@ fn main() {
     let mut base_fpga = None;
     for pes in [1u64, 2, 3, 4] {
         let mut d = generate(&spec);
-        let out = FlexAccelerator::new(FlexConfig::flex().with_pes(pes)).legalize(&mut d);
-        assert!(out.result.legal);
+        let report = EngineKind::Flex
+            .build(&FlexConfig::flex().with_pes(pes))
+            .legalize(&mut d);
+        assert!(report.legal);
+        let out: &FlexOutcome = report.details().expect("flex details");
         let t = out.timing.fpga_time.as_secs_f64();
         let speedup = base_fpga.map(|b: f64| b / t).unwrap_or(1.0);
         if base_fpga.is_none() {

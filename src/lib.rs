@@ -13,15 +13,22 @@
 //!
 //! ## Quickstart
 //!
+//! Every legalization engine in the workspace implements the unified
+//! [`Legalizer`](mgl::api::Legalizer) trait and reports through one
+//! [`LegalizeReport`](mgl::api::LegalizeReport);
+//! [`EngineKind`](core::session::EngineKind) is the factory and
+//! [`FlexSession`](core::session::FlexSession) the comparison harness:
+//!
 //! ```
 //! use flex::placement::benchmark::{BenchmarkSpec, generate};
-//! use flex::core::accelerator::{FlexAccelerator, FlexConfig};
+//! use flex::core::config::FlexConfig;
+//! use flex::core::session::EngineKind;
 //!
 //! let spec = BenchmarkSpec::tiny("demo", 42);
 //! let mut design = generate(&spec);
-//! let accel = FlexAccelerator::new(FlexConfig::default());
-//! let outcome = accel.legalize(&mut design);
-//! assert!(outcome.result.legal);
+//! let engine = EngineKind::Flex.build(&FlexConfig::default());
+//! let report = engine.legalize(&mut design);
+//! assert!(report.legal);
 //! ```
 
 pub use flex_baselines as baselines;

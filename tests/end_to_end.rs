@@ -1,11 +1,11 @@
 //! Integration tests spanning the whole workspace: benchmark generation → legalization (all
 //! four legalizers) → legality verification → acceleration estimate.
 
-use flex::baselines::analytical::AnalyticalLegalizer;
 use flex::baselines::cpu::CpuLegalizer;
 use flex::baselines::cpu_gpu::CpuGpuLegalizer;
 use flex::core::accelerator::FlexAccelerator;
 use flex::core::config::{FlexConfig, TaskAssignment};
+use flex::core::session::FlexSession;
 use flex::mgl::{MglConfig, MglLegalizer};
 use flex::placement::benchmark::{self, BenchmarkSpec};
 use flex::placement::iccad2017;
@@ -17,23 +17,14 @@ fn tiny(seed: u64) -> flex::placement::Design {
 
 #[test]
 fn every_legalizer_produces_a_legal_placement_on_the_same_case() {
-    let mut d1 = tiny(100);
-    let mut d2 = tiny(100);
-    let mut d3 = tiny(100);
-    let mut d4 = tiny(100);
-
-    let cpu = CpuLegalizer::new(4).legalize(&mut d1);
-    let gpu = CpuGpuLegalizer::default().legalize(&mut d2);
-    let ana = AnalyticalLegalizer::default().legalize(&mut d3);
-    let flexr = FlexAccelerator::new(FlexConfig::flex()).legalize(&mut d4);
-
-    assert!(cpu.legal, "TCAD'22 baseline illegal");
-    assert!(gpu.legal, "DATE'22 baseline illegal");
-    assert!(ana.legal, "ISPD'25 baseline illegal");
-    assert!(flexr.result.legal, "FLEX illegal");
-
-    for d in [&d1, &d2, &d3, &d4] {
-        assert!(check_legality_with(d, true).is_legal());
+    // all six engines through the unified session, each on its own copy of the same design
+    let runs = FlexSession::new(tiny(100))
+        .with_config(FlexConfig::flex().with_host_threads(4))
+        .all_engines()
+        .run();
+    for run in &runs {
+        assert!(run.report.legal, "{} illegal", run.kind.name());
+        assert!(check_legality_with(&run.design, true).is_legal());
     }
 }
 

@@ -1,0 +1,214 @@
+//! Cross-engine contract tests for the unified `Legalizer` API: every `EngineKind` runs
+//! through `Box<dyn Legalizer>` on the same design, and each `LegalizeReport` must be
+//! internally consistent — `legal` means a placement the independent checker accepts with
+//! zero overlaps, the displacement summary must be coherent (avg ≤ max, total bounded), the
+//! placement counters must account for every movable cell, and the serial and parallel MGL
+//! engines must produce cell-for-cell identical placements.
+
+use flex::core::config::FlexConfig;
+use flex::core::session::{EngineKind, FlexSession};
+use flex::mgl::OrderingStrategy;
+use flex::placement::benchmark::{generate, BenchmarkSpec};
+use flex::placement::legality::check_legality_with;
+use flex::placement::Design;
+
+fn positions(d: &Design) -> Vec<(i64, i64)> {
+    d.cells
+        .iter()
+        .filter(|c| !c.fixed)
+        .map(|c| (c.x, c.y))
+        .collect()
+}
+
+#[test]
+fn every_engine_report_is_internally_consistent() {
+    let design = generate(&BenchmarkSpec::tiny("contract", 77));
+    let n = design.num_movable();
+    let runs = FlexSession::new(design)
+        .with_config(FlexConfig::flex().with_host_threads(2))
+        .all_engines()
+        .run();
+    assert_eq!(runs.len(), EngineKind::all().len());
+
+    for run in &runs {
+        let name = run.kind.name();
+        let r = &run.report;
+        assert_eq!(r.engine, name, "{name}: report names a different engine");
+        assert_eq!(r.cells, n, "{name}: cell count");
+
+        // legality: the report's verdict must match the independent checker, and a legal
+        // report implies zero overlap violations and no failed cells
+        let check = check_legality_with(&run.design, true);
+        assert_eq!(r.legal, check.is_legal(), "{name}: legality verdict");
+        assert!(
+            r.legal,
+            "{name}: expected a legal placement on the tiny case"
+        );
+        assert!(check.violations.is_empty(), "{name}: overlaps remained");
+        assert!(r.failed.is_empty(), "{name}: failed cells in a legal run");
+
+        // displacement summary coherence
+        let d = &r.displacement;
+        assert!(d.average.is_finite() && d.max.is_finite() && d.total.is_finite());
+        assert!(d.average >= 0.0 && d.max >= 0.0 && d.total >= 0.0, "{name}");
+        assert!(
+            d.average <= d.max + 1e-9,
+            "{name}: avg {} > max {}",
+            d.average,
+            d.max
+        );
+        assert!(
+            d.max <= d.total + 1e-9,
+            "{name}: max {} > total {}",
+            d.max,
+            d.total
+        );
+        assert!(
+            d.total <= d.max * n as f64 + 1e-9,
+            "{name}: total exceeds n*max"
+        );
+
+        // the accounting invariant: every movable cell lands in exactly one bucket
+        assert_eq!(
+            r.placed_in_region + r.fallback_placed + r.failed.len(),
+            n,
+            "{name}: placement counters do not account for every cell"
+        );
+        assert_eq!(r.placed_total(), n, "{name}: placed_total");
+
+        // runtime: something was measured, and the reported runtime picks the estimate
+        assert!(
+            r.runtime.wall.as_nanos() > 0,
+            "{name}: no wall clock measured"
+        );
+        assert_eq!(
+            r.runtime.reported(),
+            r.runtime.estimated.unwrap_or(r.runtime.wall),
+            "{name}: reported runtime"
+        );
+        assert!(r.seconds() > 0.0, "{name}: reported seconds");
+    }
+}
+
+#[test]
+fn serial_and_parallel_mgl_agree_cell_for_cell_through_the_trait() {
+    // a static ordering exercises the real speculative path of the parallel engine (the
+    // sliding-window default degrades to serial by construction)
+    let cfg = FlexConfig {
+        ordering: OrderingStrategy::SizeDescending,
+        ..FlexConfig::flex().with_host_threads(4)
+    };
+    let design = generate(&BenchmarkSpec::tiny("contract-eq", 78).with_density(0.7));
+    let session = FlexSession::new(design).with_config(cfg);
+    let serial = session.run_engine(EngineKind::MglSerial);
+    let parallel = session.run_engine(EngineKind::MglParallel);
+
+    assert_eq!(
+        positions(&serial.design),
+        positions(&parallel.design),
+        "parallel MGL must reproduce the serial placement exactly"
+    );
+    assert_eq!(serial.report.legal, parallel.report.legal);
+    assert_eq!(
+        serial.report.placed_in_region,
+        parallel.report.placed_in_region
+    );
+    assert_eq!(
+        serial.report.fallback_placed,
+        parallel.report.fallback_placed
+    );
+    assert_eq!(serial.report.failed, parallel.report.failed);
+    assert_eq!(
+        serial.report.displacement.average,
+        parallel.report.displacement.average
+    );
+    assert_eq!(
+        serial.report.displacement.max,
+        parallel.report.displacement.max
+    );
+    assert_eq!(
+        serial.report.displacement.total,
+        parallel.report.displacement.total
+    );
+}
+
+#[test]
+fn engine_sweeps_are_one_liners_over_engine_kind_all() {
+    // the ISSUE's motivating use case: iterate every backend through one seam
+    let cfg = FlexConfig::flex();
+    let names: Vec<&str> = EngineKind::all()
+        .into_iter()
+        .map(|kind| {
+            let mut d = generate(&BenchmarkSpec::tiny("contract-sweep", 79));
+            let report = kind.build(&cfg).legalize(&mut d);
+            assert!(report.legal, "{} failed the sweep", kind.name());
+            report.engine
+        })
+        .collect();
+    assert_eq!(
+        names,
+        vec![
+            "mgl-serial",
+            "mgl-parallel",
+            "tcad22-cpu",
+            "date22-cpu-gpu",
+            "ispd25-analytical",
+            "flex"
+        ]
+    );
+}
+
+#[test]
+fn reports_preserve_engine_specific_details() {
+    // no information from the legacy result structs is lost: each engine's full result
+    // travels in the report's typed extension
+    let design = generate(&BenchmarkSpec::tiny("contract-details", 80));
+    let session = FlexSession::new(design).with_config(FlexConfig::flex().with_host_threads(2));
+
+    let run = session.run_engine(EngineKind::MglSerial);
+    assert!(run.report.details::<flex::mgl::LegalizeResult>().is_some());
+
+    let run = session.run_engine(EngineKind::MglParallel);
+    let par = run
+        .report
+        .details::<flex::mgl::ParallelLegalizeResult>()
+        .expect("parallel details");
+    assert!(par.shards.bands >= 1);
+
+    let run = session.run_engine(EngineKind::CpuMgl);
+    let cpu = run
+        .report
+        .details::<flex::baselines::cpu::CpuLegalizerResult>()
+        .expect("cpu details");
+    assert!(cpu.batches > 0 && cpu.avg_batch_size >= 1.0);
+
+    let run = session.run_engine(EngineKind::CpuGpu);
+    let gpu = run
+        .report
+        .details::<flex::baselines::cpu_gpu::CpuGpuResult>()
+        .expect("cpu-gpu details");
+    assert!(gpu.batches > 0);
+    assert_eq!(
+        run.report.runtime.estimated,
+        Some(gpu.estimated_runtime),
+        "the modeled runtime must be the one the report is compared on"
+    );
+
+    let run = session.run_engine(EngineKind::Analytical);
+    let ana = run
+        .report
+        .details::<flex::baselines::analytical::AnalyticalResult>()
+        .expect("analytical details");
+    assert!(ana.iterations >= 1);
+
+    let run = session.run_engine(EngineKind::Flex);
+    let flex_out = run
+        .report
+        .details::<flex::core::accelerator::FlexOutcome>()
+        .expect("flex details");
+    assert!(flex_out.timing.fpga_cycles > 0);
+    assert!(
+        run.report.trace.is_some(),
+        "the FLEX config collects a trace"
+    );
+}
