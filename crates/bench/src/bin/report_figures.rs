@@ -15,6 +15,12 @@
 //! out of the reports' typed `details` extension.
 //!
 //! Run with `cargo run --release -p flex-bench --bin report_figures`.
+//!
+//! With `--fop-json` the binary instead runs the FOP-kernel perf comparison (the arena
+//! scratch path vs. the allocating `fop::reference` baseline on the synthetic
+//! crowded/sparse/tall regions) and writes the numbers to `BENCH_fop.json` (path
+//! overridable via `FLEX_BENCH_FOP_OUT`), so the kernel's perf trajectory is tracked in
+//! the repository.
 
 use flex_baselines::cpu_gpu::{CpuGpuLegalizer, CpuGpuResult};
 use flex_core::accelerator::FlexOutcome;
@@ -277,7 +283,102 @@ fn scalability() {
     }
 }
 
+/// One measured FOP-kernel case: reference vs. scratch wall time.
+struct FopBenchRow {
+    name: &'static str,
+    cells: usize,
+    insertion_points: u64,
+    reference_ms: f64,
+    scratch_ms: f64,
+}
+
+impl FopBenchRow {
+    fn speedup(&self) -> f64 {
+        self.reference_ms / self.scratch_ms.max(1e-9)
+    }
+}
+
+/// Mean wall-clock milliseconds of `f` over `iters` runs (after one warm-up).
+fn time_ms(iters: u32, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e3 / iters as f64
+}
+
+/// `--fop-json`: measure the FOP kernel (arena scratch vs. allocating reference) on the
+/// synthetic regions and write `BENCH_fop.json`.
+fn fop_json() {
+    use flex_mgl::fop::{self, FopScratch};
+    use flex_mgl::stats::FopOpStats;
+
+    let cfg = flex_mgl::config::MglConfig::default();
+    let mut rows = Vec::new();
+    for case in flex_bench::fop_cases::all() {
+        let mut scratch = FopScratch::new();
+        let mut points = 0u64;
+        // fewer iterations on the heavy crowded case keep the mode quick but stable
+        let iters = if case.name == "crowded" { 12 } else { 40 };
+        let reference_ms = time_ms(iters, || {
+            let mut stats = FopOpStats::default();
+            let out =
+                fop::reference::find_optimal_position(&case.region, &case.target, &cfg, &mut stats);
+            points = out.work.insertion_points;
+        });
+        let scratch_ms = time_ms(iters, || {
+            let mut stats = FopOpStats::default();
+            let out = fop::find_optimal_position_with(
+                &case.region,
+                &case.target,
+                &cfg,
+                &mut stats,
+                &mut scratch,
+            );
+            points = out.work.insertion_points;
+        });
+        rows.push(FopBenchRow {
+            name: case.name,
+            cells: case.region.cells.len(),
+            insertion_points: points,
+            reference_ms,
+            scratch_ms,
+        });
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"fop_kernel\",\n  \"unit\": \"ms per find_optimal_position call\",\n  \"cases\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"case\": \"{}\", \"cells\": {}, \"insertion_points\": {}, \"reference_ms\": {:.4}, \"scratch_ms\": {:.4}, \"speedup\": {:.2}}}{}\n",
+            r.name,
+            r.cells,
+            r.insertion_points,
+            r.reference_ms,
+            r.scratch_ms,
+            r.speedup(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = std::env::var("FLEX_BENCH_FOP_OUT").unwrap_or_else(|_| "BENCH_fop.json".to_string());
+    std::fs::write(&path, &json).expect("write BENCH_fop.json");
+    println!("--- FOP kernel: arena scratch vs. allocating reference ---");
+    for r in &rows {
+        println!(
+            "  {:<8} {:>4} cells {:>4} points   reference {:>9.3} ms   scratch {:>9.3} ms   {:>5.2}x",
+            r.name, r.cells, r.insertion_points, r.reference_ms, r.scratch_ms, r.speedup()
+        );
+    }
+    println!("  wrote {path}");
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--fop-json") {
+        fop_json();
+        return;
+    }
     println!(
         "=== Figure reproductions (scale factor {}) ===\n",
         flex_bench::scale_from_env()

@@ -8,6 +8,7 @@
 //! fraction of the original cell count that is generated (default 0.02, i.e. a few thousand
 //! cells per case, so the whole Table 1 suite completes in minutes on a laptop).
 
+pub mod fop_cases;
 pub mod golden;
 
 use flex_core::config::FlexConfig;

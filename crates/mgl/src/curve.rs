@@ -27,7 +27,7 @@ pub struct Breakpoint {
 }
 
 /// A convex piecewise-linear displacement curve.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct DisplacementCurve {
     /// Breakpoints in ascending x order.
     pub breakpoints: Vec<Breakpoint>,
@@ -46,14 +46,21 @@ impl DisplacementCurve {
 
     /// The curve `|x - center|` (the target cell's own horizontal displacement).
     pub fn abs(center: f64) -> Self {
-        Self {
-            breakpoints: vec![Breakpoint {
-                x: center,
-                left_slope: -1.0,
-                right_slope: 1.0,
-            }],
-            anchor: (center, 0.0),
-        }
+        let mut c = Self::constant(0.0);
+        c.set_abs(center);
+        c
+    }
+
+    /// Rewrite `self` into [`DisplacementCurve::abs`] in place, reusing the breakpoint
+    /// allocation (the arena-allocated FOP kernel rebuilds curves per insertion point).
+    pub fn set_abs(&mut self, center: f64) {
+        self.breakpoints.clear();
+        self.breakpoints.push(Breakpoint {
+            x: center,
+            left_slope: -1.0,
+            right_slope: 1.0,
+        });
+        self.anchor = (center, 0.0);
     }
 
     /// Displacement curve of a localCell pushed during the **left-move** phase.
@@ -65,34 +72,37 @@ impl DisplacementCurve {
     ///
     /// The cell's position is `min(c, x_t - s)`, so it stops moving once `x_t ≥ c + s`.
     pub fn left_cell(c: f64, g: f64, s: f64) -> Self {
+        let mut cu = Self::constant(0.0);
+        cu.set_left_cell(c, g, s);
+        cu
+    }
+
+    /// Rewrite `self` into [`DisplacementCurve::left_cell`] in place (same arithmetic,
+    /// reused allocation).
+    pub fn set_left_cell(&mut self, c: f64, g: f64, s: f64) {
         let freeze = c + s; // x_t beyond which the cell no longer moves
         let valley = g + s; // x_t at which the pushed cell would sit exactly on its global x
         let settled = (c - g).abs();
+        self.breakpoints.clear();
         if valley < freeze {
-            Self {
-                breakpoints: vec![
-                    Breakpoint {
-                        x: valley,
-                        left_slope: -1.0,
-                        right_slope: 1.0,
-                    },
-                    Breakpoint {
-                        x: freeze,
-                        left_slope: 1.0,
-                        right_slope: 0.0,
-                    },
-                ],
-                anchor: (valley, 0.0),
-            }
+            self.breakpoints.push(Breakpoint {
+                x: valley,
+                left_slope: -1.0,
+                right_slope: 1.0,
+            });
+            self.breakpoints.push(Breakpoint {
+                x: freeze,
+                left_slope: 1.0,
+                right_slope: 0.0,
+            });
+            self.anchor = (valley, 0.0);
         } else {
-            Self {
-                breakpoints: vec![Breakpoint {
-                    x: freeze,
-                    left_slope: -1.0,
-                    right_slope: 0.0,
-                }],
-                anchor: (freeze, settled),
-            }
+            self.breakpoints.push(Breakpoint {
+                x: freeze,
+                left_slope: -1.0,
+                right_slope: 0.0,
+            });
+            self.anchor = (freeze, settled);
         }
     }
 
@@ -104,34 +114,37 @@ impl DisplacementCurve {
     /// The cell's position is `max(c, x_t + target_width + s)`, so it starts moving once
     /// `x_t > c - target_width - s`.
     pub fn right_cell(c: f64, g: f64, s: f64, target_width: f64) -> Self {
+        let mut cu = Self::constant(0.0);
+        cu.set_right_cell(c, g, s, target_width);
+        cu
+    }
+
+    /// Rewrite `self` into [`DisplacementCurve::right_cell`] in place (same arithmetic,
+    /// reused allocation).
+    pub fn set_right_cell(&mut self, c: f64, g: f64, s: f64, target_width: f64) {
         let freeze = c - target_width - s; // x_t below which the cell does not move
         let valley = g - target_width - s;
         let settled = (c - g).abs();
+        self.breakpoints.clear();
         if valley > freeze {
-            Self {
-                breakpoints: vec![
-                    Breakpoint {
-                        x: freeze,
-                        left_slope: 0.0,
-                        right_slope: -1.0,
-                    },
-                    Breakpoint {
-                        x: valley,
-                        left_slope: -1.0,
-                        right_slope: 1.0,
-                    },
-                ],
-                anchor: (valley, 0.0),
-            }
+            self.breakpoints.push(Breakpoint {
+                x: freeze,
+                left_slope: 0.0,
+                right_slope: -1.0,
+            });
+            self.breakpoints.push(Breakpoint {
+                x: valley,
+                left_slope: -1.0,
+                right_slope: 1.0,
+            });
+            self.anchor = (valley, 0.0);
         } else {
-            Self {
-                breakpoints: vec![Breakpoint {
-                    x: freeze,
-                    left_slope: 0.0,
-                    right_slope: 1.0,
-                }],
-                anchor: (freeze, settled),
-            }
+            self.breakpoints.push(Breakpoint {
+                x: freeze,
+                left_slope: 0.0,
+                right_slope: 1.0,
+            });
+            self.anchor = (freeze, settled);
         }
     }
 

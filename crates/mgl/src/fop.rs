@@ -15,15 +15,28 @@
 //! (`fwdtraverse` / `bwdtraverse`) so that intermediate results stream between sub-operations.
 //! Both produce bit-identical results; they differ only in loop structure, which is what the
 //! multi-granularity pipeline on the FPGA exploits.
+//!
+//! ### Arena-allocated kernel
+//!
+//! The primary entry point, [`find_optimal_position_with`], threads a reusable [`FopScratch`]
+//! through the whole chain: one set of grow-only buffers (shift positions, curves,
+//! breakpoints, merged breakpoints, slope prefix sums) serves every insertion point of every
+//! region, and per-region state (row-membership index, per-cell anchor displacements, the
+//! target's own curve, the SACS presort) is computed once per region instead of once per
+//! point. The allocating implementation it replaced is kept verbatim under [`mod@reference`]: it
+//! is the differential-testing oracle and the baseline the `fop_kernel` bench compares
+//! against. Placements, costs and work counters are bit-identical between the two.
 
 use crate::config::{FopVariant, MglConfig, ShiftAlgorithm};
 use crate::curve::{Breakpoint, DisplacementCurve};
 use crate::insertion::{enumerate_insertion_points, InsertionPoint};
 use crate::region::LocalRegion;
-use crate::sacs::shift_phase_sacs_with_stats;
-use crate::shift::{shift_phase_original, Phase, ShiftOutcome, ShiftProblem};
+use crate::sacs::shift_phase_sacs_with_stats_into;
+use crate::shift::{shift_phase_original_with, Phase, ShiftOutcome, ShiftProblem, ShiftScratch};
 use crate::stats::{FopOpStats, FopOperator, RegionWork};
+use flex_placement::geom::Interval;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::time::Instant;
 
 /// Description of the target cell handed to FOP.
@@ -63,12 +76,149 @@ pub struct FopOutcome {
     pub work: RegionWork,
 }
 
+/// A grow-only pool of [`DisplacementCurve`]s: curves are rebuilt in place per insertion
+/// point, reusing each curve's breakpoint allocation.
+#[derive(Debug, Clone, Default)]
+struct CurvePool {
+    curves: Vec<DisplacementCurve>,
+    len: usize,
+}
+
+impl CurvePool {
+    fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Hand out the next pooled curve (allocating a new slot only on first growth).
+    fn next(&mut self) -> &mut DisplacementCurve {
+        if self.len == self.curves.len() {
+            self.curves.push(DisplacementCurve::constant(0.0));
+        }
+        let c = &mut self.curves[self.len];
+        self.len += 1;
+        c
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &DisplacementCurve> {
+        self.curves[..self.len].iter()
+    }
+}
+
+/// Reusable buffers for the whole FOP chain — the arena the hot path allocates from.
+///
+/// One instance per engine (serial legalizers) or per worker thread (parallel engines, via
+/// [`FopScratch::with_thread_local`]) serves every insertion point of every target without
+/// touching the allocator after warm-up. Besides buffer reuse it carries the per-region
+/// incremental state: the shift row index, per-cell anchor displacements, the target's own
+/// displacement curve, and the SACS Ahead-Sorter presort — all computed once per region
+/// where the [`mod@reference`] implementation recomputes them once per insertion point.
+#[derive(Debug, Clone, Default)]
+pub struct FopScratch {
+    /// Shifting buffers + the per-region row-membership index.
+    pub(crate) shift: ShiftScratch,
+    /// Left-phase outcome buffer.
+    pub(crate) left: ShiftOutcome,
+    /// Right-phase outcome buffer.
+    pub(crate) right: ShiftOutcome,
+    /// Pool of localCell displacement curves.
+    curves: CurvePool,
+    /// The target cell's own curve `|x_t − gx|`, set once per region.
+    target_curve: DisplacementCurve,
+    /// Per-cell current displacement `|x − gx|`, computed once per region.
+    anchor_disp: Vec<f64>,
+    /// The SACS Ahead-Sorter presort buffer (hoisted to once per region).
+    presort: Vec<i64>,
+    /// Gathered breakpoints of one insertion point.
+    bps: Vec<Breakpoint>,
+    /// Merged breakpoints.
+    merged: Vec<MergedBp>,
+    /// Forward (`sum slopesR`) prefix sums.
+    slopes_r: Vec<f64>,
+    /// Backward (`sum slopesL`) suffix sums.
+    slopes_l: Vec<f64>,
+    /// Working positions for commit planning (`legalize::plan_commit_with`).
+    pub(crate) commit_pos: Vec<i64>,
+    /// Span-verification buffer for commit planning.
+    pub(crate) commit_spans: Vec<Interval>,
+}
+
+thread_local! {
+    static TLS_SCRATCH: RefCell<FopScratch> = RefCell::new(FopScratch::new());
+}
+
+impl FopScratch {
+    /// Create an empty scratch; buffers grow to the working set of the first few regions and
+    /// are reused from then on.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Run `f` with this thread's scratch. Parallel engines use this to get one arena per
+    /// worker; the compatibility wrappers ([`find_optimal_position`],
+    /// [`crate::legalize::plan_commit`]) route through it so that every caller of the old
+    /// allocating signatures benefits without churn. Falls back to a fresh scratch if the
+    /// thread-local is already borrowed (re-entrant use).
+    pub fn with_thread_local<R>(f: impl FnOnce(&mut FopScratch) -> R) -> R {
+        TLS_SCRATCH.with(|s| match s.try_borrow_mut() {
+            Ok(mut scratch) => f(&mut scratch),
+            Err(_) => f(&mut FopScratch::new()),
+        })
+    }
+
+    /// Prepare the per-region state: the shift row index, the per-cell anchor displacements,
+    /// the target curve, and (for SACS) the hoisted Ahead-Sorter presort.
+    fn begin_region(
+        &mut self,
+        region: &LocalRegion,
+        target: &TargetSpec,
+        config: &MglConfig,
+        op_stats: &mut FopOpStats,
+    ) {
+        self.shift.begin_region(region);
+        self.anchor_disp.clear();
+        self.anchor_disp
+            .extend(region.cells.iter().map(|c| (c.x as f64 - c.gx).abs()));
+        self.target_curve.set_abs(target.gx);
+        if config.shift == ShiftAlgorithm::Sacs {
+            // The Ahead-Sorter presort models the hardware sorter's input stream; the host
+            // only needs it for the Fig. 6(g) timing share. It used to run once per
+            // insertion point (sorting the same localCells over and over); it is a
+            // per-region quantity, so it now runs once per region, still attributed to
+            // `Presort`.
+            let t_sort = Instant::now();
+            self.presort.clear();
+            self.presort.extend(region.cells.iter().map(|c| c.x));
+            self.presort.sort_unstable();
+            op_stats.add(FopOperator::Presort, t_sort.elapsed());
+        }
+    }
+}
+
 /// Evaluate every insertion point of `region` and return the optimal placement.
+///
+/// Compatibility wrapper over [`find_optimal_position_with`] using the calling thread's
+/// [`FopScratch`]; results are identical.
 pub fn find_optimal_position(
     region: &LocalRegion,
     target: &TargetSpec,
     config: &MglConfig,
     op_stats: &mut FopOpStats,
+) -> FopOutcome {
+    FopScratch::with_thread_local(|scratch| {
+        find_optimal_position_with(region, target, config, op_stats, scratch)
+    })
+}
+
+/// Evaluate every insertion point of `region` with the given scratch arena and return the
+/// optimal placement. Bit-identical to [`reference::find_optimal_position`] in placements,
+/// costs and work counters; only wall-clock operator stats differ (they measure the faster
+/// kernel, and the SACS presort is attributed once per region instead of once per point).
+pub fn find_optimal_position_with(
+    region: &LocalRegion,
+    target: &TargetSpec,
+    config: &MglConfig,
+    op_stats: &mut FopOpStats,
+    scratch: &mut FopScratch,
 ) -> FopOutcome {
     let mut outcome = FopOutcome::default();
     let work = &mut outcome.work;
@@ -91,9 +241,13 @@ pub fn find_optimal_position(
     op_stats.add(FopOperator::Other, t_enum.elapsed());
     work.insertion_points = points.len() as u64;
 
+    scratch.begin_region(region, target, config, op_stats);
+
     let mut best: Option<Placement> = None;
     for point in points {
-        if let Some((x, cost)) = evaluate_point(region, target, &point, config, op_stats, work) {
+        if let Some((x, cost)) =
+            evaluate_point_with(region, target, &point, config, op_stats, work, scratch)
+        {
             work.feasible_points += 1;
             let better = match &best {
                 None => true,
@@ -113,16 +267,32 @@ pub fn find_optimal_position(
     outcome
 }
 
-/// Evaluate one insertion point: shift, build curves, run the breakpoint pipeline.
-/// Returns `(best x, cost)` or `None` if the point turned out infeasible.
-fn evaluate_point(
+/// Evaluate one insertion point against the scratch arena: shift into the reusable outcome
+/// buffers, rebuild the pooled curves in place, run the breakpoint pipeline on the reusable
+/// vectors. Returns `(best x, cost)` or `None` if the point turned out infeasible.
+fn evaluate_point_with(
     region: &LocalRegion,
     target: &TargetSpec,
     point: &InsertionPoint,
     config: &MglConfig,
     op_stats: &mut FopOpStats,
     work: &mut RegionWork,
+    scratch: &mut FopScratch,
 ) -> Option<(i64, f64)> {
+    let FopScratch {
+        shift,
+        left,
+        right,
+        curves,
+        target_curve,
+        anchor_disp,
+        bps,
+        merged,
+        slopes_r,
+        slopes_l,
+        ..
+    } = scratch;
+
     // --- cell shifting at both extremes of the feasible range -----------------------------
     let t_shift = Instant::now();
     let left_problem = ShiftProblem {
@@ -139,104 +309,97 @@ fn evaluate_point(
         target_height: target.height,
         target_x: point.x_hi,
     };
-    let (left, right) = match config.shift {
+    match config.shift {
         ShiftAlgorithm::Original => {
-            let l = shift_phase_original(&left_problem, Phase::Left).ok()?;
-            let r = shift_phase_original(&right_problem, Phase::Right).ok()?;
-            work.shift_passes += (l.passes + r.passes) as u64;
-            (l, r)
+            shift_phase_original_with(&left_problem, Phase::Left, shift, left).ok()?;
+            shift_phase_original_with(&right_problem, Phase::Right, shift, right).ok()?;
+            work.shift_passes += (left.passes + right.passes) as u64;
         }
         ShiftAlgorithm::Sacs => {
-            // the SACS pre-sort is timed separately so that Fig. 6(g) can report its share
-            let t_sort = Instant::now();
-            let mut order: Vec<i64> = region.cells.iter().map(|c| c.x).collect();
-            order.sort_unstable();
-            op_stats.add(FopOperator::Presort, t_sort.elapsed());
-
-            let (l, ls) = shift_phase_sacs_with_stats(&left_problem, Phase::Left).ok()?;
-            let (r, rs) = shift_phase_sacs_with_stats(&right_problem, Phase::Right).ok()?;
+            let ls =
+                shift_phase_sacs_with_stats_into(&left_problem, Phase::Left, shift, left).ok()?;
+            let rs = shift_phase_sacs_with_stats_into(&right_problem, Phase::Right, shift, right)
+                .ok()?;
             work.shift_passes += 2;
             work.sorted_cells += ls.sorted_cells + rs.sorted_cells;
             work.bound_queries += ls.bound_queries + rs.bound_queries;
             work.tall_bound_queries += ls.tall_bound_queries + rs.tall_bound_queries;
-            (l, r)
         }
-    };
+    }
     work.subcell_visits += left.subcell_visits + right.subcell_visits;
     op_stats.add(FopOperator::CellShift, t_shift.elapsed());
 
-    // --- displacement curves ---------------------------------------------------------------
+    // --- displacement curves (pooled; target curve prebuilt per region) --------------------
     let t_curves = Instant::now();
-    let curves = build_curves(region, target, point, &left, &right);
-    op_stats.add(FopOperator::Other, t_curves.elapsed());
-
-    // --- breakpoint pipeline ---------------------------------------------------------------
-    let lo = point.x_lo as f64;
-    let hi = point.x_hi as f64;
-    let t_sort_bp = Instant::now();
-    let mut bps: Vec<Breakpoint> = curves
-        .iter()
-        .flat_map(|c| c.breakpoints.iter().copied())
-        .collect();
-    bps.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap());
-    op_stats.add(FopOperator::SortBp, t_sort_bp.elapsed());
-    work.breakpoints += bps.len() as u64;
-
-    let anchor_value: f64 = curves.iter().map(|c| c.eval(lo)).sum();
-    // total slope left of every breakpoint: the sum of each curve's initial slope
-    let base_slope: f64 = curves
-        .iter()
-        .filter_map(|c| c.breakpoints.first())
-        .map(|bp| bp.left_slope)
-        .sum();
-    let (best_x, horiz_cost) = match config.fop {
-        FopVariant::Original => original_pipeline(&bps, base_slope, anchor_value, lo, hi, op_stats),
-        FopVariant::Reorganized => {
-            reorganized_pipeline(&bps, base_slope, anchor_value, lo, hi, op_stats)
-        }
-    };
-
-    let vertical = (point.bottom_row as f64 - target.gy).abs();
-    Some((best_x.round() as i64, horiz_cost + vertical))
-}
-
-/// Build the displacement curves of the target and of every localCell the shifting moved.
-///
-/// Each localCell's curve is shifted down by the cell's *current* displacement so that it
-/// expresses the displacement **delta** caused by this insertion point. Cells untouched by the
-/// point then contribute exactly zero, which keeps the costs of different insertion points
-/// comparable (and lets a push that happens to move a cell closer to its global position count
-/// as the quality gain it really is).
-fn build_curves(
-    region: &LocalRegion,
-    target: &TargetSpec,
-    point: &InsertionPoint,
-    left: &ShiftOutcome,
-    right: &ShiftOutcome,
-) -> Vec<DisplacementCurve> {
-    let mut curves = Vec::with_capacity(left.positions.len() + right.positions.len() + 1);
-    curves.push(DisplacementCurve::abs(target.gx));
+    curves.clear();
     for &(i, pos) in &left.positions {
         let c = &region.cells[i];
         if pos != c.x {
             // stack offset: at full compression (x_t = x_lo) the cell sits at x_lo - s
             let s = point.x_lo - pos;
-            let mut curve = DisplacementCurve::left_cell(c.x as f64, c.gx, s as f64);
-            curve.anchor.1 -= (c.x as f64 - c.gx).abs();
-            curves.push(curve);
+            let curve = curves.next();
+            curve.set_left_cell(c.x as f64, c.gx, s as f64);
+            curve.anchor.1 -= anchor_disp[i];
         }
     }
     for &(i, pos) in &right.positions {
         let c = &region.cells[i];
         if pos != c.x {
             let s = pos - (point.x_hi + target.width);
-            let mut curve =
-                DisplacementCurve::right_cell(c.x as f64, c.gx, s as f64, target.width as f64);
-            curve.anchor.1 -= (c.x as f64 - c.gx).abs();
-            curves.push(curve);
+            let curve = curves.next();
+            curve.set_right_cell(c.x as f64, c.gx, s as f64, target.width as f64);
+            curve.anchor.1 -= anchor_disp[i];
         }
     }
-    curves
+    op_stats.add(FopOperator::Other, t_curves.elapsed());
+
+    // --- breakpoint pipeline ---------------------------------------------------------------
+    let lo = point.x_lo as f64;
+    let hi = point.x_hi as f64;
+    let t_sort_bp = Instant::now();
+    bps.clear();
+    bps.extend(target_curve.breakpoints.iter().copied());
+    for c in curves.iter() {
+        bps.extend(c.breakpoints.iter().copied());
+    }
+    bps.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap());
+    op_stats.add(FopOperator::SortBp, t_sort_bp.elapsed());
+    work.breakpoints += bps.len() as u64;
+
+    let all_curves = || std::iter::once(&*target_curve).chain(curves.iter());
+    let anchor_value: f64 = all_curves().map(|c| c.eval(lo)).sum();
+    // total slope left of every breakpoint: the sum of each curve's initial slope
+    let base_slope: f64 = all_curves()
+        .filter_map(|c| c.breakpoints.first())
+        .map(|bp| bp.left_slope)
+        .sum();
+    let (best_x, horiz_cost) = match config.fop {
+        FopVariant::Original => original_pipeline_with(
+            bps,
+            base_slope,
+            anchor_value,
+            lo,
+            hi,
+            op_stats,
+            merged,
+            slopes_r,
+            slopes_l,
+        ),
+        FopVariant::Reorganized => reorganized_pipeline_with(
+            bps,
+            base_slope,
+            anchor_value,
+            lo,
+            hi,
+            op_stats,
+            merged,
+            slopes_r,
+            slopes_l,
+        ),
+    };
+
+    let vertical = (point.bottom_row as f64 - target.gy).abs();
+    Some((best_x.round() as i64, horiz_cost + vertical))
 }
 
 /// A merged breakpoint: identical x-coordinates folded together with accumulated slopes.
@@ -247,25 +410,6 @@ struct MergedBp {
     left: f64,
     /// Sum of the constituent curves' right slopes.
     right: f64,
-}
-
-/// Merge breakpoints with identical x-coordinates (the `merge bp` operator).
-fn merge_bps(sorted: &[Breakpoint]) -> Vec<MergedBp> {
-    let mut merged: Vec<MergedBp> = Vec::with_capacity(sorted.len());
-    for bp in sorted {
-        match merged.last_mut() {
-            Some(m) if (m.x - bp.x).abs() < 1e-9 => {
-                m.left += bp.left_slope;
-                m.right += bp.right_slope;
-            }
-            _ => merged.push(MergedBp {
-                x: bp.x,
-                left: bp.left_slope,
-                right: bp.right_slope,
-            }),
-        }
-    }
-    merged
 }
 
 /// Walk the merged breakpoints, integrating the total slope between them, and return the
@@ -332,34 +476,52 @@ fn scan_minimum(
     (best_x, best_v)
 }
 
-/// The original operator chain: merge bp → sum slopesR → sum slopesL → calculate value, each
-/// operator completing (and materializing its output) before the next starts.
-fn original_pipeline(
+/// Scratch twin of [`reference::original_pipeline`]: merge bp → sum slopesR → sum slopesL →
+/// calculate value, writing every intermediate array into the reusable buffers.
+#[allow(clippy::too_many_arguments)]
+fn original_pipeline_with(
     sorted: &[Breakpoint],
     base_slope: f64,
     anchor_value: f64,
     lo: f64,
     hi: f64,
     op_stats: &mut FopOpStats,
+    merged: &mut Vec<MergedBp>,
+    slopes_r: &mut Vec<f64>,
+    slopes_l: &mut Vec<f64>,
 ) -> (f64, f64) {
     let t_merge = Instant::now();
-    let merged = merge_bps(sorted);
+    merged.clear();
+    for bp in sorted {
+        match merged.last_mut() {
+            Some(m) if (m.x - bp.x).abs() < 1e-9 => {
+                m.left += bp.left_slope;
+                m.right += bp.right_slope;
+            }
+            _ => merged.push(MergedBp {
+                x: bp.x,
+                left: bp.left_slope,
+                right: bp.right_slope,
+            }),
+        }
+    }
     op_stats.add(FopOperator::MergeBp, t_merge.elapsed());
 
     // sum slopesR: forward traversal accumulating Σ (right − left) up to each breakpoint
     let t_r = Instant::now();
-    let mut slopes_r = vec![0.0; merged.len()];
+    slopes_r.clear();
     let mut acc = 0.0;
-    for (i, m) in merged.iter().enumerate() {
+    for m in merged.iter() {
         acc += m.right - m.left;
-        slopes_r[i] = acc;
+        slopes_r.push(acc);
     }
     op_stats.add(FopOperator::SumSlopesR, t_r.elapsed());
 
     // sum slopesL: backward traversal accumulating Σ (left − right) from each breakpoint on —
     // the suffix counterpart of slopesR (used by the value computation in its backward form).
     let t_l = Instant::now();
-    let mut slopes_l = vec![0.0; merged.len()];
+    slopes_l.clear();
+    slopes_l.resize(merged.len(), 0.0);
     let mut suffix = 0.0;
     for i in (0..merged.len()).rev() {
         suffix += merged[i].left - merged[i].right;
@@ -373,27 +535,29 @@ fn original_pipeline(
         merged.is_empty() || (slopes_r.last().unwrap() + slopes_l.first().unwrap()).abs() < 1e-9,
         "prefix and suffix slope sums must cancel"
     );
-    let result = scan_minimum(&merged, &slopes_r, base_slope, anchor_value, lo, hi);
+    let result = scan_minimum(merged, slopes_r, base_slope, anchor_value, lo, hi);
     op_stats.add(FopOperator::CalcValue, t_val.elapsed());
     result
 }
 
-/// The reorganized chain of FLEX: a fused forward traversal (fwdmerge + sum slopesR +
-/// calculate vR) followed by a fused backward traversal (bwdmerge + sum slopesL + calculate vL
-/// and v). Produces the same result as [`original_pipeline`] with only two passes over the
-/// breakpoints and no intermediate arrays beyond the merged list.
-fn reorganized_pipeline(
+/// Scratch twin of [`reference::reorganized_pipeline`]: fused forward traversal followed by
+/// the fused backward traversal, on the reusable buffers.
+#[allow(clippy::too_many_arguments)]
+fn reorganized_pipeline_with(
     sorted: &[Breakpoint],
     base_slope: f64,
     anchor_value: f64,
     lo: f64,
     hi: f64,
     op_stats: &mut FopOpStats,
+    merged: &mut Vec<MergedBp>,
+    slopes_r: &mut Vec<f64>,
+    slopes_l: &mut Vec<f64>,
 ) -> (f64, f64) {
     // fwdtraverse: merge on the fly while accumulating the right-slope prefix sums
     let t_fwd = Instant::now();
-    let mut merged: Vec<MergedBp> = Vec::with_capacity(sorted.len());
-    let mut slopes_r: Vec<f64> = Vec::with_capacity(sorted.len());
+    merged.clear();
+    slopes_r.clear();
     let mut acc = 0.0;
     for bp in sorted {
         match merged.last_mut() {
@@ -418,20 +582,336 @@ fn reorganized_pipeline(
 
     // bwdtraverse: suffix left-slope accumulation fused with the final value scan
     let t_bwd = Instant::now();
-    let mut slopes_l = vec![0.0; merged.len()];
+    slopes_l.clear();
+    slopes_l.resize(merged.len(), 0.0);
     let mut suffix = 0.0;
     for i in (0..merged.len()).rev() {
         suffix += merged[i].left - merged[i].right;
         slopes_l[i] = suffix;
     }
     let _ = &slopes_l;
-    let result = scan_minimum(&merged, &slopes_r, base_slope, anchor_value, lo, hi);
+    let result = scan_minimum(merged, slopes_r, base_slope, anchor_value, lo, hi);
     op_stats.add(FopOperator::BwdTraverse, t_bwd.elapsed());
     result
 }
 
+pub mod reference {
+    //! The allocating FOP implementation the arena kernel replaced, kept verbatim.
+    //!
+    //! This is **not** dead code: it is the oracle of the differential property suite
+    //! (`tests/fop_differential.rs` asserts the scratch kernel returns bit-identical
+    //! [`Placement`]s and work counters on random regions) and the baseline the
+    //! `fop_kernel` bench measures the arena speedup against. Every insertion point
+    //! re-sorts localCells, rebuilds all displacement curves and allocates fresh
+    //! breakpoint/slope vectors — exactly the serial constant the paper's FPGA pipeline
+    //! (and now the scratch kernel) streams away.
+
+    use super::*;
+    use crate::sacs::shift_phase_sacs_with_stats;
+    use crate::shift::shift_phase_original;
+
+    /// Evaluate every insertion point of `region` and return the optimal placement,
+    /// allocating afresh per insertion point.
+    pub fn find_optimal_position(
+        region: &LocalRegion,
+        target: &TargetSpec,
+        config: &MglConfig,
+        op_stats: &mut FopOpStats,
+    ) -> FopOutcome {
+        let mut outcome = FopOutcome::default();
+        let work = &mut outcome.work;
+        work.target = region.target;
+        work.target_width = target.width;
+        work.target_height = target.height;
+        work.local_cells = region.cells.len() as u64;
+        work.tall_cells = region.num_tall_cells(3) as u64;
+        work.segments = region.segments.len() as u64;
+
+        let t_enum = Instant::now();
+        let points = enumerate_insertion_points(
+            region,
+            target.width,
+            target.height,
+            target.parity,
+            target.gx,
+            config.max_insertion_points,
+        );
+        op_stats.add(FopOperator::Other, t_enum.elapsed());
+        work.insertion_points = points.len() as u64;
+
+        let mut best: Option<Placement> = None;
+        for point in points {
+            if let Some((x, cost)) = evaluate_point(region, target, &point, config, op_stats, work)
+            {
+                work.feasible_points += 1;
+                let better = match &best {
+                    None => true,
+                    Some(b) => cost < b.cost - 1e-9,
+                };
+                if better {
+                    best = Some(Placement {
+                        x,
+                        row: point.bottom_row,
+                        cost,
+                        point,
+                    });
+                }
+            }
+        }
+        outcome.best = best;
+        outcome
+    }
+
+    /// Evaluate one insertion point: shift, build curves, run the breakpoint pipeline.
+    fn evaluate_point(
+        region: &LocalRegion,
+        target: &TargetSpec,
+        point: &InsertionPoint,
+        config: &MglConfig,
+        op_stats: &mut FopOpStats,
+        work: &mut RegionWork,
+    ) -> Option<(i64, f64)> {
+        // --- cell shifting at both extremes of the feasible range -------------------------
+        let t_shift = Instant::now();
+        let left_problem = ShiftProblem {
+            region,
+            point,
+            target_width: target.width,
+            target_height: target.height,
+            target_x: point.x_lo,
+        };
+        let right_problem = ShiftProblem {
+            region,
+            point,
+            target_width: target.width,
+            target_height: target.height,
+            target_x: point.x_hi,
+        };
+        let (left, right) = match config.shift {
+            ShiftAlgorithm::Original => {
+                let l = shift_phase_original(&left_problem, Phase::Left).ok()?;
+                let r = shift_phase_original(&right_problem, Phase::Right).ok()?;
+                work.shift_passes += (l.passes + r.passes) as u64;
+                (l, r)
+            }
+            ShiftAlgorithm::Sacs => {
+                // the SACS pre-sort is timed separately so that Fig. 6(g) can report its
+                // share (the arena kernel hoists this to once per region)
+                let t_sort = Instant::now();
+                let mut order: Vec<i64> = region.cells.iter().map(|c| c.x).collect();
+                order.sort_unstable();
+                op_stats.add(FopOperator::Presort, t_sort.elapsed());
+
+                let (l, ls) = shift_phase_sacs_with_stats(&left_problem, Phase::Left).ok()?;
+                let (r, rs) = shift_phase_sacs_with_stats(&right_problem, Phase::Right).ok()?;
+                work.shift_passes += 2;
+                work.sorted_cells += ls.sorted_cells + rs.sorted_cells;
+                work.bound_queries += ls.bound_queries + rs.bound_queries;
+                work.tall_bound_queries += ls.tall_bound_queries + rs.tall_bound_queries;
+                (l, r)
+            }
+        };
+        work.subcell_visits += left.subcell_visits + right.subcell_visits;
+        op_stats.add(FopOperator::CellShift, t_shift.elapsed());
+
+        // --- displacement curves -----------------------------------------------------------
+        let t_curves = Instant::now();
+        let curves = build_curves(region, target, point, &left, &right);
+        op_stats.add(FopOperator::Other, t_curves.elapsed());
+
+        // --- breakpoint pipeline -----------------------------------------------------------
+        let lo = point.x_lo as f64;
+        let hi = point.x_hi as f64;
+        let t_sort_bp = Instant::now();
+        let mut bps: Vec<Breakpoint> = curves
+            .iter()
+            .flat_map(|c| c.breakpoints.iter().copied())
+            .collect();
+        bps.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap());
+        op_stats.add(FopOperator::SortBp, t_sort_bp.elapsed());
+        work.breakpoints += bps.len() as u64;
+
+        let anchor_value: f64 = curves.iter().map(|c| c.eval(lo)).sum();
+        // total slope left of every breakpoint: the sum of each curve's initial slope
+        let base_slope: f64 = curves
+            .iter()
+            .filter_map(|c| c.breakpoints.first())
+            .map(|bp| bp.left_slope)
+            .sum();
+        let (best_x, horiz_cost) = match config.fop {
+            FopVariant::Original => {
+                original_pipeline(&bps, base_slope, anchor_value, lo, hi, op_stats)
+            }
+            FopVariant::Reorganized => {
+                reorganized_pipeline(&bps, base_slope, anchor_value, lo, hi, op_stats)
+            }
+        };
+
+        let vertical = (point.bottom_row as f64 - target.gy).abs();
+        Some((best_x.round() as i64, horiz_cost + vertical))
+    }
+
+    /// Build the displacement curves of the target and of every localCell the shifting moved.
+    ///
+    /// Each localCell's curve is shifted down by the cell's *current* displacement so that it
+    /// expresses the displacement **delta** caused by this insertion point. Cells untouched by
+    /// the point then contribute exactly zero, which keeps the costs of different insertion
+    /// points comparable (and lets a push that happens to move a cell closer to its global
+    /// position count as the quality gain it really is).
+    fn build_curves(
+        region: &LocalRegion,
+        target: &TargetSpec,
+        point: &InsertionPoint,
+        left: &ShiftOutcome,
+        right: &ShiftOutcome,
+    ) -> Vec<DisplacementCurve> {
+        let mut curves = Vec::with_capacity(left.positions.len() + right.positions.len() + 1);
+        curves.push(DisplacementCurve::abs(target.gx));
+        for &(i, pos) in &left.positions {
+            let c = &region.cells[i];
+            if pos != c.x {
+                // stack offset: at full compression (x_t = x_lo) the cell sits at x_lo - s
+                let s = point.x_lo - pos;
+                let mut curve = DisplacementCurve::left_cell(c.x as f64, c.gx, s as f64);
+                curve.anchor.1 -= (c.x as f64 - c.gx).abs();
+                curves.push(curve);
+            }
+        }
+        for &(i, pos) in &right.positions {
+            let c = &region.cells[i];
+            if pos != c.x {
+                let s = pos - (point.x_hi + target.width);
+                let mut curve =
+                    DisplacementCurve::right_cell(c.x as f64, c.gx, s as f64, target.width as f64);
+                curve.anchor.1 -= (c.x as f64 - c.gx).abs();
+                curves.push(curve);
+            }
+        }
+        curves
+    }
+
+    /// Merge breakpoints with identical x-coordinates (the `merge bp` operator).
+    fn merge_bps(sorted: &[Breakpoint]) -> Vec<MergedBp> {
+        let mut merged: Vec<MergedBp> = Vec::with_capacity(sorted.len());
+        for bp in sorted {
+            match merged.last_mut() {
+                Some(m) if (m.x - bp.x).abs() < 1e-9 => {
+                    m.left += bp.left_slope;
+                    m.right += bp.right_slope;
+                }
+                _ => merged.push(MergedBp {
+                    x: bp.x,
+                    left: bp.left_slope,
+                    right: bp.right_slope,
+                }),
+            }
+        }
+        merged
+    }
+
+    /// The original operator chain: merge bp → sum slopesR → sum slopesL → calculate value,
+    /// each operator completing (and materializing its output) before the next starts.
+    pub fn original_pipeline(
+        sorted: &[Breakpoint],
+        base_slope: f64,
+        anchor_value: f64,
+        lo: f64,
+        hi: f64,
+        op_stats: &mut FopOpStats,
+    ) -> (f64, f64) {
+        let t_merge = Instant::now();
+        let merged = merge_bps(sorted);
+        op_stats.add(FopOperator::MergeBp, t_merge.elapsed());
+
+        // sum slopesR: forward traversal accumulating Σ (right − left) up to each breakpoint
+        let t_r = Instant::now();
+        let mut slopes_r = vec![0.0; merged.len()];
+        let mut acc = 0.0;
+        for (i, m) in merged.iter().enumerate() {
+            acc += m.right - m.left;
+            slopes_r[i] = acc;
+        }
+        op_stats.add(FopOperator::SumSlopesR, t_r.elapsed());
+
+        // sum slopesL: backward traversal accumulating Σ (left − right) from each breakpoint
+        // on — the suffix counterpart of slopesR.
+        let t_l = Instant::now();
+        let mut slopes_l = vec![0.0; merged.len()];
+        let mut suffix = 0.0;
+        for i in (0..merged.len()).rev() {
+            suffix += merged[i].left - merged[i].right;
+            slopes_l[i] = suffix;
+        }
+        op_stats.add(FopOperator::SumSlopesL, t_l.elapsed());
+
+        // calculate value: integrate the slopes from the domain edge and pick the minimum
+        let t_val = Instant::now();
+        debug_assert!(
+            merged.is_empty()
+                || (slopes_r.last().unwrap() + slopes_l.first().unwrap()).abs() < 1e-9,
+            "prefix and suffix slope sums must cancel"
+        );
+        let result = scan_minimum(&merged, &slopes_r, base_slope, anchor_value, lo, hi);
+        op_stats.add(FopOperator::CalcValue, t_val.elapsed());
+        result
+    }
+
+    /// The reorganized chain of FLEX: a fused forward traversal (fwdmerge + sum slopesR +
+    /// calculate vR) followed by a fused backward traversal (bwdmerge + sum slopesL +
+    /// calculate vL and v). Produces the same result as [`original_pipeline`] with only two
+    /// passes over the breakpoints and no intermediate arrays beyond the merged list.
+    pub fn reorganized_pipeline(
+        sorted: &[Breakpoint],
+        base_slope: f64,
+        anchor_value: f64,
+        lo: f64,
+        hi: f64,
+        op_stats: &mut FopOpStats,
+    ) -> (f64, f64) {
+        // fwdtraverse: merge on the fly while accumulating the right-slope prefix sums
+        let t_fwd = Instant::now();
+        let mut merged: Vec<MergedBp> = Vec::with_capacity(sorted.len());
+        let mut slopes_r: Vec<f64> = Vec::with_capacity(sorted.len());
+        let mut acc = 0.0;
+        for bp in sorted {
+            match merged.last_mut() {
+                Some(m) if (m.x - bp.x).abs() < 1e-9 => {
+                    m.left += bp.left_slope;
+                    m.right += bp.right_slope;
+                    acc += bp.right_slope - bp.left_slope;
+                    *slopes_r.last_mut().expect("merged entry exists") = acc;
+                }
+                _ => {
+                    merged.push(MergedBp {
+                        x: bp.x,
+                        left: bp.left_slope,
+                        right: bp.right_slope,
+                    });
+                    acc += bp.right_slope - bp.left_slope;
+                    slopes_r.push(acc);
+                }
+            }
+        }
+        op_stats.add(FopOperator::FwdTraverse, t_fwd.elapsed());
+
+        // bwdtraverse: suffix left-slope accumulation fused with the final value scan
+        let t_bwd = Instant::now();
+        let mut slopes_l = vec![0.0; merged.len()];
+        let mut suffix = 0.0;
+        for i in (0..merged.len()).rev() {
+            suffix += merged[i].left - merged[i].right;
+            slopes_l[i] = suffix;
+        }
+        let _ = &slopes_l;
+        let result = scan_minimum(&merged, &slopes_r, base_slope, anchor_value, lo, hi);
+        op_stats.add(FopOperator::BwdTraverse, t_bwd.elapsed());
+        result
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::reference::{original_pipeline, reorganized_pipeline};
     use super::*;
     use crate::curve::minimize_sum;
     use crate::region::{LocalCell, LocalRegion, LocalSegment};
@@ -540,6 +1020,75 @@ mod tests {
     }
 
     #[test]
+    fn scratch_kernel_matches_the_reference_bit_for_bit() {
+        // The dedicated differential proptest suite runs on random regions; this is the
+        // fast in-crate smoke check over every config combination.
+        let region = region();
+        let t = target();
+        let mut scratch = FopScratch::new();
+        for shift in [ShiftAlgorithm::Original, ShiftAlgorithm::Sacs] {
+            for fop in [FopVariant::Original, FopVariant::Reorganized] {
+                let cfg = MglConfig {
+                    shift,
+                    fop,
+                    ..MglConfig::default()
+                };
+                let mut s1 = FopOpStats::default();
+                let mut s2 = FopOpStats::default();
+                let a = reference::find_optimal_position(&region, &t, &cfg, &mut s1);
+                let b = find_optimal_position_with(&region, &t, &cfg, &mut s2, &mut scratch);
+                assert_eq!(a.best, b.best, "shift={shift:?} fop={fop:?}");
+                assert_eq!(a.work, b.work, "shift={shift:?} fop={fop:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_regions_stays_correct() {
+        // one scratch across differently shaped regions: buffers must reset cleanly
+        let mut scratch = FopScratch::new();
+        let mut stats = FopOpStats::default();
+        let r1 = region();
+        let t1 = target();
+        let cfg = MglConfig::default();
+        let first = find_optimal_position_with(&r1, &t1, &cfg, &mut stats, &mut scratch);
+
+        // a second, smaller region with a different segment layout
+        let r2 = LocalRegion {
+            target: CellId(7),
+            window: Rect::new(0, 0, 20, 1),
+            segments: vec![LocalSegment {
+                row: 0,
+                span: Interval::new(0, 20),
+            }],
+            cells: vec![LocalCell {
+                id: CellId(0),
+                x: 3,
+                y: 0,
+                width: 4,
+                height: 1,
+                gx: 3.0,
+            }],
+            density: 0.2,
+        };
+        let t2 = TargetSpec {
+            width: 3,
+            height: 1,
+            gx: 10.0,
+            gy: 0.0,
+            parity: None,
+        };
+        let second = find_optimal_position_with(&r2, &t2, &cfg, &mut stats, &mut scratch);
+        let second_ref =
+            reference::find_optimal_position(&r2, &t2, &cfg, &mut FopOpStats::default());
+        assert_eq!(second.best, second_ref.best);
+
+        // and back to the first region: still identical to a fresh evaluation
+        let again = find_optimal_position_with(&r1, &t1, &cfg, &mut stats, &mut scratch);
+        assert_eq!(first.best, again.best);
+    }
+
+    #[test]
     fn pipeline_matches_reference_minimizer_on_random_curves() {
         let mut rng = StdRng::seed_from_u64(0xC0FFEE);
         for _ in 0..200 {
@@ -581,6 +1130,33 @@ mod tests {
                 (fv - rv).abs() < 1e-6,
                 "reorganized {fv} vs reference {rv} (x {fx} vs {rx})"
             );
+
+            // the scratch pipelines must agree bit for bit with the allocating ones
+            let (mut merged, mut sr, mut sl) = (Vec::new(), Vec::new(), Vec::new());
+            let (sx, sv) = original_pipeline_with(
+                &bps,
+                base,
+                anchor,
+                lo,
+                hi,
+                &mut st,
+                &mut merged,
+                &mut sr,
+                &mut sl,
+            );
+            assert_eq!((sx, sv), (ox, ov));
+            let (tx, tv) = reorganized_pipeline_with(
+                &bps,
+                base,
+                anchor,
+                lo,
+                hi,
+                &mut st,
+                &mut merged,
+                &mut sr,
+                &mut sl,
+            );
+            assert_eq!((tx, tv), (fx, fv));
         }
     }
 

@@ -71,6 +71,15 @@ pub fn enumerate_insertion_points(
     let mut seen: BTreeSet<(i64, Vec<usize>)> = BTreeSet::new();
 
     let rows = region.rows();
+    // Per-row localCell lists (sorted by x), computed once per segment: the anchor loop
+    // below used to rebuild and re-sort them for every candidate anchor of every row, which
+    // dominated the enumeration cost on crowded regions.
+    let row_cells: Vec<Vec<usize>> = rows.iter().map(|&r| region.cells_in_row(r)).collect();
+    let cells_of = |r: i64| -> &[usize] {
+        region
+            .segment_index(r)
+            .map_or(&[][..], |i| &row_cells[i][..])
+    };
     for &bottom in &rows {
         if let Some(p) = parity {
             if bottom.rem_euclid(2) as u8 != p {
@@ -91,7 +100,7 @@ pub fn enumerate_insertion_points(
             let seg = region.segment(r).unwrap();
             anchors.insert(seg.span.lo);
             anchors.insert(seg.span.hi);
-            for &ci in &region.cells_in_row(r) {
+            for &ci in cells_of(r) {
                 let c = &region.cells[ci];
                 anchors.insert(c.x);
                 anchors.insert(c.right());
@@ -111,7 +120,7 @@ pub fn enumerate_insertion_points(
             let mut ok = true;
             for &r in &target_rows {
                 let seg = region.segment(r).unwrap();
-                let in_row = region.cells_in_row(r);
+                let in_row = cells_of(r);
                 // split the row at the anchor: cells whose centre is left of the anchor go to
                 // the left chain, the rest to the right chain
                 let split = in_row

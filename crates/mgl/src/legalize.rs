@@ -1,11 +1,11 @@
 //! The end-to-end MGL legalizer (the flow of Fig. 3(e)).
 
 use crate::config::{MglConfig, OrderingStrategy, ShiftAlgorithm};
-use crate::fop::{self, Placement, TargetSpec};
+use crate::fop::{self, FopScratch, Placement, TargetSpec};
 use crate::ordering::{self, SlidingWindowOrderer};
 use crate::region::{target_window, LegalizedIndex, LocalRegion};
-use crate::sacs::shift_phase_sacs;
-use crate::shift::{shift_phase_original, Phase, ShiftProblem};
+use crate::sacs::shift_phase_sacs_with_stats_into;
+use crate::shift::{shift_phase_original_with, Phase, ShiftProblem};
 use crate::stats::{FopOpStats, RegionWork, WorkTrace};
 use flex_placement::cell::CellId;
 use flex_placement::density::DensityMap;
@@ -107,6 +107,10 @@ impl MglLegalizer {
         }
         let mut static_iter = static_order.into_iter();
 
+        // one arena for the whole run: every region's FOP, shifting and commit planning
+        // reuse the same grow-only buffers
+        let mut scratch = FopScratch::new();
+
         loop {
             let target = match sliding.as_mut() {
                 Some(orderer) => orderer.next(design, &density),
@@ -114,7 +118,15 @@ impl MglLegalizer {
             };
             let Some(target) = target else { break };
 
-            let outcome = place_target(design, &segmap, &mut index, cfg, target, &mut op_stats);
+            let outcome = place_target_with(
+                design,
+                &segmap,
+                &mut index,
+                cfg,
+                target,
+                &mut op_stats,
+                &mut scratch,
+            );
             let (placed, window, work) = (outcome.placed, outcome.window, outcome.work);
             match placed {
                 PlacedBy::Region => placed_in_region += 1,
@@ -183,8 +195,8 @@ pub struct PlaceOutcome {
 
 /// Place one target cell serially: expanding-window FOP first, then the fallback scan.
 ///
-/// This is the per-cell step of the serial [`MglLegalizer`]; the parallel engine
-/// ([`crate::parallel::ParallelMglLegalizer`]) reuses it for cells it cannot speculate on.
+/// Compatibility wrapper over [`place_target_with`] using the calling thread's
+/// [`FopScratch`].
 pub fn place_target(
     design: &mut Design,
     segmap: &SegmentMap,
@@ -192,6 +204,25 @@ pub fn place_target(
     cfg: &MglConfig,
     target: CellId,
     op_stats: &mut FopOpStats,
+) -> PlaceOutcome {
+    FopScratch::with_thread_local(|scratch| {
+        place_target_with(design, segmap, index, cfg, target, op_stats, scratch)
+    })
+}
+
+/// Place one target cell serially with an explicit scratch arena: expanding-window FOP
+/// first, then the fallback scan.
+///
+/// This is the per-cell step of the serial [`MglLegalizer`]; the parallel engine
+/// ([`crate::parallel::ParallelMglLegalizer`]) reuses it for cells it cannot speculate on.
+pub fn place_target_with(
+    design: &mut Design,
+    segmap: &SegmentMap,
+    index: &mut LegalizedIndex,
+    cfg: &MglConfig,
+    target: CellId,
+    op_stats: &mut FopOpStats,
+    scratch: &mut FopScratch,
 ) -> PlaceOutcome {
     let (width, height, gx, gy, parity) = {
         let c = design.cell(target);
@@ -229,10 +260,10 @@ pub fn place_target(
         if !region.can_host(width, height, parity) {
             continue;
         }
-        let outcome = fop::find_optimal_position(&region, &spec, cfg, op_stats);
+        let outcome = fop::find_optimal_position_with(&region, &spec, cfg, op_stats, scratch);
         accumulate_work(&mut work, &outcome.work);
         if let Some(best) = outcome.best {
-            if let Some(plan) = plan_commit(&region, &best, &spec, cfg) {
+            if let Some(plan) = plan_commit_with(&region, &best, &spec, cfg, scratch) {
                 let writes = plan_writes(design, &plan);
                 apply_commit(design, &plan);
                 index.insert(design, target);
@@ -321,13 +352,27 @@ pub struct CommitPlan {
 
 /// Plan a placement commit: run both shifting phases and verify the region stays overlap-free.
 ///
-/// Pure with respect to the design — everything is computed from the extracted `region`.
-/// Returns `None` if either phase is infeasible or the verification fails.
+/// Compatibility wrapper over [`plan_commit_with`] using the calling thread's [`FopScratch`].
 pub fn plan_commit(
     region: &LocalRegion,
     placement: &Placement,
     spec: &TargetSpec,
     cfg: &MglConfig,
+) -> Option<CommitPlan> {
+    FopScratch::with_thread_local(|scratch| plan_commit_with(region, placement, spec, cfg, scratch))
+}
+
+/// Plan a placement commit with an explicit scratch arena: run both shifting phases into the
+/// scratch's outcome buffers and verify the region stays overlap-free.
+///
+/// Pure with respect to the design — everything is computed from the extracted `region`.
+/// Returns `None` if either phase is infeasible or the verification fails.
+pub fn plan_commit_with(
+    region: &LocalRegion,
+    placement: &Placement,
+    spec: &TargetSpec,
+    cfg: &MglConfig,
+    scratch: &mut FopScratch,
 ) -> Option<CommitPlan> {
     let problem = ShiftProblem {
         region,
@@ -336,37 +381,53 @@ pub fn plan_commit(
         target_height: spec.height,
         target_x: placement.x,
     };
-    let shift = |phase: Phase| match cfg.shift {
-        ShiftAlgorithm::Original => shift_phase_original(&problem, phase),
-        ShiftAlgorithm::Sacs => shift_phase_sacs(&problem, phase),
-    };
-    let left = shift(Phase::Left).ok()?;
-    let right = shift(Phase::Right).ok()?;
+    let FopScratch {
+        shift,
+        left,
+        right,
+        commit_pos,
+        commit_spans,
+        ..
+    } = scratch;
+    // commit planning is also entered directly (speculation, baselines), so rebuild the
+    // cheap per-region row index rather than assuming a preceding FOP call prepared it
+    shift.begin_region(region);
+    match cfg.shift {
+        ShiftAlgorithm::Original => {
+            shift_phase_original_with(&problem, Phase::Left, shift, left).ok()?;
+            shift_phase_original_with(&problem, Phase::Right, shift, right).ok()?;
+        }
+        ShiftAlgorithm::Sacs => {
+            shift_phase_sacs_with_stats_into(&problem, Phase::Left, shift, left).ok()?;
+            shift_phase_sacs_with_stats_into(&problem, Phase::Right, shift, right).ok()?;
+        }
+    }
 
-    let mut pos: Vec<i64> = region.cells.iter().map(|c| c.x).collect();
+    commit_pos.clear();
+    commit_pos.extend(region.cells.iter().map(|c| c.x));
     for (i, x) in left.positions.iter().chain(right.positions.iter()) {
-        pos[*i] = *x;
+        commit_pos[*i] = *x;
     }
 
     // verification: per segment row, no overlaps among localCells and the target, and every
     // cell stays inside its segment
     let target_rows = placement.row..placement.row + spec.height;
     for seg in &region.segments {
-        let mut spans: Vec<Interval> = Vec::new();
+        commit_spans.clear();
         if target_rows.contains(&seg.row) {
-            spans.push(Interval::new(placement.x, placement.x + spec.width));
+            commit_spans.push(Interval::new(placement.x, placement.x + spec.width));
         }
         for (i, c) in region.cells.iter().enumerate() {
             if c.rows().any(|r| r == seg.row) {
-                let iv = Interval::new(pos[i], pos[i] + c.width);
+                let iv = Interval::new(commit_pos[i], commit_pos[i] + c.width);
                 if !seg.span.contains_interval(&iv) {
                     return None;
                 }
-                spans.push(iv);
+                commit_spans.push(iv);
             }
         }
-        spans.sort_by_key(|s| s.lo);
-        for w in spans.windows(2) {
+        commit_spans.sort_by_key(|s| s.lo);
+        for w in commit_spans.windows(2) {
             if w[0].overlaps(&w[1]) {
                 return None;
             }
@@ -388,8 +449,8 @@ pub fn plan_commit(
         .cells
         .iter()
         .enumerate()
-        .filter(|(i, c)| pos[*i] != c.x)
-        .map(|(i, c)| (c.id, pos[i]))
+        .filter(|(i, c)| commit_pos[*i] != c.x)
+        .map(|(i, c)| (c.id, commit_pos[i]))
         .collect();
     Some(CommitPlan {
         target: region.target,

@@ -47,6 +47,7 @@ pub mod stats;
 
 pub use api::{DisplacementSummary, LegalizeReport, Legalizer, RuntimeBreakdown};
 pub use config::{FopVariant, MglConfig, OrderingStrategy, ShiftAlgorithm};
+pub use fop::FopScratch;
 pub use legalize::{LegalizeResult, MglLegalizer};
 pub use parallel::{ParallelLegalizeResult, ParallelMglLegalizer, ShardStats};
 pub use region::{LocalCell, LocalRegion, LocalSegment};

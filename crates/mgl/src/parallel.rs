@@ -16,14 +16,14 @@
 //! 2. **Prefix batches with speculation.** Each round takes the next `lookahead` targets of
 //!    the serial processing order — a *prefix*, never a reordering. Every non-straddler
 //!    member is *speculated* in parallel on the rayon pool: region extraction, FOP (which is
-//!    where the per-shard `shift_phase_*` work runs) and the pure [`plan_commit`]
+//!    where the per-shard `shift_phase_*` work runs) and the pure [`plan_commit_with`]
 //!    verification all execute against the shared pre-batch `&Design`.
 //! 3. **In-order commit with write tracking.** Plans are applied strictly in the serial
 //!    order. Every commit records the bounding box of its design writes
 //!    ([`plan_writes`] / [`PlaceOutcome::writes`]); a later member whose window intersects
 //!    any earlier write — and any member that was not speculated (straddler, conflict) or
 //!    whose speculation found no expansion-0 placement — is handled by the ordinary serial
-//!    [`place_target`] at its slot, window expansions and whole-die fallback included.
+//!    [`place_target_with`] at its slot, window expansions and whole-die fallback included.
 //!
 //! **Serial equivalence.** Because batches are prefixes and commits happen in order, when
 //! cell *i* reaches its commit slot every cell before it (and no cell after it) has been
@@ -41,9 +41,9 @@
 //! serial legalizer for that configuration.
 
 use crate::config::{MglConfig, OrderingStrategy};
-use crate::fop::{self, TargetSpec};
+use crate::fop::{self, FopScratch, TargetSpec};
 use crate::legalize::{
-    accumulate_work, apply_commit, place_target, plan_commit, plan_writes, CommitPlan,
+    accumulate_work, apply_commit, place_target_with, plan_commit_with, plan_writes, CommitPlan,
     LegalizeResult, MglLegalizer, PlaceOutcome, PlacedBy,
 };
 use crate::ordering;
@@ -258,6 +258,10 @@ impl ParallelMglLegalizer {
             *prev_window = Some(window);
         };
 
+        // the commit thread's arena; each worker gets its own via the thread-local in
+        // `speculate`, so no scratch state is ever shared across threads
+        let mut scratch = FopScratch::new();
+
         let mut next = 0usize; // position of the first unprocessed target in `meta`
         while next < meta.len() {
             // prefix batch: the NEXT `lookahead` targets of the serial order, never a skip
@@ -326,8 +330,15 @@ impl ParallelMglLegalizer {
                         if stale && (plan.is_some() || speculation.is_some()) {
                             shards.dirty_recomputes += 1;
                         }
-                        let out =
-                            place_target(design, &segmap, &mut index, cfg, m.id, &mut op_stats);
+                        let out = place_target_with(
+                            design,
+                            &segmap,
+                            &mut index,
+                            cfg,
+                            m.id,
+                            &mut op_stats,
+                            &mut scratch,
+                        );
                         shards.serial_inline += 1;
                         if let Some(writes) = out.writes {
                             writes_so_far.push(writes);
@@ -370,6 +381,8 @@ impl ParallelMglLegalizer {
 }
 
 /// Evaluate one target speculatively at expansion level 0 against a shared design snapshot.
+/// Runs on a worker thread: the FOP arena comes from that worker's thread-local
+/// [`FopScratch`], so buffers are reused across every speculation a worker performs.
 fn speculate(
     design: &Design,
     segmap: &SegmentMap,
@@ -397,11 +410,13 @@ fn speculate(
     if region.cells.len() <= cfg.max_region_cells
         && region.can_host(spec.width, spec.height, spec.parity)
     {
-        let outcome = fop::find_optimal_position(&region, &spec, cfg, &mut stats);
-        accumulate_work(&mut work, &outcome.work);
-        if let Some(best) = outcome.best {
-            plan = plan_commit(&region, &best, &spec, cfg);
-        }
+        FopScratch::with_thread_local(|scratch| {
+            let outcome = fop::find_optimal_position_with(&region, &spec, cfg, &mut stats, scratch);
+            accumulate_work(&mut work, &outcome.work);
+            if let Some(best) = outcome.best {
+                plan = plan_commit_with(&region, &best, &spec, cfg, scratch);
+            }
+        });
     }
     Speculation { work, stats, plan }
 }

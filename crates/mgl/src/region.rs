@@ -290,7 +290,19 @@ impl LocalRegion {
 
     /// The localSegment of `row`, if any.
     pub fn segment(&self, row: i64) -> Option<&LocalSegment> {
-        self.segments.iter().find(|s| s.row == row)
+        self.segment_index(row).map(|i| &self.segments[i])
+    }
+
+    /// Index (into [`Self::segments`]) of the localSegment covering `row`, if any.
+    ///
+    /// Relies on the [`Self::segments`] invariant (sorted by ascending row — established by
+    /// every extractor and required of hand-built regions) to binary-search; the FOP hot
+    /// path calls it once per subcell when building its per-region row index. On a region
+    /// violating the invariant the lookup may miss rows that do have a segment
+    /// ([`ShiftScratch::begin_region`](crate::shift::ShiftScratch::begin_region) asserts
+    /// sortedness in debug builds).
+    pub fn segment_index(&self, row: i64) -> Option<usize> {
+        self.segments.binary_search_by_key(&row, |s| s.row).ok()
     }
 
     /// Rows that have a localSegment, in ascending order.

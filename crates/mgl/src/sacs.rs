@@ -21,7 +21,10 @@
 //! the paper claims it does (hardware pipelining and memory traffic), never in placement
 //! quality.
 
-use crate::shift::{shift_phase_original, Infeasible, Phase, ShiftOutcome, ShiftProblem};
+use crate::shift::{
+    shift_phase_original, shift_phase_original_with, Infeasible, Phase, ShiftOutcome, ShiftProblem,
+    ShiftScratch,
+};
 
 /// Statistics specific to a SACS run (consumed by the FPGA performance model).
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -84,6 +87,50 @@ pub fn shift_phase_sacs_with_stats(
         },
         stats,
     ))
+}
+
+/// Scratch twin of [`shift_phase_sacs_with_stats`]: resolves the canonical positions through
+/// [`shift_phase_original_with`] into the caller's `out` buffer, computes the SACS work
+/// profile from the scratch's phase bitmaps, and re-sorts the positions into the streaming
+/// order in place. Requires [`ShiftScratch::begin_region`] to have been called for
+/// `problem.region`. Bit-identical to the allocating function.
+pub fn shift_phase_sacs_with_stats_into(
+    problem: &ShiftProblem<'_>,
+    phase: Phase,
+    scratch: &mut ShiftScratch,
+    out: &mut ShiftOutcome,
+) -> Result<SacsStats, Infeasible> {
+    let region = problem.region;
+    shift_phase_original_with(problem, phase, scratch, out)?;
+
+    let mut stats = SacsStats {
+        sorted_cells: region.cells.len() as u64,
+        ..SacsStats::default()
+    };
+    let mut subcell_visits = 0u64;
+    for (i, c) in region.cells.iter().enumerate() {
+        if scratch.is_static(i) {
+            continue;
+        }
+        let rows = c.height as u64;
+        stats.bound_queries += rows;
+        subcell_visits += rows;
+        if c.height > 3 {
+            stats.tall_bound_queries += rows;
+        }
+    }
+
+    match phase {
+        Phase::Left => out
+            .positions
+            .sort_by_key(|&(i, _)| std::cmp::Reverse((region.cells[i].x, i as i64))),
+        Phase::Right => out
+            .positions
+            .sort_by_key(|&(i, _)| (region.cells[i].x, i as i64)),
+    }
+    out.passes = 1;
+    out.subcell_visits = subcell_visits;
+    Ok(stats)
 }
 
 /// Run one SACS phase (positions only).

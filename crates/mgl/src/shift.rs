@@ -100,6 +100,317 @@ impl ShiftOutcome {
     }
 }
 
+/// A grow-only pool of per-segment index lists (reused across problems and regions).
+#[derive(Debug, Clone, Default)]
+struct SegLists {
+    lists: Vec<Vec<usize>>,
+    len: usize,
+}
+
+impl SegLists {
+    fn reset(&mut self, n: usize) {
+        while self.lists.len() < n {
+            self.lists.push(Vec::new());
+        }
+        for l in self.lists.iter_mut().take(n) {
+            l.clear();
+        }
+        self.len = n;
+    }
+
+    fn get(&self, i: usize) -> &[usize] {
+        debug_assert!(i < self.len);
+        &self.lists[i]
+    }
+
+    fn get_mut(&mut self, i: usize) -> &mut Vec<usize> {
+        debug_assert!(i < self.len);
+        &mut self.lists[i]
+    }
+}
+
+/// A grow-only pool of per-segment static obstacle edges `(x, width)`.
+#[derive(Debug, Clone, Default)]
+struct EdgeLists {
+    lists: Vec<Vec<(i64, i64)>>,
+    len: usize,
+}
+
+impl EdgeLists {
+    fn reset(&mut self, n: usize) {
+        while self.lists.len() < n {
+            self.lists.push(Vec::new());
+        }
+        for l in self.lists.iter_mut().take(n) {
+            l.clear();
+        }
+        self.len = n;
+    }
+
+    fn get(&self, i: usize) -> &[(i64, i64)] {
+        debug_assert!(i < self.len);
+        &self.lists[i]
+    }
+
+    fn get_mut(&mut self, i: usize) -> &mut Vec<(i64, i64)> {
+        debug_assert!(i < self.len);
+        &mut self.lists[i]
+    }
+}
+
+/// Reusable buffers for the shifting phases: one instance per engine (or per worker thread)
+/// serves every insertion point of every region without reallocating.
+///
+/// Usage contract: call [`ShiftScratch::begin_region`] once per [`LocalRegion`], then any
+/// number of [`shift_phase_original_with`] /
+/// [`shift_phase_sacs_with_stats_into`](crate::sacs::shift_phase_sacs_with_stats_into) calls
+/// against that region. The row-membership index built by `begin_region` replaces the
+/// per-pass `rows().any(..)` scans of the reference implementation; the phase bitmaps
+/// replace its per-problem `BTreeSet`s. Results are bit-identical to the allocating
+/// functions (same traversal orders, same arithmetic).
+#[derive(Debug, Clone, Default)]
+pub struct ShiftScratch {
+    /// Working x positions, indexed by region cell index.
+    pos: Vec<i64>,
+    /// Membership bitmap of the phase's static (opposite-chain) cells.
+    statics: Vec<bool>,
+    /// Membership bitmap of the phase's designated movers (own chain).
+    movers: Vec<bool>,
+    /// Non-static cell indices, ascending (the reference's `participants`).
+    participants: Vec<usize>,
+    /// Region-lifetime: per segment, indices of the cells occupying that row (ascending).
+    row_cells: SegLists,
+    /// Problem-lifetime: per segment, the movable traversal list (re-sorted by position
+    /// every pass, exactly like the reference rebuilds it).
+    traverse: SegLists,
+    /// Problem-lifetime: per segment, static obstacle edges sorted in phase direction.
+    static_edges: EdgeLists,
+    /// Identity of the region `begin_region` indexed (misuse guard).
+    region_key: Option<RegionKey>,
+}
+
+/// Identity of the region a [`ShiftScratch`] was prepared for: enough to tell two regions
+/// of the legalization flow apart (the same target re-extracts with a different window on
+/// every expansion level, and different targets differ in `target`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RegionKey {
+    target: flex_placement::cell::CellId,
+    window: (i64, i64, i64, i64),
+    cells: usize,
+    segments: usize,
+}
+
+impl RegionKey {
+    fn of(region: &LocalRegion) -> Self {
+        Self {
+            target: region.target,
+            window: (
+                region.window.x_lo,
+                region.window.y_lo,
+                region.window.x_hi,
+                region.window.y_hi,
+            ),
+            cells: region.cells.len(),
+            segments: region.segments.len(),
+        }
+    }
+}
+
+impl ShiftScratch {
+    /// Build the per-segment row-membership index for `region`. Must be called before the
+    /// scratch shifting functions are used on problems of that region.
+    pub fn begin_region(&mut self, region: &LocalRegion) {
+        debug_assert!(
+            region.segments.windows(2).all(|w| w[0].row < w[1].row),
+            "LocalRegion segments must be sorted by row (see LocalRegion::segments)"
+        );
+        let nsegs = region.segments.len();
+        self.row_cells.reset(nsegs);
+        for (i, c) in region.cells.iter().enumerate() {
+            for r in c.rows() {
+                if let Some(s) = region.segment_index(r) {
+                    self.row_cells.get_mut(s).push(i);
+                }
+            }
+        }
+        self.region_key = Some(RegionKey::of(region));
+    }
+
+    /// Whether cell `i` was a static obstacle in the most recent phase run.
+    pub(crate) fn is_static(&self, i: usize) -> bool {
+        self.statics[i]
+    }
+}
+
+/// Scratch twin of [`shift_phase_original`]: writes the outcome into `out` (positions vector
+/// reused) instead of allocating, and reads the per-segment membership prepared by
+/// [`ShiftScratch::begin_region`]. Produces bit-identical positions, passes and visit counts.
+pub fn shift_phase_original_with(
+    problem: &ShiftProblem<'_>,
+    phase: Phase,
+    scratch: &mut ShiftScratch,
+    out: &mut ShiftOutcome,
+) -> Result<(), Infeasible> {
+    let region = problem.region;
+    let n = region.cells.len();
+    // checked unconditionally: a stale row index would produce silently wrong positions
+    assert_eq!(
+        scratch.region_key,
+        Some(RegionKey::of(region)),
+        "ShiftScratch::begin_region was not called for this region"
+    );
+
+    let ShiftScratch {
+        pos,
+        statics,
+        movers,
+        participants,
+        row_cells,
+        traverse,
+        static_edges,
+        ..
+    } = scratch;
+
+    // phase membership bitmaps (the scratch twin of the reference's BTreeSets)
+    statics.clear();
+    statics.resize(n, false);
+    movers.clear();
+    movers.resize(n, false);
+    let (mover_chain, static_chain) = match phase {
+        Phase::Left => (&problem.point.left_chain, &problem.point.right_chain),
+        Phase::Right => (&problem.point.right_chain, &problem.point.left_chain),
+    };
+    for &i in static_chain.iter().flatten() {
+        statics[i] = true;
+    }
+    for &i in mover_chain.iter().flatten() {
+        movers[i] = true;
+    }
+
+    pos.clear();
+    pos.extend(region.cells.iter().map(|c| c.x));
+    participants.clear();
+    participants.extend((0..n).filter(|&i| !statics[i]));
+
+    let target_rows = problem.target_rows();
+    let nsegs = region.segments.len();
+
+    // Hoisted out of the pass loop: traversal membership and static obstacle positions never
+    // change within a phase, so they are computed once per problem (the reference rebuilds
+    // and re-sorts them every pass).
+    traverse.reset(nsegs);
+    static_edges.reset(nsegs);
+    for (s, seg) in region.segments.iter().enumerate() {
+        let is_target_row = target_rows.contains(&seg.row);
+        let t = traverse.get_mut(s);
+        for &i in row_cells.get(s) {
+            if !statics[i] && (!is_target_row || movers[i]) {
+                t.push(i);
+            }
+        }
+        if !is_target_row {
+            let e = static_edges.get_mut(s);
+            for &i in row_cells.get(s) {
+                if statics[i] {
+                    let c = &region.cells[i];
+                    e.push((c.x, c.width));
+                }
+            }
+            match phase {
+                Phase::Left => e.sort_by_key(|&(x, _)| std::cmp::Reverse(x)),
+                Phase::Right => e.sort_by_key(|&(x, _)| x),
+            }
+        }
+    }
+
+    let mut passes = 0u32;
+    let mut visits = 0u64;
+    loop {
+        passes += 1;
+        let mut finish = true;
+        for (s, seg) in region.segments.iter().enumerate() {
+            let is_target_row = target_rows.contains(&seg.row);
+            let t = traverse.get_mut(s);
+            let edges = static_edges.get(s);
+            let mut cursor = 0usize;
+            match phase {
+                Phase::Left => {
+                    t.sort_by_key(|&i| std::cmp::Reverse((pos[i], i)));
+                    let mut bound = if is_target_row {
+                        seg.span.hi.min(problem.target_x)
+                    } else {
+                        seg.span.hi
+                    };
+                    for &i in t.iter() {
+                        visits += 1;
+                        while cursor < edges.len() {
+                            let (sx, _) = edges[cursor];
+                            if sx >= pos[i] {
+                                bound = bound.min(sx);
+                                cursor += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                        let w = region.cells[i].width;
+                        if pos[i] + w > bound {
+                            let new_x = bound - w;
+                            if new_x < seg.span.lo {
+                                return Err(Infeasible);
+                            }
+                            pos[i] = new_x;
+                            finish = false;
+                        }
+                        bound = bound.min(pos[i]);
+                    }
+                }
+                Phase::Right => {
+                    t.sort_by_key(|&i| (pos[i], i));
+                    let mut bound = if is_target_row {
+                        seg.span.lo.max(problem.target_x + problem.target_width)
+                    } else {
+                        seg.span.lo
+                    };
+                    for &i in t.iter() {
+                        visits += 1;
+                        while cursor < edges.len() {
+                            let (sx, sw) = edges[cursor];
+                            if sx <= pos[i] {
+                                bound = bound.max(sx + sw);
+                                cursor += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                        let w = region.cells[i].width;
+                        if pos[i] < bound {
+                            if bound + w > seg.span.hi {
+                                return Err(Infeasible);
+                            }
+                            pos[i] = bound;
+                            finish = false;
+                        }
+                        bound = bound.max(pos[i] + w);
+                    }
+                }
+            }
+        }
+        if finish {
+            break;
+        }
+        if passes > 4 * (n as u32 + 2) {
+            return Err(Infeasible);
+        }
+    }
+
+    out.positions.clear();
+    out.positions
+        .extend(participants.iter().map(|&i| (i, pos[i])));
+    out.passes = passes;
+    out.subcell_visits = visits;
+    Ok(())
+}
+
 /// Shifting failed: a cell would have to be pushed outside its localSegment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Infeasible;
