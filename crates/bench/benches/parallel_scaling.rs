@@ -1,9 +1,14 @@
-//! Criterion benchmark: the region-sharded parallel MGL engine vs. the serial legalizer.
+//! Criterion benchmark: the region-sharded parallel MGL engine vs. the serial legalizer,
+//! including the speculation/commit **overlap** dimension.
 //!
 //! Thread counts come from `FLEX_BENCH_THREADS` (default 8): the sweep runs 1, 2, 4, … up to
-//! that bound. The case size scales with `FLEX_BENCH_SCALE` like the other benches. The
-//! engine produces the exact serial placement at every thread count, so this measures pure
-//! wall-clock scaling of the speculative FOP phase (expect ~1× on a single hardware core).
+//! that bound. The case size scales with `FLEX_BENCH_SCALE` like the other benches. Two
+//! orderings are measured — the static size-descending order and the FLEX default dynamic
+//! sliding-window order (which runs the peeked-prefix speculative path) — and at the top
+//! thread count the pipelined engine is compared against the barrier-per-batch engine, which
+//! isolates the benefit of overlapping batch *k*'s commit with batch *k+1*'s speculation.
+//! The engine produces the exact serial placement in every configuration, so this measures
+//! pure wall-clock scheduling differences (expect ~1× on a single hardware core).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flex_mgl::api::Legalizer;
@@ -20,43 +25,72 @@ fn spec() -> BenchmarkSpec {
     }
 }
 
-fn cfg() -> MglConfig {
+fn cfg(ordering: OrderingStrategy) -> MglConfig {
     MglConfig {
-        ordering: OrderingStrategy::SizeDescending,
+        ordering,
         ..MglConfig::default()
+    }
+}
+
+fn ordering_label(ordering: OrderingStrategy) -> &'static str {
+    match ordering {
+        OrderingStrategy::SizeDescending => "size-desc",
+        OrderingStrategy::SlidingWindowDensity => "sliding-window",
+        OrderingStrategy::Natural => "natural",
     }
 }
 
 fn bench_parallel_scaling(c: &mut Criterion) {
     let spec = spec();
-    let mut group = c.benchmark_group("parallel_mgl/threads");
-    group
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(5))
-        .warm_up_time(Duration::from_secs(1));
-
-    // both engines measured through the unified trait, as a session would run them
-    let serial: Box<dyn Legalizer> = Box::new(MglLegalizer::new(cfg()));
-    group.bench_function("serial", |b| {
-        b.iter(|| {
-            let mut d = generate(&spec);
-            serial.legalize(&mut d)
-        })
-    });
-
     let max_threads = flex_bench::threads_from_env();
-    let mut threads = 1usize;
-    while threads <= max_threads {
-        let parallel: Box<dyn Legalizer> = Box::new(ParallelMglLegalizer::new(threads, cfg()));
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+
+    for ordering in [
+        OrderingStrategy::SizeDescending,
+        OrderingStrategy::SlidingWindowDensity,
+    ] {
+        let label = ordering_label(ordering);
+        let mut group = c.benchmark_group(format!("parallel_mgl/{label}"));
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_secs(5))
+            .warm_up_time(Duration::from_secs(1));
+
+        // both engines measured through the unified trait, as a session would run them
+        let serial: Box<dyn Legalizer> = Box::new(MglLegalizer::new(cfg(ordering)));
+        group.bench_function("serial", |b| {
             b.iter(|| {
                 let mut d = generate(&spec);
-                parallel.legalize(&mut d)
+                serial.legalize(&mut d)
             })
         });
-        threads *= 2;
+
+        let mut threads = 1usize;
+        let mut top = 1usize;
+        while threads <= max_threads {
+            let parallel: Box<dyn Legalizer> =
+                Box::new(ParallelMglLegalizer::new(threads, cfg(ordering)));
+            group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+                b.iter(|| {
+                    let mut d = generate(&spec);
+                    parallel.legalize(&mut d)
+                })
+            });
+            top = threads;
+            threads *= 2;
+        }
+
+        // overlap mode: pipelined vs. barrier-per-batch at the largest thread count the
+        // doubling sweep actually benched (not max_threads, which it may have skipped)
+        let no_pipeline: Box<dyn Legalizer> =
+            Box::new(ParallelMglLegalizer::new(top, cfg(ordering)).with_pipelining(false));
+        group.bench_function(format!("{top}-threads-no-pipeline"), |b| {
+            b.iter(|| {
+                let mut d = generate(&spec);
+                no_pipeline.legalize(&mut d)
+            })
+        });
+        group.finish();
     }
-    group.finish();
 }
 
 criterion_group!(benches, bench_parallel_scaling);

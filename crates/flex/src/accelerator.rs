@@ -68,7 +68,8 @@ impl FlexAccelerator {
     pub fn legalize(&self, design: &mut Design) -> FlexOutcome {
         let (result, shards) = if self.config.host_threads > 1 {
             let engine =
-                ParallelMglLegalizer::new(self.config.host_threads, self.config.mgl_config());
+                ParallelMglLegalizer::new(self.config.host_threads, self.config.mgl_config())
+                    .with_pipelining(self.config.host_pipelining);
             let out = engine.legalize(design);
             (out.result, Some(out.shards))
         } else {
@@ -195,11 +196,10 @@ mod tests {
     #[test]
     fn host_threads_change_nothing_but_the_host_runtime() {
         // the parallel host engine is placement-identical to the serial one, so quality,
-        // trace-derived FPGA cycles and resources must all agree
-        let cfg = FlexConfig {
-            ordering: flex_mgl::config::OrderingStrategy::SizeDescending,
-            ..FlexConfig::flex()
-        };
+        // trace-derived FPGA cycles and resources must all agree — including on the FLEX
+        // default configuration's dynamic sliding-window ordering, which now runs the real
+        // speculative host path instead of degrading to serial
+        let cfg = FlexConfig::flex();
         let mut d1 = design(15);
         let mut d2 = design(15);
         let serial = FlexAccelerator::new(cfg.clone()).legalize(&mut d1);
@@ -208,6 +208,10 @@ mod tests {
         assert!(serial.shards.is_none());
         let shards = parallel.shards.as_ref().expect("parallel host engine ran");
         assert!(shards.batches > 0);
+        assert!(
+            shards.speculated > 0,
+            "the dynamic FLEX ordering must speculate on the parallel host path"
+        );
         assert_eq!(
             serial.average_displacement(),
             parallel.average_displacement(),

@@ -89,6 +89,10 @@ pub struct FlexConfig {
     /// legalization runs on `flex_mgl::parallel::ParallelMglLegalizer`, overlapping region
     /// extraction and FOP across row shards while producing the exact serial placement.
     pub host_threads: usize,
+    /// Double-buffered batch pipelining of the parallel host engine: speculate batch *k+1*
+    /// against a shadow snapshot while batch *k* commits. Placement-neutral; only meaningful
+    /// when `host_threads > 1`.
+    pub host_pipelining: bool,
 }
 
 impl Default for FlexConfig {
@@ -105,6 +109,7 @@ impl Default for FlexConfig {
             link: LinkModel::default(),
             pe_sync_cycles: 6,
             host_threads: 1,
+            host_pipelining: true,
         }
     }
 }
@@ -167,6 +172,12 @@ impl FlexConfig {
     /// CPU-side steps (a)–(c) on the region-sharded parallel engine.
     pub fn with_host_threads(mut self, threads: usize) -> Self {
         self.host_threads = threads.max(1);
+        self
+    }
+
+    /// Enable or disable the parallel host engine's batch pipelining (builder style).
+    pub fn with_host_pipelining(mut self, pipelined: bool) -> Self {
+        self.host_pipelining = pipelined;
         self
     }
 

@@ -84,10 +84,10 @@ impl EngineKind {
     pub fn build(self, config: &FlexConfig) -> Box<dyn Legalizer> {
         match self {
             EngineKind::MglSerial => Box::new(MglLegalizer::new(config.mgl_config())),
-            EngineKind::MglParallel => Box::new(ParallelMglLegalizer::new(
-                config.host_threads.max(1),
-                config.mgl_config(),
-            )),
+            EngineKind::MglParallel => Box::new(
+                ParallelMglLegalizer::new(config.host_threads.max(1), config.mgl_config())
+                    .with_pipelining(config.host_pipelining),
+            ),
             EngineKind::CpuMgl => Box::new(CpuLegalizer::new(config.host_threads.max(1))),
             EngineKind::CpuGpu => Box::new(CpuGpuLegalizer::default()),
             EngineKind::Analytical => Box::new(AnalyticalLegalizer::default()),

@@ -29,7 +29,9 @@
 
 use crate::config::{FopVariant, MglConfig, ShiftAlgorithm};
 use crate::curve::{Breakpoint, DisplacementCurve};
-use crate::insertion::{enumerate_insertion_points, InsertionPoint};
+use crate::insertion::{
+    enumerate_insertion_points, enumerate_insertion_points_into, InsertionPoint, InsertionScratch,
+};
 use crate::region::LocalRegion;
 use crate::sacs::shift_phase_sacs_with_stats_into;
 use crate::shift::{shift_phase_original_with, Phase, ShiftOutcome, ShiftProblem, ShiftScratch};
@@ -140,6 +142,8 @@ pub struct FopScratch {
     pub(crate) commit_pos: Vec<i64>,
     /// Span-verification buffer for commit planning.
     pub(crate) commit_spans: Vec<Interval>,
+    /// Insertion-point enumeration buffers (point slots, chain pool, anchors, row lists).
+    insertion: InsertionScratch,
 }
 
 thread_local! {
@@ -229,41 +233,49 @@ pub fn find_optimal_position_with(
     work.tall_cells = region.num_tall_cells(3) as u64;
     work.segments = region.segments.len() as u64;
 
+    // take the enumeration buffers out of the scratch so the per-point evaluation can borrow
+    // the rest of it mutably; the allocations go back afterwards
+    let mut insertion = std::mem::take(&mut scratch.insertion);
     let t_enum = Instant::now();
-    let points = enumerate_insertion_points(
+    let n_points = enumerate_insertion_points_into(
         region,
         target.width,
         target.height,
         target.parity,
         target.gx,
         config.max_insertion_points,
+        &mut insertion,
     );
     op_stats.add(FopOperator::Other, t_enum.elapsed());
-    work.insertion_points = points.len() as u64;
+    work.insertion_points = n_points as u64;
 
     scratch.begin_region(region, target, config, op_stats);
 
-    let mut best: Option<Placement> = None;
-    for point in points {
+    let mut best: Option<(i64, f64, usize)> = None; // (x, cost, point index)
+    for (idx, point) in insertion.points().iter().enumerate() {
         if let Some((x, cost)) =
-            evaluate_point_with(region, target, &point, config, op_stats, work, scratch)
+            evaluate_point_with(region, target, point, config, op_stats, work, scratch)
         {
             work.feasible_points += 1;
-            let better = match &best {
+            let better = match best {
                 None => true,
-                Some(b) => cost < b.cost - 1e-9,
+                Some((_, best_cost, _)) => cost < best_cost - 1e-9,
             };
             if better {
-                best = Some(Placement {
-                    x,
-                    row: point.bottom_row,
-                    cost,
-                    point,
-                });
+                best = Some((x, cost, idx));
             }
         }
     }
-    outcome.best = best;
+    outcome.best = best.map(|(x, cost, idx)| {
+        let point = insertion.points()[idx].clone();
+        Placement {
+            x,
+            row: point.bottom_row,
+            cost,
+            point,
+        }
+    });
+    scratch.insertion = insertion;
     outcome
 }
 

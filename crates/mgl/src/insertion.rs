@@ -56,9 +56,183 @@ impl InsertionPoint {
     }
 }
 
+/// Reusable buffers for [`enumerate_insertion_points_into`]: the resolved points (slots are
+/// rebuilt in place), a recycling pool for the points' chain vectors, and the per-row /
+/// anchor working sets. One instance per legalizer (it lives inside `fop::FopScratch`)
+/// removes the last per-target allocations of the FOP hot path.
+#[derive(Debug, Clone, Default)]
+pub struct InsertionScratch {
+    /// Point slots; `[..len]` hold the current region's resolved points.
+    points: Vec<InsertionPoint>,
+    /// Number of live points in [`Self::points`].
+    len: usize,
+    /// Spare chain vectors recycled across points and regions.
+    spare: Vec<Vec<usize>>,
+    /// Candidate anchor x-coordinates of one bottom row.
+    anchors: Vec<i64>,
+    /// Per-segment localCell lists (parallel to `region.segments`), sorted by x.
+    row_cells: Vec<Vec<usize>>,
+}
+
+impl InsertionScratch {
+    /// The points resolved by the last [`enumerate_insertion_points_into`] call.
+    pub fn points(&self) -> &[InsertionPoint] {
+        &self.points[..self.len]
+    }
+}
+
+/// [`enumerate_insertion_points`] writing into a reusable [`InsertionScratch`]: identical
+/// points in identical order (the differential suite checks this on random regions), but
+/// after warm-up the enumeration performs no allocation — point slots, chain vectors and the
+/// anchor/row working sets are all recycled.
+///
+/// Returns the number of points resolved; read them via [`InsertionScratch::points`].
+pub fn enumerate_insertion_points_into(
+    region: &LocalRegion,
+    width: i64,
+    height: i64,
+    parity: Option<u8>,
+    anchor_x: f64,
+    max_points: usize,
+    scratch: &mut InsertionScratch,
+) -> usize {
+    let InsertionScratch {
+        points,
+        len,
+        spare,
+        anchors,
+        row_cells,
+    } = scratch;
+    *len = 0;
+
+    // per-segment localCell lists (sorted by x), computed once per region into reused buffers
+    for (i, seg) in region.segments.iter().enumerate() {
+        if i < row_cells.len() {
+            region.cells_in_row_into(seg.row, &mut row_cells[i]);
+        } else {
+            row_cells.push(region.cells_in_row(seg.row));
+        }
+    }
+
+    'rows: for seg_idx in 0..region.segments.len() {
+        let bottom = region.segments[seg_idx].row;
+        if let Some(p) = parity {
+            if bottom.rem_euclid(2) as u8 != p {
+                continue;
+            }
+        }
+        // every row the target would occupy needs a segment
+        if !(bottom..bottom + height).all(|r| region.segment_index(r).is_some()) {
+            continue;
+        }
+
+        // candidate anchors: segment boundaries and cell edges of the involved rows, plus the
+        // target's own global x — sorted unique (as the allocating version's BTreeSet yields
+        // them), then stably re-ranked by distance to the anchor
+        anchors.clear();
+        anchors.push(anchor_x.round() as i64);
+        for r in bottom..bottom + height {
+            let si = region.segment_index(r).expect("checked above");
+            let seg = &region.segments[si];
+            anchors.push(seg.span.lo);
+            anchors.push(seg.span.hi);
+            for &ci in &row_cells[si] {
+                let c = &region.cells[ci];
+                anchors.push(c.x);
+                anchors.push(c.right());
+            }
+        }
+        anchors.sort_unstable();
+        anchors.dedup();
+        anchors.sort_by_key(|a| (*a as f64 - anchor_x).abs() as i64);
+
+        for &a in anchors.iter() {
+            if *len >= max_points {
+                break 'rows;
+            }
+            // stage the candidate into the next point slot, recycling its chain vectors
+            if *len == points.len() {
+                points.push(InsertionPoint {
+                    bottom_row: 0,
+                    x_lo: 0,
+                    x_hi: 0,
+                    left_chain: Vec::new(),
+                    right_chain: Vec::new(),
+                });
+            }
+            let slot = &mut points[*len];
+            spare.append(&mut slot.left_chain);
+            spare.append(&mut slot.right_chain);
+
+            let mut x_lo = i64::MIN;
+            let mut x_hi = i64::MAX;
+            let mut ok = true;
+            for r in bottom..bottom + height {
+                let si = region.segment_index(r).expect("checked above");
+                let seg = &region.segments[si];
+                let in_row = &row_cells[si];
+                // split the row at the anchor: cells whose centre is left of the anchor go to
+                // the left chain, the rest to the right chain
+                let split = in_row
+                    .iter()
+                    .position(|&ci| {
+                        let c = &region.cells[ci];
+                        c.x * 2 + c.width > a * 2
+                    })
+                    .unwrap_or(in_row.len());
+                let mut left = spare.pop().unwrap_or_default();
+                left.clear();
+                left.extend(in_row[..split].iter().rev().copied());
+                let mut right = spare.pop().unwrap_or_default();
+                right.clear();
+                right.extend(in_row[split..].iter().copied());
+                let left_w: i64 = left.iter().map(|&ci| region.cells[ci].width).sum();
+                let right_w: i64 = right.iter().map(|&ci| region.cells[ci].width).sum();
+                let lo = seg.span.lo + left_w;
+                let hi = seg.span.hi - right_w - width;
+                if hi < lo {
+                    ok = false;
+                    spare.push(left);
+                    spare.push(right);
+                    break;
+                }
+                x_lo = x_lo.max(lo);
+                x_hi = x_hi.min(hi);
+                slot.left_chain.push(left);
+                slot.right_chain.push(right);
+            }
+            if !ok || x_hi < x_lo {
+                continue; // the staged slot is recycled by the next candidate
+            }
+            slot.bottom_row = bottom;
+            slot.x_lo = x_lo;
+            slot.x_hi = x_hi;
+
+            // dedup against the accepted points (same key as InsertionPoint::dedup_key)
+            let staged = &points[*len];
+            let duplicate = points[..*len].iter().any(|p| {
+                p.bottom_row == staged.bottom_row
+                    && p.left_chain.len() == staged.left_chain.len()
+                    && p.left_chain
+                        .iter()
+                        .zip(&staged.left_chain)
+                        .all(|(pc, sc)| pc.len() == sc.len())
+            });
+            if !duplicate {
+                *len += 1;
+            }
+        }
+    }
+    *len
+}
+
 /// Enumerate the insertion points of a region for a target of `width × height` whose bottom row
 /// must satisfy `parity`. `anchor_x` (the target's global-placement x) is used to prioritize
 /// points when the `max_points` cap bites.
+///
+/// This allocating implementation is retained deliberately (and kept independent of
+/// [`enumerate_insertion_points_into`]): it is the oracle the scratch-backed enumeration is
+/// differentially tested against, and what `fop::reference` measures as the baseline.
 pub fn enumerate_insertion_points(
     region: &LocalRegion,
     width: i64,
@@ -290,6 +464,32 @@ mod tests {
         let r = region();
         let pts = enumerate_insertion_points(&r, 3, 1, None, 12.0, 2);
         assert_eq!(pts.len(), 2);
+    }
+
+    #[test]
+    fn scratch_enumeration_matches_the_allocating_oracle() {
+        let r = region();
+        let mut scratch = InsertionScratch::default();
+        // reuse one scratch across every shape so slot/chain recycling is exercised
+        for (w, h, parity, anchor, cap) in [
+            (3i64, 1i64, None, 12.0f64, 100usize),
+            (5, 2, None, 0.0, 100),
+            (3, 1, Some(0), 12.0, 100),
+            (3, 1, Some(1), 12.0, 100),
+            (22, 1, None, 0.0, 100),
+            (3, 1, None, 12.0, 2), // cap bites: prefix must match too
+            (40, 1, None, 0.0, 100),
+            (5, 2, None, 30.0, 100),
+        ] {
+            let expect = enumerate_insertion_points(&r, w, h, parity, anchor, cap);
+            let n = enumerate_insertion_points_into(&r, w, h, parity, anchor, cap, &mut scratch);
+            assert_eq!(n, expect.len(), "w={w} h={h} parity={parity:?}");
+            assert_eq!(
+                scratch.points(),
+                &expect[..],
+                "w={w} h={h} parity={parity:?} anchor={anchor} cap={cap}"
+            );
+        }
     }
 
     #[test]

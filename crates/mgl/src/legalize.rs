@@ -189,6 +189,10 @@ pub struct PlaceOutcome {
     /// parallel engine uses this to invalidate only the speculations that actually read
     /// mutated state.
     pub writes: Option<Rect>,
+    /// The commit plan that was applied when the cell was placed inside a region (`None` for
+    /// fallback/failed cells, whose only write is the target itself). The pipelined parallel
+    /// engine replays this into its lagging speculation snapshot.
+    pub plan: Option<CommitPlan>,
     /// Work counters accumulated over every evaluated expansion.
     pub work: RegionWork,
 }
@@ -272,6 +276,7 @@ pub fn place_target_with(
                     window,
                     expansion,
                     writes: Some(writes),
+                    plan: Some(plan),
                     work,
                 };
             }
@@ -289,6 +294,7 @@ pub fn place_target_with(
         window: last_window,
         expansion: last_expansion,
         writes,
+        plan: None,
         work,
     }
 }

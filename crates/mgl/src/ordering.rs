@@ -95,54 +95,109 @@ impl SlidingWindowOrderer {
 
     /// Pop the next cell to process and re-rank the rest of the window by density.
     pub fn next(&mut self, design: &Design, density: &DensityMap) -> Option<CellId> {
-        let cur = self.queue.pop_front()?;
-        // C_next (new front) stays fixed; the remaining window cells are reordered by density,
-        // except that cells which already spent a full window length being deferred keep their
-        // (size-ranked) priority so they cannot starve.
-        if self.queue.len() > 2 {
-            let end = self.window.saturating_sub(1).min(self.queue.len());
-            if end > 2 {
-                let before: Vec<CellId> =
-                    self.queue.iter().skip(1).take(end - 1).copied().collect();
-                let mut tail = before.clone();
-                let cap = self.window as u32;
-                tail.sort_by(|&a, &b| {
-                    let exhausted_a = self.deferrals.get(&a).copied().unwrap_or(0) >= cap;
-                    let exhausted_b = self.deferrals.get(&b).copied().unwrap_or(0) >= cap;
-                    match (exhausted_a, exhausted_b) {
-                        (true, false) => return std::cmp::Ordering::Less,
-                        (false, true) => return std::cmp::Ordering::Greater,
-                        _ => {}
-                    }
-                    let da = density.density_in(&density_window(
-                        design,
-                        a,
-                        self.half_sites,
-                        self.half_rows,
-                    ));
-                    let db = density.density_in(&density_window(
-                        design,
-                        b,
-                        self.half_sites,
-                        self.half_rows,
-                    ));
-                    db.partial_cmp(&da)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(a.cmp(&b))
-                });
-                for (new_idx, id) in tail.iter().enumerate() {
-                    let old_idx = before.iter().position(|&x| x == *id).unwrap_or(new_idx);
-                    if new_idx > old_idx {
-                        *self.deferrals.entry(*id).or_insert(0) += 1;
-                    }
-                }
-                for (i, id) in tail.into_iter().enumerate() {
-                    self.queue[i + 1] = id;
-                }
+        pop_and_reorder(
+            &mut self.queue,
+            &mut self.deferrals,
+            self.window,
+            self.half_sites,
+            self.half_rows,
+            design,
+            density,
+        )
+    }
+
+    /// Resolve the next `n` cells of the dynamic order **without consuming them**: the exact
+    /// sequence `n` successive [`SlidingWindowOrderer::next`] calls would return.
+    ///
+    /// This is what lets the parallel engine speculate across the FLEX default (dynamic)
+    /// ordering: the reorder step reads only the density map and the queued cells' positions,
+    /// and **neither changes while legalization runs** — the density map is built once before
+    /// the first pop, and commits only move already-legalized cells, never queued ones. The
+    /// resolved prefix is therefore commit-invariant. The engine still verifies this at every
+    /// commit slot by popping the live orderer and comparing (counting any divergence as a
+    /// discarded speculation), so a future commit-reactive density source
+    /// ([`DensityMap::apply_move`]) would degrade performance, not correctness.
+    ///
+    /// Cost is `O(n + window)` queue state (the reorder of one pop only ever touches the
+    /// `window − 2` positions behind the front, so `n` pops cannot read past position
+    /// `n + window`), independent of the number of queued cells.
+    pub fn peek_prefix(&self, design: &Design, density: &DensityMap, n: usize) -> Vec<CellId> {
+        let take = n.saturating_add(self.window).min(self.queue.len());
+        let mut queue: std::collections::VecDeque<CellId> =
+            self.queue.iter().take(take).copied().collect();
+        let mut deferrals: std::collections::HashMap<CellId, u32> = queue
+            .iter()
+            .filter_map(|id| self.deferrals.get(id).map(|&d| (*id, d)))
+            .collect();
+        let mut out = Vec::with_capacity(n.min(take));
+        for _ in 0..n {
+            match pop_and_reorder(
+                &mut queue,
+                &mut deferrals,
+                self.window,
+                self.half_sites,
+                self.half_rows,
+                design,
+                density,
+            ) {
+                Some(id) => out.push(id),
+                None => break,
             }
         }
-        Some(cur)
+        out
     }
+}
+
+/// The sliding-window pop: remove the front cell (`C_cur`), keep the new front (`C_next`)
+/// fixed, and re-rank the remaining window cells by localRegion density. Shared by the live
+/// [`SlidingWindowOrderer::next`] and the speculative [`SlidingWindowOrderer::peek_prefix`]
+/// so the two can never drift apart.
+#[allow(clippy::too_many_arguments)]
+fn pop_and_reorder(
+    queue: &mut std::collections::VecDeque<CellId>,
+    deferrals: &mut std::collections::HashMap<CellId, u32>,
+    window: usize,
+    half_sites: i64,
+    half_rows: i64,
+    design: &Design,
+    density: &DensityMap,
+) -> Option<CellId> {
+    let cur = queue.pop_front()?;
+    // C_next (new front) stays fixed; the remaining window cells are reordered by density,
+    // except that cells which already spent a full window length being deferred keep their
+    // (size-ranked) priority so they cannot starve.
+    if queue.len() > 2 {
+        let end = window.saturating_sub(1).min(queue.len());
+        if end > 2 {
+            let before: Vec<CellId> = queue.iter().skip(1).take(end - 1).copied().collect();
+            let mut tail = before.clone();
+            let cap = window as u32;
+            tail.sort_by(|&a, &b| {
+                let exhausted_a = deferrals.get(&a).copied().unwrap_or(0) >= cap;
+                let exhausted_b = deferrals.get(&b).copied().unwrap_or(0) >= cap;
+                match (exhausted_a, exhausted_b) {
+                    (true, false) => return std::cmp::Ordering::Less,
+                    (false, true) => return std::cmp::Ordering::Greater,
+                    _ => {}
+                }
+                let da = density.density_in(&density_window(design, a, half_sites, half_rows));
+                let db = density.density_in(&density_window(design, b, half_sites, half_rows));
+                db.partial_cmp(&da)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            });
+            for (new_idx, id) in tail.iter().enumerate() {
+                let old_idx = before.iter().position(|&x| x == *id).unwrap_or(new_idx);
+                if new_idx > old_idx {
+                    *deferrals.entry(*id).or_insert(0) += 1;
+                }
+            }
+            for (i, id) in tail.into_iter().enumerate() {
+                queue[i + 1] = id;
+            }
+        }
+    }
+    Some(cur)
 }
 
 /// Produce the full processing order for a strategy (materializing the sliding-window dynamic
@@ -264,6 +319,80 @@ mod tests {
             }
         }
         assert_eq!(orderer.len(), 0);
+    }
+
+    #[test]
+    fn peek_prefix_matches_the_realized_pop_sequence() {
+        let d = design();
+        let targets = d.movable_ids();
+        let density = DensityMap::build(&d, 16, 4);
+        for n in [0usize, 1, 2, 3, 5, 8, 20] {
+            let mut orderer = SlidingWindowOrderer::new(&d, &targets, 4, 20, 3);
+            let peeked = orderer.peek_prefix(&d, &density, n);
+            assert_eq!(peeked.len(), n.min(targets.len()));
+            let realized: Vec<CellId> = (0..peeked.len())
+                .map(|_| orderer.next(&d, &density).unwrap())
+                .collect();
+            assert_eq!(peeked, realized, "peek diverged at n = {n}");
+        }
+    }
+
+    #[test]
+    fn peek_prefix_is_exact_when_interleaved_with_pops() {
+        // the engine peeks a batch, pops through it, peeks the next batch, …; every peek
+        // must predict exactly what the live orderer then produces
+        let d = design();
+        let targets = d.movable_ids();
+        let density = DensityMap::build(&d, 16, 4);
+        let mut orderer = SlidingWindowOrderer::new(&d, &targets, 3, 20, 3);
+        let mut realized = Vec::new();
+        while !orderer.is_empty() {
+            let batch = orderer.peek_prefix(&d, &density, 3);
+            for expect in batch {
+                let got = orderer.next(&d, &density).unwrap();
+                assert_eq!(got, expect, "live pop diverged from the peeked prefix");
+                realized.push(got);
+            }
+        }
+        let mut sorted = realized.clone();
+        sorted.sort();
+        let mut expect = targets;
+        expect.sort();
+        assert_eq!(
+            sorted, expect,
+            "interleaved peek/pop must still be a permutation"
+        );
+    }
+
+    #[test]
+    fn peek_prefix_only_depends_on_the_density_snapshot() {
+        // The commit-invariance contract: with the same (static) density map, a peek made
+        // before a batch of commits equals the pops made after them, because commits never
+        // move queued cells. A commit-*reactive* map (DensityMap::apply_move) is exactly
+        // what would break this — demonstrate that the peek re-resolves differently against
+        // a perturbed map, which is the situation the engine's pop-time verification guards.
+        let d = design();
+        let targets = d.movable_ids();
+        let density = DensityMap::build(&d, 16, 4);
+        let orderer = SlidingWindowOrderer::new(&d, &targets, 8, 20, 3);
+        let before = orderer.peek_prefix(&d, &density, targets.len());
+
+        // pile commit deltas onto the sparse corner until the live map ranks it densest
+        let mut live = density.clone();
+        for _ in 0..60 {
+            live.apply_move(&Rect::new(10, 2, 16, 3), &Rect::new(96, 9, 104, 11));
+        }
+        let after = orderer.peek_prefix(&d, &live, targets.len());
+        let mut sorted = after.clone();
+        sorted.sort();
+        let mut expect = targets;
+        expect.sort();
+        assert_eq!(sorted, expect, "a perturbed peek is still a permutation");
+        assert_ne!(
+            before, after,
+            "a commit-perturbed density map must re-resolve to a different order \
+             (otherwise the invariance contract would be vacuous)"
+        );
     }
 
     #[test]

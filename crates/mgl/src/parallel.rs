@@ -1,4 +1,4 @@
-//! The parallel region-sharded MGL engine.
+//! The parallel region-sharded MGL engine, with double-buffered batch pipelining.
 //!
 //! The paper's CPU baseline (Fig. 2(a)) parallelizes MGL by batching target cells whose
 //! legalization windows do not overlap and synchronizing after every batch — at the cost of
@@ -15,48 +15,75 @@
 //!    serial fraction and keep the shard structure explicit.)
 //! 2. **Prefix batches with speculation.** Each round takes the next `lookahead` targets of
 //!    the serial processing order — a *prefix*, never a reordering. Every non-straddler
-//!    member is *speculated* in parallel on the rayon pool: region extraction, FOP (which is
-//!    where the per-shard `shift_phase_*` work runs) and the pure [`plan_commit_with`]
-//!    verification all execute against the shared pre-batch `&Design`.
+//!    member is *speculated* on the rayon pool: region extraction, FOP (which is where the
+//!    per-shard `shift_phase_*` work runs) and the pure [`plan_commit_with`] verification
+//!    all execute against a shared `&Design` snapshot.
 //! 3. **In-order commit with write tracking.** Plans are applied strictly in the serial
 //!    order. Every commit records the bounding box of its design writes
 //!    ([`plan_writes`] / [`PlaceOutcome::writes`]); a later member whose window intersects
-//!    any earlier write — and any member that was not speculated (straddler, conflict) or
-//!    whose speculation found no expansion-0 placement — is handled by the ordinary serial
-//!    [`place_target_with`] at its slot, window expansions and whole-die fallback included.
+//!    any write since its snapshot — and any member that was not speculated (straddler,
+//!    conflict) or whose speculation found no expansion-0 placement — is handled by the
+//!    ordinary serial [`place_target_with`] at its slot, window expansions and whole-die
+//!    fallback included.
+//! 4. **Double-buffered pipelining** (default on, [`ParallelMglLegalizer::with_pipelining`]).
+//!    While the commit thread applies batch *k*'s plans in serial order, the worker pool
+//!    already speculates batch *k+1* against a *shadow* copy of the design frozen at the
+//!    pre-batch-*k* state; after batch *k* commits, its plans are replayed into the shadow
+//!    (a `ShadowDelta` per commit — cheap x/y writes, never a re-clone). A batch-*k+1*
+//!    member is therefore stale if a write from **either in-flight batch** — batch *k*
+//!    ([`ShardStats::cross_batch_invalidated`]) or an earlier batch-*k+1* commit
+//!    ([`ShardStats::dirty_recomputes`]) — intersects its window. Without pipelining,
+//!    speculation and commit of each batch alternate on the same design (no shadow, no
+//!    cross-batch epoch).
 //!
-//! **Serial equivalence.** Because batches are prefixes and commits happen in order, when
-//! cell *i* reaches its commit slot every cell before it (and no cell after it) has been
-//! committed — exactly the serial state. A speculative plan is applied only if nothing
-//! written since the batch started intersects the cell's window (with the same one-site
-//! slack the obstacle filter uses), in which case the speculated region, FOP result and
-//! plan coincide with what the serial legalizer would compute at that slot; otherwise the
-//! cell is recomputed serially at its slot. By induction the final placement, the
-//! displacement stats, the per-cell work trace and the legality verdict are identical to
-//! [`MglLegalizer`] with the same (static) ordering — at any thread count. Wall-clock
-//! fields (`runtime`, the `FopOpStats` nanosecond counters) are measurements and do differ.
+//! **Dynamic (sliding-window density) ordering.** The FLEX default configuration reorders
+//! its queue by localRegion density as it goes, which previously forced this engine to
+//! degrade to fully-serial execution. The reorder step, however, reads only the density map
+//! built *before* the first commit and the positions of *queued* cells — and commits move
+//! only already-legalized cells, never queued ones — so the dynamic order is commit-invariant
+//! and can be resolved ahead: [`SlidingWindowOrderer::peek_prefix`] resolves the next
+//! `lookahead` pops to form a speculation batch, and the commit loop still pops the *live*
+//! orderer at every slot. Speculations are keyed by cell id, so even if a pop ever diverged
+//! from the peeked prefix (it cannot while the density inputs stay commit-invariant — a
+//! commit-reactive [`DensityMap::apply_move`] feed is what would break it), the engine
+//! re-resolves from the live order and only the never-popped speculations are discarded
+//! ([`ShardStats::order_invalidated`]). The peek steers *performance*; the placement comes
+//! from the live order and the write-set checks alone.
 //!
-//! The dynamic [`OrderingStrategy::SlidingWindowDensity`] order is inherently sequential (it
-//! reorders based on densities that change with every commit), so the engine degrades to the
-//! serial legalizer for that configuration.
+//! **Serial equivalence.** Because batches are prefixes of the live serial order and commits
+//! happen in that order, when cell *i* reaches its commit slot every cell before it (and no
+//! cell after it) has been committed — exactly the serial state. A speculative plan is
+//! applied only if nothing written since its snapshot intersects the cell's window (with the
+//! same one-site slack the obstacle filter uses), in which case the speculated region, FOP
+//! result and plan coincide with what the serial legalizer would compute at that slot;
+//! otherwise the cell is recomputed serially at its slot. By induction the final placement,
+//! the displacement stats, the per-cell work trace and the legality verdict are identical to
+//! [`MglLegalizer`] with the same configuration — static or dynamic ordering, pipelined or
+//! not, at any thread count. Wall-clock fields (`runtime`, the `FopOpStats` nanosecond
+//! counters) are measurements and do differ.
 
 use crate::config::{MglConfig, OrderingStrategy};
 use crate::fop::{self, FopScratch, TargetSpec};
 use crate::legalize::{
     accumulate_work, apply_commit, place_target_with, plan_commit_with, plan_writes, CommitPlan,
-    LegalizeResult, MglLegalizer, PlaceOutcome, PlacedBy,
+    LegalizeResult, PlaceOutcome, PlacedBy,
 };
-use crate::ordering;
+use crate::ordering::{self, SlidingWindowOrderer};
 use crate::region::{target_window, LegalizedIndex, LocalRegion};
 use crate::stats::{FopOpStats, RegionWork, WorkTrace};
 use flex_placement::cell::CellId;
+use flex_placement::density::DensityMap;
 use flex_placement::geom::Rect;
 use flex_placement::layout::Design;
 use flex_placement::legality::check_legality_with;
 use flex_placement::metrics::displacement_stats;
 use flex_placement::segment::SegmentMap;
 use rayon::prelude::*;
+use std::collections::HashMap;
 use std::time::Instant;
+
+#[cfg(doc)]
+use crate::legalize::MglLegalizer;
 
 /// Lower bound on the speculation batch size (targets taken off the queue front per round).
 /// The default batch size adapts to the worker count — staleness within a batch grows
@@ -80,6 +107,9 @@ pub struct ShardStats {
     pub straddlers: usize,
     /// Prefix batches executed.
     pub batches: usize,
+    /// Batches whose speculation overlapped the previous batch's commit phase (the
+    /// double-buffered pipeline was actually active for them).
+    pub pipelined_batches: usize,
     /// Targets speculated in parallel.
     pub speculated: usize,
     /// Targets whose speculative plan was committed as-is.
@@ -87,8 +117,18 @@ pub struct ShardStats {
     /// Targets handled by the serial path (straddlers, conflicts, failed or stale
     /// speculations).
     pub serial_inline: usize,
-    /// Speculations discarded because an earlier commit in the batch wrote into their window.
+    /// Speculations discarded because an earlier commit **of the same batch** wrote into
+    /// their window.
     pub dirty_recomputes: usize,
+    /// Speculations discarded because a commit of the **previous in-flight batch** (the one
+    /// whose commit phase overlapped this batch's speculation) wrote into their window.
+    /// Always zero without pipelining.
+    pub cross_batch_invalidated: usize,
+    /// Speculations discarded because the realized dynamic order diverged from the peeked
+    /// prefix, so the speculated cell never reached a commit slot in its batch. Zero while
+    /// the sliding-window density inputs stay commit-invariant (which the current engines
+    /// guarantee — see the module docs); the counter keeps the re-resolution path honest.
+    pub order_invalidated: usize,
 }
 
 impl ShardStats {
@@ -118,9 +158,10 @@ pub struct ParallelMglLegalizer {
     threads: usize,
     config: MglConfig,
     lookahead: usize,
+    pipelined: bool,
 }
 
-/// Per-target scheduling metadata, indexed by position in the serial order.
+/// Per-target scheduling metadata for one speculation batch.
 struct TargetMeta {
     id: CellId,
     window: Rect,
@@ -134,14 +175,137 @@ struct Speculation {
     plan: Option<CommitPlan>,
 }
 
+/// The serial processing order, either fully materialized (static strategies) or resolved
+/// incrementally from the live sliding-window orderer (the FLEX dynamic strategy).
+enum OrderSource {
+    Static {
+        order: Vec<CellId>,
+        next: usize,
+    },
+    Dynamic {
+        orderer: SlidingWindowOrderer,
+        density: DensityMap,
+    },
+}
+
+impl OrderSource {
+    fn new(design: &Design, cfg: &MglConfig, targets: &[CellId]) -> Self {
+        match cfg.ordering {
+            OrderingStrategy::Natural => OrderSource::Static {
+                order: ordering::natural_order(targets),
+                next: 0,
+            },
+            OrderingStrategy::SizeDescending => OrderSource::Static {
+                order: ordering::size_descending_order(design, targets),
+                next: 0,
+            },
+            OrderingStrategy::SlidingWindowDensity => OrderSource::Dynamic {
+                // the same map the serial legalizer builds at the same point of the flow;
+                // it is never mutated afterwards, which is what makes peeks exact
+                density: DensityMap::build(design, cfg.density_bin_sites, cfg.density_bin_rows),
+                orderer: SlidingWindowOrderer::new(
+                    design,
+                    targets,
+                    cfg.sliding_window,
+                    cfg.window_half_sites,
+                    cfg.window_half_rows,
+                ),
+            },
+        }
+    }
+
+    /// Targets not yet popped.
+    fn remaining(&self) -> usize {
+        match self {
+            OrderSource::Static { order, next } => order.len() - next,
+            OrderSource::Dynamic { orderer, .. } => orderer.len(),
+        }
+    }
+
+    /// Resolve (without consuming) the ids of order slots `[skip, skip + count)` ahead of
+    /// the current position.
+    fn peek(&self, design: &Design, skip: usize, count: usize) -> Vec<CellId> {
+        match self {
+            OrderSource::Static { order, next } => {
+                let lo = (next + skip).min(order.len());
+                let hi = (lo + count).min(order.len());
+                order[lo..hi].to_vec()
+            }
+            OrderSource::Dynamic { orderer, density } => {
+                let mut resolved = orderer.peek_prefix(design, density, skip + count);
+                if resolved.len() <= skip {
+                    return Vec::new();
+                }
+                resolved.split_off(skip)
+            }
+        }
+    }
+
+    /// Pop the next target of the live serial order.
+    fn pop(&mut self, design: &Design) -> Option<CellId> {
+        match self {
+            OrderSource::Static { order, next } => {
+                let id = order.get(*next).copied();
+                if id.is_some() {
+                    *next += 1;
+                }
+                id
+            }
+            OrderSource::Dynamic { orderer, density } => orderer.next(design, density),
+        }
+    }
+}
+
+/// One committed target's effect, replayed into the pipelining shadow design.
+enum ShadowDelta {
+    /// A region commit: replay the verified plan (localCell moves + the target).
+    Plan(CommitPlan),
+    /// A fallback/target-only write: copy the target's committed state from the design.
+    Target(CellId),
+}
+
+/// Everything the strictly-serial commit phase accumulates across batches.
+struct CommitAccum {
+    shards: ShardStats,
+    op_stats: FopOpStats,
+    trace: Option<WorkTrace>,
+    prev_window: Option<Rect>,
+    placed_in_region: usize,
+    fallback_placed: usize,
+    failed: Vec<CellId>,
+}
+
+impl CommitAccum {
+    fn record(&mut self, mut work: RegionWork, window: Rect, placed_in_region: bool) {
+        if let Some(trace) = self.trace.as_mut() {
+            work.placed_in_region = placed_in_region;
+            // a region can be preloaded while the previous one is processed only if the two
+            // windows do not overlap (Sec. 3.1.2)
+            if let (Some(prev), Some(entry)) = (self.prev_window, trace.regions.last_mut()) {
+                entry.next_region_overlaps = prev.overlaps(&window);
+            }
+            trace.regions.push(work);
+        }
+        self.prev_window = Some(window);
+    }
+}
+
+/// Writes and shadow deltas produced by one batch's commit phase.
+struct BatchOutput {
+    writes: Vec<Rect>,
+    deltas: Vec<ShadowDelta>,
+}
+
 impl ParallelMglLegalizer {
-    /// Create an engine with `threads` workers and the given MGL configuration.
+    /// Create an engine with `threads` workers and the given MGL configuration. Pipelining
+    /// is on by default.
     pub fn new(threads: usize, config: MglConfig) -> Self {
         let threads = threads.max(1);
         Self {
             threads,
             config,
             lookahead: (4 * threads).max(MIN_LOOKAHEAD),
+            pipelined: true,
         }
     }
 
@@ -150,6 +314,14 @@ impl ParallelMglLegalizer {
     /// of speculation discarded when a batch's early commits invalidate later members.
     pub fn with_lookahead(mut self, lookahead: usize) -> Self {
         self.lookahead = lookahead.max(1);
+        self
+    }
+
+    /// Enable or disable double-buffered batch pipelining (speculating batch *k+1* while
+    /// batch *k* commits). The placement is identical either way; pipelining trades one
+    /// design clone and the cross-batch invalidations for commit/speculation overlap.
+    pub fn with_pipelining(mut self, pipelined: bool) -> Self {
+        self.pipelined = pipelined;
         self
     }
 
@@ -163,35 +335,32 @@ impl ParallelMglLegalizer {
         self.threads
     }
 
+    /// Whether double-buffered batch pipelining is enabled.
+    pub fn pipelined(&self) -> bool {
+        self.pipelined
+    }
+
     /// Legalize every movable cell of the design in place.
     pub fn legalize(&self, design: &mut Design) -> ParallelLegalizeResult {
-        if self.config.ordering == OrderingStrategy::SlidingWindowDensity {
-            // the dynamic order depends on densities mutated by every commit: sequential by
-            // construction, so run the serial legalizer and report a single shard
-            let result = MglLegalizer::new(self.config.clone()).legalize(design);
-            let shards = ShardStats {
-                bands: 1,
-                band_rows: design.num_rows,
-                ..ShardStats::default()
-            };
-            return ParallelLegalizeResult { result, shards };
-        }
-
         let start = Instant::now();
         let cfg = &self.config;
 
-        // step (a): input & pre-move — identical to the serial flow
-        design.pre_move();
-        let segmap = SegmentMap::build(design);
-        let mut index = LegalizedIndex::build(design);
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(self.threads)
+            .build()
+            .expect("failed to build worker pool");
 
-        // step (b): the serial processing order this engine preserves
+        // step (a): input & pre-move — identical to the serial flow. The row-sharded builds
+        // run inside the engine's own pool so the configured thread count bounds them too
+        // (they would otherwise fan out on the global pool regardless of `threads`).
+        design.pre_move();
+        let segmap = pool.install(|| SegmentMap::build(design));
+        let mut index = pool.install(|| LegalizedIndex::build(design));
+
+        // step (b): the serial processing order this engine preserves — materialized for the
+        // static strategies, resolved incrementally (peek + live pop) for the dynamic one
         let targets = design.movable_ids();
-        let order: Vec<CellId> = match cfg.ordering {
-            OrderingStrategy::Natural => ordering::natural_order(&targets),
-            OrderingStrategy::SizeDescending => ordering::size_descending_order(design, &targets),
-            OrderingStrategy::SlidingWindowDensity => unreachable!("handled above"),
-        };
+        let mut order = pool.install(|| OrderSource::new(design, cfg, &targets));
 
         // row shards: band height is a fixed multiple of the base window height, so the shard
         // layout (and the schedule) is independent of the thread count
@@ -205,160 +374,148 @@ impl ParallelMglLegalizer {
         let window_rows = 2 * cfg.window_half_rows + max_height;
         let band_rows = (window_rows * BAND_WINDOW_MULTIPLE).max(1);
         let bands = ((design.num_rows.max(1) + band_rows - 1) / band_rows) as usize;
-
-        let meta: Vec<TargetMeta> = order
-            .iter()
-            .map(|&id| {
-                let window = target_window(design, id, cfg.window_half_sites, cfg.window_half_rows);
-                let band_lo = (window.y_lo.max(0) / band_rows) as usize;
-                let band_hi = ((window.y_hi - 1).max(0) / band_rows) as usize;
-                TargetMeta {
-                    id,
-                    window,
-                    straddler: band_lo != band_hi,
-                }
-            })
-            .collect();
-
-        let mut shards = ShardStats {
-            bands,
-            band_rows,
-            straddlers: meta.iter().filter(|m| m.straddler).count(),
-            ..ShardStats::default()
+        let straddles = |window: &Rect| {
+            let band_lo = (window.y_lo.max(0) / band_rows) as usize;
+            let band_hi = ((window.y_hi - 1).max(0) / band_rows) as usize;
+            band_lo != band_hi
         };
 
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(self.threads)
-            .build()
-            .expect("failed to build worker pool");
-
-        let mut op_stats = FopOpStats::default();
-        let mut trace = if cfg.collect_trace {
-            Some(WorkTrace::default())
-        } else {
-            None
+        let mut acc = CommitAccum {
+            shards: ShardStats {
+                bands,
+                band_rows,
+                straddlers: targets
+                    .iter()
+                    .filter(|&&id| {
+                        straddles(&target_window(
+                            design,
+                            id,
+                            cfg.window_half_sites,
+                            cfg.window_half_rows,
+                        ))
+                    })
+                    .count(),
+                ..ShardStats::default()
+            },
+            op_stats: FopOpStats::default(),
+            trace: cfg.collect_trace.then(WorkTrace::default),
+            prev_window: None,
+            placed_in_region: 0,
+            fallback_placed: 0,
+            failed: Vec::new(),
         };
-        let mut placed_in_region = 0usize;
-        let mut fallback_placed = 0usize;
-        let mut failed: Vec<CellId> = Vec::new();
-        let mut prev_window: Option<Rect> = None;
 
-        let record = |trace: &mut Option<WorkTrace>,
-                      prev_window: &mut Option<Rect>,
-                      mut work: RegionWork,
-                      window: Rect,
-                      placed_in_region: bool| {
-            if let Some(trace) = trace.as_mut() {
-                work.placed_in_region = placed_in_region;
-                if let (Some(prev), Some(entry)) = (*prev_window, trace.regions.last_mut()) {
-                    entry.next_region_overlaps = prev.overlaps(&window);
-                }
-                trace.regions.push(work);
-            }
-            *prev_window = Some(window);
+        let build_metas = |design: &Design, ids: &[CellId]| -> Vec<TargetMeta> {
+            ids.iter()
+                .map(|&id| {
+                    let window =
+                        target_window(design, id, cfg.window_half_sites, cfg.window_half_rows);
+                    TargetMeta {
+                        id,
+                        window,
+                        straddler: straddles(&window),
+                    }
+                })
+                .collect()
         };
 
         // the commit thread's arena; each worker gets its own via the thread-local in
         // `speculate`, so no scratch state is ever shared across threads
         let mut scratch = FopScratch::new();
 
-        let mut next = 0usize; // position of the first unprocessed target in `meta`
-        while next < meta.len() {
-            // prefix batch: the NEXT `lookahead` targets of the serial order, never a skip
-            let batch: Vec<usize> = (next..(next + self.lookahead).min(meta.len())).collect();
-            next += batch.len();
-            shards.batches += 1;
+        // a run that fits in one batch has no batch k+1 to overlap with batch k's commit, so
+        // the shadow clones would buy nothing — take the barrier loop (identical output)
+        if self.pipelined && order.remaining() > self.lookahead {
+            // the speculation snapshot: lags the committed design by at most one batch
+            let mut shadow = design.clone();
+            let mut shadow_index = index.clone();
+            let mut writes_prev: Vec<Rect> = Vec::new();
 
-            // speculation filter: straddlers always take the serial path; everything else is
-            // speculated. Two batch members whose windows share a band may conflict, but the
-            // commit loop's write-set check catches the (rare) case where an earlier commit
-            // actually wrote into a later member's window — window overlap alone usually
-            // leaves both speculations valid, so filtering on it would throw away
-            // parallelism. Different bands need no check at all: their windows are disjoint
-            // by construction.
-            let should_speculate: Vec<bool> =
-                batch.iter().map(|&idx| !meta[idx].straddler).collect();
+            // warm-up: the first batch speculates against the (identical) shadow with no
+            // commit phase to overlap
+            let count0 = self.lookahead.min(order.remaining());
+            let mut peeked = order.peek(design, 0, count0);
+            let metas0 = build_metas(design, &peeked);
+            let (mut pending, n0) =
+                speculate_batch(&pool, metas0, &shadow, &shadow_index, &segmap, cfg);
+            acc.shards.speculated += n0;
 
-            // speculative phase: regions, FOP and commit verification against the pre-batch
-            // design state, fanned out over the worker pool
-            let design_ref: &Design = design;
-            let segmap_ref = &segmap;
-            let index_ref = &index;
-            let jobs: Vec<(usize, bool)> = batch
-                .iter()
-                .copied()
-                .zip(should_speculate.iter().copied())
-                .collect();
-            let speculations: Vec<Option<Speculation>> = pool.install(|| {
-                jobs.par_iter()
-                    .map(|&(idx, speculate_it)| {
-                        speculate_it
-                            .then(|| speculate(design_ref, segmap_ref, index_ref, cfg, &meta[idx]))
-                    })
-                    .collect()
-            });
-            shards.speculated += speculations.iter().filter(|s| s.is_some()).count();
+            while !peeked.is_empty() {
+                let count = peeked.len();
+                acc.shards.batches += 1;
 
-            // commit phase: strictly in serial order, tracking what has been written so that
-            // stale speculations are recomputed at their slot from the true serial state
-            let mut writes_so_far: Vec<Rect> = Vec::new();
-            for (&idx, speculation) in batch.iter().zip(speculations) {
-                let m = &meta[idx];
-                // same one-site x slack as the obstacle filter in LocalRegion::extract
-                let guard = m.window.expanded(1, 0);
-                let stale = writes_so_far.iter().any(|w| w.overlaps(&guard));
-                let plan = speculation.as_ref().and_then(|s| s.plan.clone());
-                match (plan, stale) {
-                    (Some(plan), false) => {
-                        let speculation = speculation.expect("plan implies speculation");
-                        let writes = plan_writes(design, &plan);
-                        apply_commit(design, &plan);
-                        index.insert(design, m.id);
-                        op_stats.merge(&speculation.stats);
-                        placed_in_region += 1;
-                        shards.committed_speculatively += 1;
-                        writes_so_far.push(writes);
-                        record(
-                            &mut trace,
-                            &mut prev_window,
-                            speculation.work,
-                            m.window,
-                            true,
-                        );
-                    }
-                    (plan, stale) => {
-                        if stale && (plan.is_some() || speculation.is_some()) {
-                            shards.dirty_recomputes += 1;
-                        }
-                        let out = place_target_with(
-                            design,
-                            &segmap,
-                            &mut index,
+                // resolve batch k+1 beyond the still-unpopped current batch
+                let next_count = self.lookahead.min(order.remaining().saturating_sub(count));
+                let next_peeked = order.peek(design, count, next_count);
+                let next_metas = build_metas(design, &next_peeked);
+                let overlapping = !next_peeked.is_empty();
+
+                let (pool_ref, segmap_ref) = (&pool, &segmap);
+                let (shadow_ref, shadow_index_ref) = (&shadow, &shadow_index);
+                let ((next_pending, n_spec), out) = std::thread::scope(|s| {
+                    // batch k+1 speculates against the pre-batch-k shadow …
+                    let speculation = s.spawn(move || {
+                        speculate_batch(
+                            pool_ref,
+                            next_metas,
+                            shadow_ref,
+                            shadow_index_ref,
+                            segmap_ref,
                             cfg,
-                            m.id,
-                            &mut op_stats,
-                            &mut scratch,
-                        );
-                        shards.serial_inline += 1;
-                        if let Some(writes) = out.writes {
-                            writes_so_far.push(writes);
-                        }
-                        tally(
-                            &out,
-                            &mut placed_in_region,
-                            &mut fallback_placed,
-                            &mut failed,
-                            m.id,
-                        );
-                        record(
-                            &mut trace,
-                            &mut prev_window,
-                            out.work,
-                            out.window,
-                            out.placed == PlacedBy::Region,
-                        );
-                    }
+                        )
+                    });
+                    // … while this thread commits batch k in serial order
+                    let out = commit_batch(
+                        design,
+                        &segmap,
+                        &mut index,
+                        &mut order,
+                        cfg,
+                        count,
+                        &peeked,
+                        &mut pending,
+                        &writes_prev,
+                        &mut scratch,
+                        &mut acc,
+                    );
+                    (
+                        speculation.join().expect("speculation thread panicked"),
+                        out,
+                    )
+                });
+                if overlapping {
+                    acc.shards.pipelined_batches += 1;
                 }
+                acc.shards.speculated += n_spec;
+
+                // catch the shadow up to the committed state (cheap plan replays, no clone)
+                replay_deltas(&mut shadow, &mut shadow_index, design, out.deltas);
+                writes_prev = out.writes;
+                peeked = next_peeked;
+                pending = next_pending;
+            }
+        } else {
+            while order.remaining() > 0 {
+                let count = self.lookahead.min(order.remaining());
+                acc.shards.batches += 1;
+                let peeked = order.peek(design, 0, count);
+                let metas = build_metas(design, &peeked);
+                let (mut pending, n_spec) =
+                    speculate_batch(&pool, metas, design, &index, &segmap, cfg);
+                acc.shards.speculated += n_spec;
+                commit_batch(
+                    design,
+                    &segmap,
+                    &mut index,
+                    &mut order,
+                    cfg,
+                    count,
+                    &peeked,
+                    &mut pending,
+                    &[],
+                    &mut scratch,
+                    &mut acc,
+                );
             }
         }
 
@@ -367,16 +524,161 @@ impl ParallelMglLegalizer {
         let disp = displacement_stats(design);
         let result = LegalizeResult {
             legal: report.is_legal(),
-            placed_in_region,
-            fallback_placed,
-            failed,
+            placed_in_region: acc.placed_in_region,
+            fallback_placed: acc.fallback_placed,
+            failed: acc.failed,
             runtime: start.elapsed(),
             average_displacement: disp.average,
             max_displacement: disp.max,
-            op_stats,
-            trace,
+            op_stats: acc.op_stats,
+            trace: acc.trace,
         };
-        ParallelLegalizeResult { result, shards }
+        ParallelLegalizeResult {
+            result,
+            shards: acc.shards,
+        }
+    }
+}
+
+/// Speculate one batch on the worker pool against a design snapshot (the live design without
+/// pipelining, the lagging shadow with it). Straddlers are skipped — they always take the
+/// serial path at their commit slot. Returns the id-keyed speculations and how many ran.
+fn speculate_batch(
+    pool: &rayon::ThreadPool,
+    metas: Vec<TargetMeta>,
+    design: &Design,
+    index: &LegalizedIndex,
+    segmap: &SegmentMap,
+    cfg: &MglConfig,
+) -> (HashMap<CellId, Speculation>, usize) {
+    let jobs: Vec<TargetMeta> = metas.into_iter().filter(|m| !m.straddler).collect();
+    let specs: Vec<(CellId, Speculation)> = pool.install(|| {
+        jobs.par_iter()
+            .map(|meta| (meta.id, speculate(design, segmap, index, cfg, meta)))
+            .collect()
+    });
+    let n = specs.len();
+    (specs.into_iter().collect(), n)
+}
+
+/// Commit one batch strictly in the live serial order: pop each slot from the orderer, apply
+/// the member's speculative plan if its window is clean since its snapshot, otherwise run the
+/// full serial placement at the slot. Returns the batch's write set and shadow deltas.
+#[allow(clippy::too_many_arguments)]
+fn commit_batch(
+    design: &mut Design,
+    segmap: &SegmentMap,
+    index: &mut LegalizedIndex,
+    order: &mut OrderSource,
+    cfg: &MglConfig,
+    count: usize,
+    peeked: &[CellId],
+    pending: &mut HashMap<CellId, Speculation>,
+    writes_prev: &[Rect],
+    scratch: &mut FopScratch,
+    acc: &mut CommitAccum,
+) -> BatchOutput {
+    let mut writes_cur: Vec<Rect> = Vec::new();
+    let mut deltas: Vec<ShadowDelta> = Vec::new();
+    for slot in 0..count {
+        let id = order
+            .pop(design)
+            .expect("batch size is bounded by the remaining targets");
+        debug_assert_eq!(
+            peeked.get(slot),
+            Some(&id),
+            "the dynamic order is commit-invariant, so the live pop must equal the peek"
+        );
+        let window = target_window(design, id, cfg.window_half_sites, cfg.window_half_rows);
+        // same one-site x slack as the obstacle filter in LocalRegion::extract
+        let guard = window.expanded(1, 0);
+        let stale_prev = writes_prev.iter().any(|w| w.overlaps(&guard));
+        let stale_cur = writes_cur.iter().any(|w| w.overlaps(&guard));
+        let speculation = pending.remove(&id);
+        match speculation {
+            Some(speculation) if speculation.plan.is_some() && !stale_prev && !stale_cur => {
+                let plan = speculation.plan.expect("guard checked plan");
+                let writes = plan_writes(design, &plan);
+                apply_commit(design, &plan);
+                index.insert(design, id);
+                acc.op_stats.merge(&speculation.stats);
+                acc.placed_in_region += 1;
+                acc.shards.committed_speculatively += 1;
+                writes_cur.push(writes);
+                acc.record(speculation.work, window, true);
+                deltas.push(ShadowDelta::Plan(plan));
+            }
+            speculation => {
+                if (stale_prev || stale_cur) && speculation.is_some() {
+                    if stale_prev {
+                        acc.shards.cross_batch_invalidated += 1;
+                    } else {
+                        acc.shards.dirty_recomputes += 1;
+                    }
+                }
+                let mut out =
+                    place_target_with(design, segmap, index, cfg, id, &mut acc.op_stats, scratch);
+                acc.shards.serial_inline += 1;
+                if let Some(writes) = out.writes {
+                    writes_cur.push(writes);
+                }
+                match out.placed {
+                    PlacedBy::Region => deltas.push(ShadowDelta::Plan(
+                        out.plan.take().expect("region placements carry their plan"),
+                    )),
+                    PlacedBy::Fallback => deltas.push(ShadowDelta::Target(id)),
+                    PlacedBy::None => {}
+                }
+                tally(
+                    &out,
+                    &mut acc.placed_in_region,
+                    &mut acc.fallback_placed,
+                    &mut acc.failed,
+                    id,
+                );
+                acc.record(out.work, out.window, out.placed == PlacedBy::Region);
+            }
+        }
+    }
+    // speculations whose cell never reached a commit slot: only possible if the realized
+    // dynamic order diverged from the peeked prefix (see the module docs)
+    acc.shards.order_invalidated += pending.len();
+    pending.clear();
+    BatchOutput {
+        writes: writes_cur,
+        deltas,
+    }
+}
+
+/// Replay one batch's committed writes into the pipelining shadow (and its obstacle index),
+/// bringing it to the pre-next-batch state the next speculation round must see.
+fn replay_deltas(
+    shadow: &mut Design,
+    shadow_index: &mut LegalizedIndex,
+    design: &Design,
+    deltas: Vec<ShadowDelta>,
+) {
+    for delta in deltas {
+        match delta {
+            ShadowDelta::Plan(plan) => {
+                let target = plan.target;
+                apply_commit(shadow, &plan);
+                shadow_index.insert(shadow, target);
+            }
+            ShadowDelta::Target(id) => {
+                let (x, y, legalized) = {
+                    let c = design.cell(id);
+                    (c.x, c.y, c.legalized)
+                };
+                let c = shadow.cell_mut(id);
+                c.x = x;
+                c.y = y;
+                c.legalized = legalized;
+                if legalized {
+                    shadow_index.insert(shadow, id);
+                }
+            }
+        }
     }
 }
 
@@ -440,6 +742,7 @@ fn tally(
 mod tests {
     use super::*;
     use crate::config::MglConfig;
+    use crate::legalize::MglLegalizer;
     use flex_placement::benchmark::{generate, BenchmarkSpec};
 
     fn static_cfg() -> MglConfig {
@@ -468,6 +771,7 @@ mod tests {
         );
         assert!(out.shards.bands >= 1);
         assert!(out.shards.batches > 0);
+        assert!(out.shards.pipelined_batches < out.shards.batches);
     }
 
     #[test]
@@ -491,75 +795,138 @@ mod tests {
 
     #[test]
     fn parallel_matches_the_serial_legalizer_exactly() {
-        // equivalence must hold at every density, expansions and fallbacks included
-        for (seed, density) in [(7u64, 0.45), (8, 0.65), (9, 0.85)] {
-            let spec = BenchmarkSpec::tiny("par-eq", seed).with_density(density);
-            let mut d_par = generate(&spec);
-            let mut d_ser = generate(&spec);
-            let par = ParallelMglLegalizer::new(4, static_cfg()).legalize(&mut d_par);
-            let ser = MglLegalizer::new(static_cfg()).legalize(&mut d_ser);
-            assert_eq!(par.result.legal, ser.legal, "density {density}");
-            assert_eq!(positions(&d_par), positions(&d_ser), "density {density}");
-            assert_eq!(par.result.placed_in_region, ser.placed_in_region);
-            assert_eq!(par.result.fallback_placed, ser.fallback_placed);
-            assert_eq!(par.result.failed, ser.failed);
-            assert!(
-                (par.result.average_displacement - ser.average_displacement).abs() < 1e-12,
-                "displacement diverged at density {density}: {} vs {}",
-                par.result.average_displacement,
-                ser.average_displacement
-            );
+        // equivalence must hold at every density, expansions and fallbacks included, with
+        // and without pipelining
+        for pipelined in [true, false] {
+            for (seed, density) in [(7u64, 0.45), (8, 0.65), (9, 0.85)] {
+                let spec = BenchmarkSpec::tiny("par-eq", seed).with_density(density);
+                let mut d_par = generate(&spec);
+                let mut d_ser = generate(&spec);
+                let par = ParallelMglLegalizer::new(4, static_cfg())
+                    .with_pipelining(pipelined)
+                    .legalize(&mut d_par);
+                let ser = MglLegalizer::new(static_cfg()).legalize(&mut d_ser);
+                assert_eq!(par.result.legal, ser.legal, "density {density}");
+                assert_eq!(
+                    positions(&d_par),
+                    positions(&d_ser),
+                    "density {density} pipelined {pipelined}"
+                );
+                assert_eq!(par.result.placed_in_region, ser.placed_in_region);
+                assert_eq!(par.result.fallback_placed, ser.fallback_placed);
+                assert_eq!(par.result.failed, ser.failed);
+                assert!(
+                    (par.result.average_displacement - ser.average_displacement).abs() < 1e-12,
+                    "displacement diverged at density {density}: {} vs {}",
+                    par.result.average_displacement,
+                    ser.average_displacement
+                );
+            }
         }
     }
 
     #[test]
     fn trace_matches_the_serial_trace() {
         let spec = BenchmarkSpec::tiny("par-trace", 9);
-        let cfg = MglConfig {
-            collect_trace: true,
-            ..static_cfg()
-        };
-        let mut d_par = generate(&spec);
-        let mut d_ser = generate(&spec);
-        let par = ParallelMglLegalizer::new(4, cfg.clone()).legalize(&mut d_par);
-        let ser = MglLegalizer::new(cfg).legalize(&mut d_ser);
-        let par_trace = par.result.trace.expect("trace requested");
-        let ser_trace = ser.trace.expect("trace requested");
-        assert_eq!(par_trace.len(), d_par.num_movable());
-        assert_eq!(
-            par_trace, ser_trace,
-            "work traces must be identical entry for entry"
-        );
+        for pipelined in [true, false] {
+            let cfg = MglConfig {
+                collect_trace: true,
+                ..static_cfg()
+            };
+            let mut d_par = generate(&spec);
+            let mut d_ser = generate(&spec);
+            let par = ParallelMglLegalizer::new(4, cfg.clone())
+                .with_pipelining(pipelined)
+                .legalize(&mut d_par);
+            let ser = MglLegalizer::new(cfg).legalize(&mut d_ser);
+            let par_trace = par.result.trace.expect("trace requested");
+            let ser_trace = ser.trace.expect("trace requested");
+            assert_eq!(par_trace.len(), d_par.num_movable());
+            assert_eq!(
+                par_trace, ser_trace,
+                "work traces must be identical entry for entry (pipelined {pipelined})"
+            );
+        }
     }
 
     #[test]
-    fn sliding_window_ordering_degrades_to_serial() {
-        let spec = BenchmarkSpec::tiny("par-sliding", 8);
+    fn sliding_window_ordering_runs_on_the_parallel_path() {
+        // the FLEX default (dynamic) ordering used to degrade to fully-serial execution;
+        // it now speculates through the peeked prefix and must still match the serial
+        // engine cell for cell
+        let spec = BenchmarkSpec::tiny("par-sliding", 8).with_density(0.6);
+        for pipelined in [true, false] {
+            let mut d_par = generate(&spec);
+            let mut d_ser = generate(&spec);
+            let cfg = MglConfig::flex();
+            let par = ParallelMglLegalizer::new(4, cfg.clone())
+                .with_pipelining(pipelined)
+                .legalize(&mut d_par);
+            let ser = MglLegalizer::new(cfg).legalize(&mut d_ser);
+            assert!(par.result.legal && ser.legal);
+            assert_eq!(
+                positions(&d_par),
+                positions(&d_ser),
+                "pipelined {pipelined}"
+            );
+            assert!(
+                par.shards.speculated > 0,
+                "the dynamic order must be speculated, not serialized"
+            );
+            assert!(par.shards.committed_speculatively > 0);
+            assert_eq!(
+                par.shards.order_invalidated, 0,
+                "the dynamic order is commit-invariant, so no peeked speculation may be orphaned"
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_ordering_trace_matches_serial() {
+        let spec = BenchmarkSpec::tiny("par-sliding-trace", 12).with_density(0.7);
+        let cfg = MglConfig {
+            collect_trace: true,
+            ..MglConfig::flex()
+        };
         let mut d_par = generate(&spec);
         let mut d_ser = generate(&spec);
-        let cfg = MglConfig::flex();
-        let par = ParallelMglLegalizer::new(4, cfg.clone()).legalize(&mut d_par);
+        let par = ParallelMglLegalizer::new(3, cfg.clone()).legalize(&mut d_par);
         let ser = MglLegalizer::new(cfg).legalize(&mut d_ser);
-        assert!(par.result.legal && ser.legal);
-        assert_eq!(par.shards.bands, 1);
-        assert_eq!(positions(&d_par), positions(&d_ser));
+        assert_eq!(
+            par.result.trace.expect("trace"),
+            ser.trace.expect("trace"),
+            "dynamic-order work traces must be identical entry for entry"
+        );
     }
 
     #[test]
     fn engine_accounts_every_target_exactly_once() {
         let spec = BenchmarkSpec::tiny("par-account", 10).with_density(0.7);
-        let mut d = generate(&spec);
-        let n = d.num_movable();
-        let out = ParallelMglLegalizer::new(3, static_cfg()).legalize(&mut d);
-        assert_eq!(
-            out.result.placed_in_region + out.result.fallback_placed + out.result.failed.len(),
-            n
-        );
-        assert_eq!(
-            out.shards.committed_speculatively + out.shards.serial_inline,
-            n
-        );
-        assert!(out.shards.speculated >= out.shards.committed_speculatively);
-        assert!(out.shards.speculative_fraction() > 0.0);
+        for pipelined in [true, false] {
+            let mut d = generate(&spec);
+            let n = d.num_movable();
+            let out = ParallelMglLegalizer::new(3, static_cfg())
+                .with_pipelining(pipelined)
+                .legalize(&mut d);
+            assert_eq!(
+                out.result.placed_in_region + out.result.fallback_placed + out.result.failed.len(),
+                n
+            );
+            assert_eq!(
+                out.shards.committed_speculatively + out.shards.serial_inline,
+                n
+            );
+            assert!(out.shards.speculated >= out.shards.committed_speculatively);
+            assert!(out.shards.speculative_fraction() > 0.0);
+            if pipelined {
+                assert!(
+                    out.shards.batches <= 1 || out.shards.pipelined_batches > 0,
+                    "a multi-batch pipelined run must overlap at least one batch"
+                );
+            } else {
+                assert_eq!(out.shards.pipelined_batches, 0);
+                assert_eq!(out.shards.cross_batch_invalidated, 0);
+            }
+        }
     }
 }

@@ -151,12 +151,33 @@ pub fn shift_sacs(problem: &ShiftProblem<'_>) -> Result<(ShiftOutcome, ShiftOutc
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::insertion::enumerate_insertion_points;
+    use crate::insertion::{enumerate_insertion_points_into, InsertionPoint, InsertionScratch};
     use crate::region::{LocalCell, LocalRegion, LocalSegment};
     use flex_placement::cell::CellId;
     use flex_placement::geom::{Interval, Rect};
     use rand::rngs::StdRng;
     use rand::{RngExt, SeedableRng};
+
+    /// Enumerate through the scratch-backed hot path (the same route `fop.rs` takes).
+    fn enumerate(
+        region: &LocalRegion,
+        width: i64,
+        height: i64,
+        anchor_x: f64,
+        max_points: usize,
+    ) -> Vec<InsertionPoint> {
+        let mut scratch = InsertionScratch::default();
+        enumerate_insertion_points_into(
+            region,
+            width,
+            height,
+            None,
+            anchor_x,
+            max_points,
+            &mut scratch,
+        );
+        scratch.points().to_vec()
+    }
 
     fn fig6_region() -> LocalRegion {
         LocalRegion {
@@ -217,7 +238,7 @@ mod tests {
     #[test]
     fn sacs_resolves_cascade_in_a_single_pass() {
         let region = fig6_region();
-        let pts = enumerate_insertion_points(&region, 6, 1, None, 15.0, 64);
+        let pts = enumerate(&region, 6, 1, 15.0, 64);
         let point = pts
             .iter()
             .find(|p| {
@@ -244,7 +265,7 @@ mod tests {
     #[test]
     fn sacs_positions_equal_the_original_algorithm() {
         let region = fig6_region();
-        let pts = enumerate_insertion_points(&region, 6, 1, None, 15.0, 64);
+        let pts = enumerate(&region, 6, 1, 15.0, 64);
         for point in &pts {
             for x in [point.x_lo, (point.x_lo + point.x_hi) / 2, point.x_hi] {
                 let problem = ShiftProblem {
@@ -373,7 +394,7 @@ mod tests {
             let tw = rng.random_range(2..=8i64);
             let th = rng.random_range(1..=rows);
             let anchor = rng.random_range(0..width) as f64;
-            let pts = enumerate_insertion_points(&region, tw, th, None, anchor, 64);
+            let pts = enumerate(&region, tw, th, anchor, 64);
             for point in &pts {
                 let x = point.clamp(anchor.round() as i64);
                 let problem = ShiftProblem {
@@ -424,7 +445,7 @@ mod tests {
             height: 4,
             gx: 14.0,
         });
-        let pts = enumerate_insertion_points(&region, 4, 1, None, 18.0, 64);
+        let pts = enumerate(&region, 4, 1, 18.0, 64);
         let point = pts.iter().find(|p| p.bottom_row == 0).unwrap();
         let problem = ShiftProblem {
             region: &region,
@@ -443,7 +464,7 @@ mod tests {
     #[test]
     fn output_positions_stream_in_sorted_order() {
         let region = fig6_region();
-        let pts = enumerate_insertion_points(&region, 6, 1, None, 15.0, 64);
+        let pts = enumerate(&region, 6, 1, 15.0, 64);
         let point = pts.iter().find(|p| p.bottom_row == 0).unwrap();
         let problem = ShiftProblem {
             region: &region,

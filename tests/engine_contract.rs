@@ -92,8 +92,8 @@ fn every_engine_report_is_internally_consistent() {
 
 #[test]
 fn serial_and_parallel_mgl_agree_cell_for_cell_through_the_trait() {
-    // a static ordering exercises the real speculative path of the parallel engine (the
-    // sliding-window default degrades to serial by construction)
+    // a static ordering row of the equivalence matrix; the dynamic FLEX default has its own
+    // dedicated test below now that it runs the real speculative path
     let cfg = FlexConfig {
         ordering: OrderingStrategy::SizeDescending,
         ..FlexConfig::flex().with_host_threads(4)
@@ -130,6 +130,51 @@ fn serial_and_parallel_mgl_agree_cell_for_cell_through_the_trait() {
         serial.report.displacement.total,
         parallel.report.displacement.total
     );
+}
+
+#[test]
+fn dynamic_ordering_runs_the_parallel_path_and_matches_serial_through_the_trait() {
+    // the FLEX **default** configuration (sliding-window density ordering) previously forced
+    // `EngineKind::MglParallel` to degrade to fully-serial execution, so this equivalence was
+    // impossible to state; it now runs the peeked-prefix speculative path — pipelined and not —
+    // and must reproduce the serial dynamic-order engine cell for cell
+    for pipelined in [true, false] {
+        let cfg = FlexConfig::flex()
+            .with_host_threads(4)
+            .with_host_pipelining(pipelined);
+        let design = generate(&BenchmarkSpec::tiny("contract-dynamic", 82).with_density(0.65));
+        let session = FlexSession::new(design).with_config(cfg);
+        let serial = session.run_engine(EngineKind::MglSerial);
+        let parallel = session.run_engine(EngineKind::MglParallel);
+
+        assert_eq!(
+            positions(&serial.design),
+            positions(&parallel.design),
+            "dynamic-order parallel MGL must reproduce the serial placement (pipelined {pipelined})"
+        );
+        assert_eq!(serial.report.legal, parallel.report.legal);
+        assert_eq!(
+            serial.report.displacement.average,
+            parallel.report.displacement.average
+        );
+        assert_eq!(
+            serial.report.displacement.total,
+            parallel.report.displacement.total
+        );
+        let shards = &parallel
+            .report
+            .details::<flex::mgl::ParallelLegalizeResult>()
+            .expect("parallel details")
+            .shards;
+        assert!(
+            shards.speculated > 0,
+            "the dynamic order must be speculated, not serialized"
+        );
+        assert_eq!(shards.order_invalidated, 0, "no orphaned speculations");
+        if !pipelined {
+            assert_eq!(shards.pipelined_batches, 0);
+        }
+    }
 }
 
 #[test]

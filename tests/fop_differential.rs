@@ -126,6 +126,26 @@ proptest! {
         }
     }
 
+    /// The scratch-backed insertion-point enumeration resolves exactly the points of the
+    /// allocating oracle — same points, same order (the order matters: the `max_points` cap
+    /// keeps a prefix) — with one scratch reused across every case.
+    #[test]
+    fn scratch_enumeration_is_identical_to_the_allocating_oracle(seed in 0u64..1_000_000) {
+        use flex::mgl::insertion::{enumerate_insertion_points, enumerate_insertion_points_into, InsertionScratch};
+        let (region, target) = random_case(seed);
+        let mut scratch = InsertionScratch::default();
+        for cap in [160usize, 7] {
+            let expect = enumerate_insertion_points(
+                &region, target.width, target.height, target.parity, target.gx, cap,
+            );
+            let n = enumerate_insertion_points_into(
+                &region, target.width, target.height, target.parity, target.gx, cap, &mut scratch,
+            );
+            prop_assert_eq!(n, expect.len(), "seed {} cap {}: point count", seed, cap);
+            prop_assert_eq!(scratch.points(), &expect[..], "seed {} cap {}", seed, cap);
+        }
+    }
+
     /// Commit planning through the scratch arena matches the positions the allocating shift
     /// functions produce, and is insensitive to scratch reuse (fresh scratch ≡ warm scratch).
     #[test]

@@ -1,11 +1,15 @@
 //! Property-based tests for the parallel region-sharded MGL engine: legality of every
-//! legalizer on random benchmarks, and determinism of serial vs. parallel legalization.
+//! legalizer on random benchmarks, and determinism of serial vs. parallel legalization
+//! across the full {pipelined on/off} × {ordering strategy} × {thread count} matrix —
+//! including the FLEX default dynamic (sliding-window density) ordering, which previously
+//! degraded to serial and could not be covered at all.
 
 use flex::baselines::cpu::CpuLegalizer;
 use flex::mgl::parallel::ParallelMglLegalizer;
 use flex::mgl::{MglConfig, MglLegalizer, OrderingStrategy};
 use flex::placement::benchmark::{generate, BenchmarkSpec};
 use flex::placement::legality::check_legality_with;
+use flex::placement::Design;
 use proptest::prelude::*;
 
 fn static_cfg() -> MglConfig {
@@ -13,6 +17,14 @@ fn static_cfg() -> MglConfig {
         ordering: OrderingStrategy::SizeDescending,
         ..MglConfig::default()
     }
+}
+
+fn positions(d: &Design) -> Vec<(i64, i64)> {
+    d.cells
+        .iter()
+        .filter(|c| !c.fixed)
+        .map(|c| (c.x, c.y))
+        .collect()
 }
 
 proptest! {
@@ -74,11 +86,78 @@ proptest! {
             );
             prop_assert_eq!(par.result.placed_in_region, serial.placed_in_region);
             prop_assert_eq!(par.result.fallback_placed, serial.fallback_placed);
-            let ps: Vec<(i64, i64)> =
-                d_serial.cells.iter().filter(|c| !c.fixed).map(|c| (c.x, c.y)).collect();
-            let pp: Vec<(i64, i64)> =
-                d_par.cells.iter().filter(|c| !c.fixed).map(|c| (c.x, c.y)).collect();
-            prop_assert_eq!(ps, pp, "placements diverged at seed {seed}");
+            prop_assert_eq!(
+                positions(&d_serial),
+                positions(&d_par),
+                "placements diverged at seed {seed}"
+            );
+        }
+    }
+
+    /// The full engine matrix: {pipelined on/off} × {natural, size-descending,
+    /// sliding-window-density} orderings × thread counts, asserting **cell-for-cell**
+    /// equality with the serial legalizer run under the same configuration. The dynamic
+    /// ordering rows prove the peeked-prefix speculation reproduces the live sliding-window
+    /// order exactly (no orphaned speculations), which was untestable while the engine
+    /// degraded to serial for that configuration.
+    #[test]
+    fn pipelining_ordering_thread_matrix_is_serial_identical(
+        seed in 0u64..10_000,
+        density in 0.35f64..0.75,
+        threads in 1usize..6,
+    ) {
+        let spec = BenchmarkSpec {
+            num_cells: 110,
+            ..BenchmarkSpec::tiny("prop-par-matrix", seed)
+        }
+        .with_density(density);
+
+        for ordering in [
+            OrderingStrategy::Natural,
+            OrderingStrategy::SizeDescending,
+            OrderingStrategy::SlidingWindowDensity,
+        ] {
+            let cfg = MglConfig {
+                ordering,
+                ..MglConfig::default()
+            };
+            let mut d_serial = generate(&spec);
+            let serial = MglLegalizer::new(cfg.clone()).legalize(&mut d_serial);
+            let serial_pos = positions(&d_serial);
+
+            for pipelined in [true, false] {
+                let mut d_par = generate(&spec);
+                let par = ParallelMglLegalizer::new(threads, cfg.clone())
+                    .with_pipelining(pipelined)
+                    .legalize(&mut d_par);
+                prop_assert_eq!(par.result.legal, serial.legal);
+                prop_assert_eq!(
+                    &serial_pos,
+                    &positions(&d_par),
+                    "placements diverged: seed {} ordering {:?} pipelined {} threads {}",
+                    seed,
+                    ordering,
+                    pipelined,
+                    threads
+                );
+                prop_assert_eq!(par.result.placed_in_region, serial.placed_in_region);
+                prop_assert_eq!(par.result.fallback_placed, serial.fallback_placed);
+                prop_assert_eq!(&par.result.failed, &serial.failed);
+                prop_assert_eq!(
+                    par.result.average_displacement.to_bits(),
+                    serial.average_displacement.to_bits(),
+                    "S_am must be byte-identical (seed {seed} ordering {ordering:?})"
+                );
+                prop_assert_eq!(
+                    par.shards.order_invalidated,
+                    0,
+                    "dynamic order diverged from the peek (seed {seed} ordering {ordering:?})"
+                );
+                if !pipelined {
+                    prop_assert_eq!(par.shards.pipelined_batches, 0);
+                    prop_assert_eq!(par.shards.cross_batch_invalidated, 0);
+                }
+            }
         }
     }
 }

@@ -1,24 +1,26 @@
 //! Acceptance tests for the parallel region-sharded MGL engine.
 //!
-//! The headline criterion — 4 threads beat the serial legalizer's wall-clock on a ≥50k-cell
-//! benchmark while producing a byte-identical legality verdict and displacement stats — needs
-//! several minutes of CPU and at least 4 hardware cores, so it is `#[ignore]`d by default:
+//! The headline criteria — on a ≥50k-cell benchmark, 4 threads beat the serial legalizer's
+//! wall-clock, and the double-buffered pipeline beats the non-pipelined engine — need
+//! several minutes of CPU and at least 4 hardware cores, so they are `#[ignore]`d by
+//! default:
 //!
 //! ```text
 //! cargo test --release --test parallel_scaling -- --ignored
 //! ```
 //!
-//! The always-on test checks the same equivalence contract at a scale that fits in a normal
-//! test run. Wall-clock speedup is only asserted when the machine actually has the cores
-//! (`std::thread::available_parallelism`); the placement/stats equivalence is asserted
-//! unconditionally.
+//! The always-on tests check the same equivalence contract (byte-identical stats,
+//! cell-for-cell placement) at a scale that fits in a normal test run, for both a static
+//! ordering and the FLEX default dynamic ordering. Wall-clock speedup is only asserted when
+//! the machine actually has the cores (`std::thread::available_parallelism`); the
+//! placement/stats equivalence is asserted unconditionally.
 
 use flex::mgl::parallel::ParallelMglLegalizer;
 use flex::mgl::{MglConfig, MglLegalizer, OrderingStrategy};
 use flex::placement::benchmark::{generate, BenchmarkSpec};
 use std::time::Instant;
 
-fn cfg() -> MglConfig {
+fn static_cfg() -> MglConfig {
     MglConfig {
         ordering: OrderingStrategy::SizeDescending,
         ..MglConfig::default()
@@ -33,81 +35,117 @@ fn spec(cells: usize) -> BenchmarkSpec {
     .with_density(0.45)
 }
 
-/// Run serial and 4-thread parallel on the same spec and assert the equivalence contract.
-/// Returns (serial_seconds, parallel_seconds).
-fn run_and_compare(cells: usize) -> (f64, f64) {
+/// Run serial and two 4-thread parallel variants (pipelined and not) on the same spec and
+/// assert the equivalence contract. Returns (serial, pipelined, non_pipelined) seconds.
+fn run_and_compare(cells: usize, cfg: &MglConfig) -> (f64, f64, f64) {
     let spec = spec(cells);
 
     let mut d_serial = generate(&spec);
     let t = Instant::now();
-    let serial = MglLegalizer::new(cfg()).legalize(&mut d_serial);
+    let serial = MglLegalizer::new(cfg.clone()).legalize(&mut d_serial);
     let t_serial = t.elapsed().as_secs_f64();
-
-    let mut d_parallel = generate(&spec);
-    let t = Instant::now();
-    let parallel = ParallelMglLegalizer::new(4, cfg()).legalize(&mut d_parallel);
-    let t_parallel = t.elapsed().as_secs_f64();
-
-    // byte-identical legality verdict and displacement stats
     assert!(
         serial.legal,
         "serial run illegal; failed: {:?}",
         serial.failed
     );
-    assert_eq!(serial.legal, parallel.result.legal);
-    assert_eq!(
-        serial.average_displacement.to_bits(),
-        parallel.result.average_displacement.to_bits(),
-        "average displacement must be byte-identical"
-    );
-    assert_eq!(
-        serial.max_displacement.to_bits(),
-        parallel.result.max_displacement.to_bits(),
-        "max displacement must be byte-identical"
-    );
-    assert_eq!(serial.placed_in_region, parallel.result.placed_in_region);
-    assert_eq!(serial.fallback_placed, parallel.result.fallback_placed);
     let ps: Vec<(i64, i64)> = d_serial
         .cells
         .iter()
         .filter(|c| !c.fixed)
         .map(|c| (c.x, c.y))
         .collect();
-    let pp: Vec<(i64, i64)> = d_parallel
-        .cells
-        .iter()
-        .filter(|c| !c.fixed)
-        .map(|c| (c.x, c.y))
-        .collect();
-    assert_eq!(ps, pp, "placements must be identical");
 
-    (t_serial, t_parallel)
+    let mut times = [0.0f64; 2];
+    for (i, pipelined) in [true, false].into_iter().enumerate() {
+        let mut d_parallel = generate(&spec);
+        let t = Instant::now();
+        let parallel = ParallelMglLegalizer::new(4, cfg.clone())
+            .with_pipelining(pipelined)
+            .legalize(&mut d_parallel);
+        times[i] = t.elapsed().as_secs_f64();
+
+        // byte-identical legality verdict and displacement stats
+        assert_eq!(serial.legal, parallel.result.legal);
+        assert_eq!(
+            serial.average_displacement.to_bits(),
+            parallel.result.average_displacement.to_bits(),
+            "average displacement must be byte-identical (pipelined {pipelined})"
+        );
+        assert_eq!(
+            serial.max_displacement.to_bits(),
+            parallel.result.max_displacement.to_bits(),
+            "max displacement must be byte-identical (pipelined {pipelined})"
+        );
+        assert_eq!(serial.placed_in_region, parallel.result.placed_in_region);
+        assert_eq!(serial.fallback_placed, parallel.result.fallback_placed);
+        let pp: Vec<(i64, i64)> = d_parallel
+            .cells
+            .iter()
+            .filter(|c| !c.fixed)
+            .map(|c| (c.x, c.y))
+            .collect();
+        assert_eq!(
+            ps, pp,
+            "placements must be identical (pipelined {pipelined})"
+        );
+        assert_eq!(
+            parallel.shards.order_invalidated, 0,
+            "no speculation may be orphaned by an order divergence"
+        );
+    }
+
+    (t_serial, times[0], times[1])
 }
 
 #[test]
 fn parallel_engine_matches_serial_at_moderate_scale() {
-    let (t_serial, t_parallel) = run_and_compare(2_500);
-    eprintln!("2.5k cells: serial {t_serial:.2}s, parallel(4) {t_parallel:.2}s");
+    let (t_serial, t_pipe, t_nopipe) = run_and_compare(2_500, &static_cfg());
+    eprintln!(
+        "2.5k cells static: serial {t_serial:.2}s, pipelined(4) {t_pipe:.2}s, \
+         non-pipelined(4) {t_nopipe:.2}s"
+    );
 }
 
-/// The acceptance benchmark: ≥50k cells, 4 threads vs. serial. Requires a multi-core machine
-/// for the wall-clock assertion and several minutes of CPU; run with `-- --ignored`.
+#[test]
+fn parallel_engine_matches_serial_on_the_dynamic_flex_ordering() {
+    // the FLEX default configuration — previously the serial-degradation branch, now the
+    // peeked-prefix speculative path
+    let (t_serial, t_pipe, t_nopipe) = run_and_compare(2_500, &MglConfig::flex());
+    eprintln!(
+        "2.5k cells dynamic: serial {t_serial:.2}s, pipelined(4) {t_pipe:.2}s, \
+         non-pipelined(4) {t_nopipe:.2}s"
+    );
+}
+
+/// The acceptance benchmark: ≥50k cells, 4 threads vs. serial, pipelined vs. not. Requires a
+/// multi-core machine for the wall-clock assertions and several minutes of CPU; run with
+/// `-- --ignored`.
 #[test]
 #[ignore = "needs >= 4 hardware cores and several minutes; run with -- --ignored"]
 fn parallel_beats_serial_wall_clock_on_50k_cells() {
-    let (t_serial, t_parallel) = run_and_compare(50_000);
-    eprintln!("50k cells: serial {t_serial:.2}s, parallel(4) {t_parallel:.2}s");
+    let (t_serial, t_pipe, t_nopipe) = run_and_compare(50_000, &static_cfg());
+    eprintln!(
+        "50k cells: serial {t_serial:.2}s, pipelined(4) {t_pipe:.2}s, \
+         non-pipelined(4) {t_nopipe:.2}s"
+    );
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     if cores >= 4 {
         assert!(
-            t_parallel < t_serial,
-            "4 threads must beat serial wall-clock on {cores} cores: {t_parallel:.2}s vs {t_serial:.2}s"
+            t_pipe < t_serial,
+            "4 pipelined threads must beat serial wall-clock on {cores} cores: \
+             {t_pipe:.2}s vs {t_serial:.2}s"
+        );
+        assert!(
+            t_pipe < t_nopipe,
+            "the double-buffered pipeline must beat the barrier-per-batch engine on \
+             {cores} cores: {t_pipe:.2}s vs {t_nopipe:.2}s"
         );
     } else {
         eprintln!(
-            "only {cores} hardware core(s): wall-clock assertion skipped, equivalence verified"
+            "only {cores} hardware core(s): wall-clock assertions skipped, equivalence verified"
         );
     }
 }
