@@ -58,12 +58,9 @@ impl AbacusRow {
             return None;
         }
         let mut order: Vec<&AbacusCell> = cells.iter().collect();
-        order.sort_by(|a, b| {
-            a.desired_x
-                .partial_cmp(&b.desired_x)
-                .unwrap()
-                .then(a.id.cmp(&b.id))
-        });
+        // total_cmp: a NaN desired position (degenerate global placement) must not panic the
+        // sort — NaN anchors order last and the clamping below keeps the placement finite
+        order.sort_by(|a, b| a.desired_x.total_cmp(&b.desired_x).then(a.id.cmp(&b.id)));
 
         let lo = self.span.lo as f64;
         let hi = self.span.hi as f64;

@@ -171,7 +171,8 @@ impl AnalyticalLegalizer {
                         // segment overflow: evict the cells farthest from their anchors to a
                         // neighbouring row on the next sweep (here: mark them unassigned)
                         let mut cells = cells.clone();
-                        cells.sort_by(|a, b| a.desired_x.partial_cmp(&b.desired_x).unwrap());
+                        // total_cmp: NaN anchors from a degenerate solve must not panic
+                        cells.sort_by(|a, b| a.desired_x.total_cmp(&b.desired_x));
                         let keep = (span.len()
                             / cells.iter().map(|c| c.width).max().unwrap_or(1).max(1))
                             as usize;

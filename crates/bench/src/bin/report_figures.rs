@@ -384,7 +384,7 @@ fn fop_json() {
 /// One measured parallel-engine configuration.
 struct ParallelBenchRow {
     threads: usize,
-    pipelined: bool,
+    depth: usize,
     seconds: f64,
     speculative_fraction: f64,
     pipelined_batches: usize,
@@ -392,8 +392,15 @@ struct ParallelBenchRow {
     dirty_recomputes: usize,
 }
 
-/// `--parallel-json`: measure the parallel MGL engine (threads × ordering × pipelining)
-/// against the serial legalizer on the acceptance-scale case and write
+impl ParallelBenchRow {
+    /// Kept alongside `depth` for readers of the previous schema.
+    fn pipelined(&self) -> bool {
+        self.depth > 1
+    }
+}
+
+/// `--parallel-json`: measure the parallel MGL engine (threads × ordering × pipeline
+/// depth) against the serial legalizer on the acceptance-scale case and write
 /// `BENCH_parallel.json`.
 fn parallel_json() {
     use flex_mgl::parallel::ParallelMglLegalizer;
@@ -425,7 +432,7 @@ fn parallel_json() {
         .map(|n| n.get())
         .unwrap_or(1);
 
-    println!("--- parallel MGL: threads × ordering × pipelining ({cells} cells) ---");
+    println!("--- parallel MGL: threads × ordering × pipeline depth ({cells} cells) ---");
     let mut cases = String::new();
     let orderings = [
         ("size-desc", OrderingStrategy::SizeDescending),
@@ -443,40 +450,46 @@ fn parallel_json() {
         assert!(serial.legal, "{label}: serial run must be legal");
         println!("  {label:<15} serial                  {serial_s:>8.2} s");
 
-        let mut rows = Vec::new();
-        for &pipelined in &[true, false] {
+        // depth 2 (the classic double-buffered pipeline) and depth 1 (barrier engine)
+        // across the thread sweep, plus deeper pipelines at the top thread count
+        let mut configs: Vec<(usize, usize)> = Vec::new();
+        for &depth in &[2usize, 1] {
             for &n in &threads {
-                let engine = ParallelMglLegalizer::new(n, cfg.clone()).with_pipelining(pipelined);
-                let mut d = generate(&spec);
-                let start = std::time::Instant::now();
-                let out = engine.legalize(&mut d);
-                let seconds = start.elapsed().as_secs_f64();
-                assert!(out.result.legal, "{label}: parallel run must be legal");
-                assert_eq!(
-                    out.result.average_displacement.to_bits(),
-                    serial.average_displacement.to_bits(),
-                    "{label}: parallel quality must be byte-identical to serial"
-                );
-                println!(
-                    "  {label:<15} {n}T {:<14} {seconds:>8.2} s   speedup {:>5.2}x   spec {:>5.1}%",
-                    if pipelined {
-                        "pipelined"
-                    } else {
-                        "no-pipeline"
-                    },
-                    serial_s / seconds,
-                    out.shards.speculative_fraction() * 100.0,
-                );
-                rows.push(ParallelBenchRow {
-                    threads: n,
-                    pipelined,
-                    seconds,
-                    speculative_fraction: out.shards.speculative_fraction(),
-                    pipelined_batches: out.shards.pipelined_batches,
-                    cross_batch_invalidated: out.shards.cross_batch_invalidated,
-                    dirty_recomputes: out.shards.dirty_recomputes,
-                });
+                configs.push((n, depth));
             }
+        }
+        for depth in [3usize, 4] {
+            configs.push((max_threads, depth));
+        }
+
+        let mut rows = Vec::new();
+        for (n, depth) in configs {
+            let engine = ParallelMglLegalizer::new(n, cfg.clone()).with_pipeline_depth(depth);
+            let mut d = generate(&spec);
+            let start = std::time::Instant::now();
+            let out = engine.legalize(&mut d);
+            let seconds = start.elapsed().as_secs_f64();
+            assert!(out.result.legal, "{label}: parallel run must be legal");
+            assert_eq!(
+                out.result.average_displacement.to_bits(),
+                serial.average_displacement.to_bits(),
+                "{label}: parallel quality must be byte-identical to serial"
+            );
+            println!(
+                "  {label:<15} {n}T depth {depth:<2} {seconds:>8.2} s   speedup {:>5.2}x   spec {:>5.1}%   xbatch-inv {}",
+                serial_s / seconds,
+                out.shards.speculative_fraction() * 100.0,
+                out.shards.cross_batch_invalidated,
+            );
+            rows.push(ParallelBenchRow {
+                threads: n,
+                depth,
+                seconds,
+                speculative_fraction: out.shards.speculative_fraction(),
+                pipelined_batches: out.shards.pipelined_batches,
+                cross_batch_invalidated: out.shards.cross_batch_invalidated,
+                dirty_recomputes: out.shards.dirty_recomputes,
+            });
         }
 
         cases.push_str(&format!(
@@ -484,9 +497,10 @@ fn parallel_json() {
         ));
         for (i, r) in rows.iter().enumerate() {
             cases.push_str(&format!(
-                "      {{\"threads\": {}, \"pipelined\": {}, \"seconds\": {:.4}, \"speedup_vs_serial\": {:.3}, \"speculative_fraction\": {:.4}, \"pipelined_batches\": {}, \"cross_batch_invalidated\": {}, \"dirty_recomputes\": {}}}{}\n",
+                "      {{\"threads\": {}, \"pipelined\": {}, \"depth\": {}, \"seconds\": {:.4}, \"speedup_vs_serial\": {:.3}, \"speculative_fraction\": {:.4}, \"pipelined_batches\": {}, \"cross_batch_invalidated\": {}, \"dirty_recomputes\": {}}}{}\n",
                 r.threads,
-                r.pipelined,
+                r.pipelined(),
+                r.depth,
                 r.seconds,
                 serial_s / r.seconds,
                 r.speculative_fraction,

@@ -89,10 +89,14 @@ pub struct FlexConfig {
     /// legalization runs on `flex_mgl::parallel::ParallelMglLegalizer`, overlapping region
     /// extraction and FOP across row shards while producing the exact serial placement.
     pub host_threads: usize,
-    /// Double-buffered batch pipelining of the parallel host engine: speculate batch *k+1*
-    /// against a shadow snapshot while batch *k* commits. Placement-neutral; only meaningful
-    /// when `host_threads > 1`.
+    /// Epoch-pipelined batch speculation of the parallel host engine: speculate upcoming
+    /// batches against epoch snapshots while earlier batches commit. Placement-neutral; only
+    /// meaningful when `host_threads > 1`.
     pub host_pipelining: bool,
+    /// Pipeline depth of the parallel host engine: the maximum number of in-flight epochs
+    /// (up to `depth − 1` batches speculating while one commits). Only meaningful with
+    /// `host_pipelining`; values below 2 are raised to 2 there. Placement-neutral.
+    pub host_pipeline_depth: usize,
 }
 
 impl Default for FlexConfig {
@@ -110,6 +114,7 @@ impl Default for FlexConfig {
             pe_sync_cycles: 6,
             host_threads: 1,
             host_pipelining: true,
+            host_pipeline_depth: 2,
         }
     }
 }
@@ -178,6 +183,16 @@ impl FlexConfig {
     /// Enable or disable the parallel host engine's batch pipelining (builder style).
     pub fn with_host_pipelining(mut self, pipelined: bool) -> Self {
         self.host_pipelining = pipelined;
+        self
+    }
+
+    /// Set the parallel host engine's pipeline depth — the maximum number of in-flight
+    /// epochs (builder style). Enables pipelining for depths above 1 and disables it for
+    /// depth 1, mirroring the engine's semantics.
+    pub fn with_host_pipeline_depth(mut self, depth: usize) -> Self {
+        let depth = depth.max(1);
+        self.host_pipeline_depth = depth.max(2);
+        self.host_pipelining = depth > 1;
         self
     }
 

@@ -86,7 +86,11 @@ impl EngineKind {
             EngineKind::MglSerial => Box::new(MglLegalizer::new(config.mgl_config())),
             EngineKind::MglParallel => Box::new(
                 ParallelMglLegalizer::new(config.host_threads.max(1), config.mgl_config())
-                    .with_pipelining(config.host_pipelining),
+                    .with_pipeline_depth(if config.host_pipelining {
+                        config.host_pipeline_depth.max(2)
+                    } else {
+                        1
+                    }),
             ),
             EngineKind::CpuMgl => Box::new(CpuLegalizer::new(config.host_threads.max(1))),
             EngineKind::CpuGpu => Box::new(CpuGpuLegalizer::default()),

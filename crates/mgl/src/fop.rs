@@ -374,7 +374,7 @@ fn evaluate_point_with(
     for c in curves.iter() {
         bps.extend(c.breakpoints.iter().copied());
     }
-    bps.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap());
+    bps.sort_by(|a, b| a.x.total_cmp(&b.x));
     op_stats.add(FopOperator::SortBp, t_sort_bp.elapsed());
     work.breakpoints += bps.len() as u64;
 
@@ -544,12 +544,23 @@ fn original_pipeline_with(
     // calculate value: integrate the slopes from the domain edge and pick the minimum
     let t_val = Instant::now();
     debug_assert!(
-        merged.is_empty() || (slopes_r.last().unwrap() + slopes_l.first().unwrap()).abs() < 1e-9,
+        merged.is_empty() || slopes_balanced(*slopes_r.last().unwrap(), slopes_l[0]),
         "prefix and suffix slope sums must cancel"
     );
     let result = scan_minimum(merged, slopes_r, base_slope, anchor_value, lo, hi);
     op_stats.add(FopOperator::CalcValue, t_val.elapsed());
     result
+}
+
+/// Whether the total prefix (`r`) and suffix (`l`) slope sums cancel, up to floating-point
+/// error *relative to their magnitude*. An absolute `1e-9` cutoff misfires on
+/// large-coordinate designs, where the individual slope sums legitimately reach `1e9`-plus
+/// and their rounding error scales with them; non-finite sums (curves fed NaN/overflowing
+/// desired positions) are exempt — cancellation is meaningless there and the minimizer's
+/// NaN-tolerant comparisons handle the fallout.
+fn slopes_balanced(r: f64, l: f64) -> bool {
+    let sum = r + l;
+    !sum.is_finite() || sum.abs() <= 1e-9 * r.abs().max(l.abs()).max(1.0)
 }
 
 /// Scratch twin of [`reference::reorganized_pipeline`]: fused forward traversal followed by
@@ -739,7 +750,7 @@ pub mod reference {
             .iter()
             .flat_map(|c| c.breakpoints.iter().copied())
             .collect();
-        bps.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap());
+        bps.sort_by(|a, b| a.x.total_cmp(&b.x));
         op_stats.add(FopOperator::SortBp, t_sort_bp.elapsed());
         work.breakpoints += bps.len() as u64;
 
@@ -859,8 +870,7 @@ pub mod reference {
         // calculate value: integrate the slopes from the domain edge and pick the minimum
         let t_val = Instant::now();
         debug_assert!(
-            merged.is_empty()
-                || (slopes_r.last().unwrap() + slopes_l.first().unwrap()).abs() < 1e-9,
+            merged.is_empty() || super::slopes_balanced(*slopes_r.last().unwrap(), slopes_l[0]),
             "prefix and suffix slope sums must cancel"
         );
         let result = scan_minimum(&merged, &slopes_r, base_slope, anchor_value, lo, hi);
@@ -1124,7 +1134,7 @@ mod tests {
                 .iter()
                 .flat_map(|c| c.breakpoints.iter().copied())
                 .collect();
-            bps.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap());
+            bps.sort_by(|a, b| a.x.total_cmp(&b.x));
             let anchor: f64 = curves.iter().map(|c| c.eval(lo)).sum();
             let base: f64 = curves
                 .iter()
@@ -1170,6 +1180,60 @@ mod tests {
             );
             assert_eq!((tx, tv), (fx, fv));
         }
+    }
+
+    #[test]
+    fn slope_balance_assert_tolerates_large_magnitudes() {
+        // Regression: the slope-balance debug assertion used an absolute 1e-9 cutoff.
+        // Prefix and suffix slope sums accumulate in opposite orders, so their cancellation
+        // error scales with the slope magnitude — at ~1e12 (large-coordinate designs with
+        // heavy localCells) the residue dwarfs 1e-9 and the old assertion misfired even
+        // though the pipelines were computing correctly. The tolerance is relative now.
+        let mut bps: Vec<Breakpoint> = (0..64)
+            .map(|i| {
+                let f = i as f64;
+                let slope_at = |j: f64| -3.1e12 + j * (9.7e10 + 0.123456789);
+                Breakpoint {
+                    x: 1.0e9 + f * 10.1,
+                    left_slope: slope_at(f),
+                    right_slope: slope_at(f + 1.0),
+                }
+            })
+            .collect();
+        bps.sort_by(|a, b| a.x.total_cmp(&b.x));
+        let base = bps[0].left_slope;
+        let (lo, hi) = (1.0e9 - 5.0, 1.0e9 + 700.0);
+        let mut st = FopOpStats::default();
+        let (ox, ov) = original_pipeline(&bps, base, 0.0, lo, hi, &mut st);
+        let (fx, fv) = reorganized_pipeline(&bps, base, 0.0, lo, hi, &mut st);
+        assert!(ox.is_finite() && ov.is_finite());
+        assert!(
+            (ox - fx).abs() < 1e-6 && (ov - fv).abs() / ov.abs().max(1.0) < 1e-9,
+            "pipelines diverged at large magnitude: ({ox}, {ov}) vs ({fx}, {fv})"
+        );
+    }
+
+    #[test]
+    fn pipelines_tolerate_nan_breakpoints_without_panicking() {
+        // a NaN desired position produces NaN curve data; the pipelines must degrade
+        // gracefully (garbage minimum, no panic) — the engines' feasibility checks and the
+        // NaN-tolerant cost comparisons discard the result downstream
+        let mut bps = vec![
+            Breakpoint {
+                x: f64::NAN,
+                left_slope: f64::NAN,
+                right_slope: f64::NAN,
+            },
+            Breakpoint {
+                x: 3.0,
+                left_slope: -1.0,
+                right_slope: 1.0,
+            },
+        ];
+        bps.sort_by(|a, b| a.x.total_cmp(&b.x));
+        let mut st = FopOpStats::default();
+        let _ = original_pipeline(&bps, f64::NAN, f64::NAN, 0.0, 10.0, &mut st);
+        let _ = reorganized_pipeline(&bps, f64::NAN, f64::NAN, 0.0, 10.0, &mut st);
     }
 
     #[test]

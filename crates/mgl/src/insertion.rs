@@ -56,6 +56,14 @@ impl InsertionPoint {
     }
 }
 
+/// Round the target's desired x into an anchor candidate, saturated far enough inside the
+/// `i64` range that the centre comparison (`a * 2`) cannot overflow when a degenerate
+/// global placement hands us a non-finite or astronomically large desired position.
+/// (`f64 as i64` saturates, so 1e300 would otherwise round to `i64::MAX`.)
+fn rounded_anchor(anchor_x: f64) -> i64 {
+    (anchor_x.round() as i64).clamp(i64::MIN / 4, i64::MAX / 4)
+}
+
 /// Reusable buffers for [`enumerate_insertion_points_into`]: the resolved points (slots are
 /// rebuilt in place), a recycling pool for the points' chain vectors, and the per-row /
 /// anchor working sets. One instance per legalizer (it lives inside `fop::FopScratch`)
@@ -130,7 +138,7 @@ pub fn enumerate_insertion_points_into(
         // target's own global x — sorted unique (as the allocating version's BTreeSet yields
         // them), then stably re-ranked by distance to the anchor
         anchors.clear();
-        anchors.push(anchor_x.round() as i64);
+        anchors.push(rounded_anchor(anchor_x));
         for r in bottom..bottom + height {
             let si = region.segment_index(r).expect("checked above");
             let seg = &region.segments[si];
@@ -269,7 +277,7 @@ pub fn enumerate_insertion_points(
         // candidate anchors: segment boundaries and cell edges of the involved rows, plus the
         // target's own global x — each anchor induces one interval choice per row.
         let mut anchors: BTreeSet<i64> = BTreeSet::new();
-        anchors.insert(anchor_x.round() as i64);
+        anchors.insert(rounded_anchor(anchor_x));
         for &r in &target_rows {
             let seg = region.segment(r).unwrap();
             anchors.insert(seg.span.lo);

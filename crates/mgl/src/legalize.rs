@@ -184,11 +184,12 @@ pub struct PlaceOutcome {
     /// Expansion level at which the cell was committed (meaningful for [`PlacedBy::Region`];
     /// for fallback/failed cells this is the last expansion tried).
     pub expansion: u32,
-    /// Bounding box of every design write the placement performed (moved localCells' old and
-    /// new extents plus the target's committed extent); `None` when nothing was written. The
-    /// parallel engine uses this to invalidate only the speculations that actually read
-    /// mutated state.
-    pub writes: Option<Rect>,
+    /// One rectangle per design write the placement performed: for each moved localCell the
+    /// union of its old and new extent, plus the target's committed extent; empty when
+    /// nothing was written. The parallel engine checks a stale speculation's guard against
+    /// each rect individually, so a commit whose writes all land outside the guard does not
+    /// invalidate it (per-slot tracking, versus the former single bounding box).
+    pub writes: Vec<Rect>,
     /// The commit plan that was applied when the cell was placed inside a region (`None` for
     /// fallback/failed cells, whose only write is the target itself). The pipelined parallel
     /// engine replays this into its lagging speculation snapshot.
@@ -268,14 +269,15 @@ pub fn place_target_with(
         accumulate_work(&mut work, &outcome.work);
         if let Some(best) = outcome.best {
             if let Some(plan) = plan_commit_with(&region, &best, &spec, cfg, scratch) {
-                let writes = plan_writes(design, &plan);
+                let mut writes = Vec::new();
+                plan_write_rects(design, &plan, &mut writes);
                 apply_commit(design, &plan);
                 index.insert(design, target);
                 return PlaceOutcome {
                     placed: PlacedBy::Region,
                     window,
                     expansion,
-                    writes: Some(writes),
+                    writes,
                     plan: Some(plan),
                     work,
                 };
@@ -285,9 +287,9 @@ pub fn place_target_with(
 
     let (placed, writes) = if fallback_place_indexed(design, index, target, &spec) {
         index.insert(design, target);
-        (PlacedBy::Fallback, Some(design.cell(target).rect()))
+        (PlacedBy::Fallback, vec![design.cell(target).rect()])
     } else {
-        (PlacedBy::None, None)
+        (PlacedBy::None, Vec::new())
     };
     PlaceOutcome {
         placed,
@@ -324,6 +326,31 @@ pub fn plan_writes(design: &Design, plan: &CommitPlan) -> Rect {
         );
     }
     writes
+}
+
+/// Append one rectangle per design write applying `plan` would perform: the target's
+/// committed extent, and for each moved localCell the union of its old and new extent
+/// (moves only ever shift x within a row, so that union is the swept span). Must be called
+/// *before* [`apply_commit`] (it reads the cells' current positions).
+///
+/// Unlike [`plan_writes`], which collapses everything into one bounding box, the per-write
+/// rects let the parallel engine keep a speculation alive when a commit's actual writes
+/// all miss its guard window even though their collective bounding box would hit it.
+pub fn plan_write_rects(design: &Design, plan: &CommitPlan, out: &mut Vec<Rect>) {
+    let t = design.cell(plan.target);
+    out.push(Rect::new(
+        plan.x,
+        plan.row,
+        plan.x + t.width,
+        plan.row + t.height,
+    ));
+    for &(id, new_x) in &plan.moves {
+        let c = design.cell(id);
+        out.push(union_rect(
+            c.rect(),
+            Rect::new(new_x, c.y, new_x + c.width, c.y + c.height),
+        ));
+    }
 }
 
 pub(crate) fn accumulate_work(into: &mut RegionWork, from: &RegionWork) {

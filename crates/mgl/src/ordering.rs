@@ -57,6 +57,19 @@ pub struct SlidingWindowOrderer {
     /// `window` times is promoted to the front of the reordered tail, so the density priority
     /// can never starve the large cells that lead the size-sorted sequence.
     deferrals: std::collections::HashMap<CellId, u32>,
+    /// Incremental peek state: a simulated copy of the queue that runs ahead of the live
+    /// one, plus the resolved-but-not-yet-popped prefix. Lazily (re)built; invalidated when
+    /// a live pop diverges from (or outruns) the simulation.
+    cursor: Option<PeekCursor>,
+}
+
+/// The incremental [`SlidingWindowOrderer::peek_prefix`] cursor: `sim_queue`/`sim_deferrals`
+/// mirror what the live state will be *after* every cell in `peeked` has been popped.
+#[derive(Debug, Clone)]
+struct PeekCursor {
+    sim_queue: std::collections::VecDeque<CellId>,
+    sim_deferrals: std::collections::HashMap<CellId, u32>,
+    peeked: std::collections::VecDeque<CellId>,
 }
 
 impl SlidingWindowOrderer {
@@ -74,6 +87,7 @@ impl SlidingWindowOrderer {
             half_sites,
             half_rows,
             deferrals: std::collections::HashMap::new(),
+            cursor: None,
         }
     }
 
@@ -95,7 +109,7 @@ impl SlidingWindowOrderer {
 
     /// Pop the next cell to process and re-rank the rest of the window by density.
     pub fn next(&mut self, design: &Design, density: &DensityMap) -> Option<CellId> {
-        pop_and_reorder(
+        let cur = pop_and_reorder(
             &mut self.queue,
             &mut self.deferrals,
             self.window,
@@ -103,7 +117,19 @@ impl SlidingWindowOrderer {
             self.half_rows,
             design,
             density,
-        )
+        )?;
+        // keep the peek cursor in lockstep: consume the matching resolved slot, or drop the
+        // cursor if the live pop diverged from (or ran past) the simulation — the next peek
+        // then re-derives from the live state, which is what keeps divergence *observable*
+        // (the engine counts it as `order_invalidated`) instead of silently compounding
+        let in_sync = match self.cursor.as_mut() {
+            None => true,
+            Some(cursor) => cursor.peeked.pop_front() == Some(cur),
+        };
+        if !in_sync {
+            self.cursor = None;
+        }
+        Some(cur)
     }
 
     /// Resolve the next `n` cells of the dynamic order **without consuming them**: the exact
@@ -118,33 +144,36 @@ impl SlidingWindowOrderer {
     /// discarded speculation), so a future commit-reactive density source
     /// ([`DensityMap::apply_move`]) would degrade performance, not correctness.
     ///
-    /// Cost is `O(n + window)` queue state (the reorder of one pop only ever touches the
-    /// `window − 2` positions behind the front, so `n` pops cannot read past position
-    /// `n + window`), independent of the number of queued cells.
-    pub fn peek_prefix(&self, design: &Design, density: &DensityMap, n: usize) -> Vec<CellId> {
-        let take = n.saturating_add(self.window).min(self.queue.len());
-        let mut queue: std::collections::VecDeque<CellId> =
-            self.queue.iter().take(take).copied().collect();
-        let mut deferrals: std::collections::HashMap<CellId, u32> = queue
-            .iter()
-            .filter_map(|id| self.deferrals.get(id).map(|&d| (*id, d)))
-            .collect();
-        let mut out = Vec::with_capacity(n.min(take));
-        for _ in 0..n {
+    /// The resolution is *incremental*: a cursor holds a simulated copy of the queue that
+    /// runs ahead of the live one, so peeking `n` slots costs `O(window)` per **new** slot
+    /// — already-resolved slots are served from the cursor, and live pops consume it in
+    /// lockstep. Across the parallel engine's batches that makes `peek_prefix`
+    /// O(lookahead) amortized instead of re-simulating the whole prefix per batch. The
+    /// cursor assumes the density map passed in stays the same object state across calls
+    /// (the engine's map is built once and never mutated); peeking against a *different*
+    /// map re-uses cached slots resolved under the old one — clone the orderer to compare
+    /// maps side by side.
+    pub fn peek_prefix(&mut self, design: &Design, density: &DensityMap, n: usize) -> Vec<CellId> {
+        let cursor = self.cursor.get_or_insert_with(|| PeekCursor {
+            sim_queue: self.queue.clone(),
+            sim_deferrals: self.deferrals.clone(),
+            peeked: std::collections::VecDeque::new(),
+        });
+        while cursor.peeked.len() < n {
             match pop_and_reorder(
-                &mut queue,
-                &mut deferrals,
+                &mut cursor.sim_queue,
+                &mut cursor.sim_deferrals,
                 self.window,
                 self.half_sites,
                 self.half_rows,
                 design,
                 density,
             ) {
-                Some(id) => out.push(id),
+                Some(id) => cursor.peeked.push_back(id),
                 None => break,
             }
         }
-        out
+        cursor.peeked.iter().take(n).copied().collect()
     }
 }
 
@@ -182,9 +211,9 @@ fn pop_and_reorder(
                 }
                 let da = density.density_in(&density_window(design, a, half_sites, half_rows));
                 let db = density.density_in(&density_window(design, b, half_sites, half_rows));
-                db.partial_cmp(&da)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(a.cmp(&b))
+                // total order even for NaN densities (degenerate windows): NaN ranks above
+                // every real density instead of poisoning the comparator
+                db.total_cmp(&da).then(a.cmp(&b))
             });
             for (new_idx, id) in tail.iter().enumerate() {
                 let old_idx = before.iter().position(|&x| x == *id).unwrap_or(new_idx);
@@ -365,6 +394,34 @@ mod tests {
     }
 
     #[test]
+    fn peek_cursor_survives_being_outrun_by_live_pops() {
+        // pops beyond the resolved prefix invalidate the cursor; a later peek must rebuild
+        // from the live state and stay exact, and peeking must never perturb the sequence
+        let d = design();
+        let targets = d.movable_ids();
+        let density = DensityMap::build(&d, 16, 4);
+        let mut peeky = SlidingWindowOrderer::new(&d, &targets, 3, 20, 3);
+        let mut pure = peeky.clone();
+
+        let _ = peeky.peek_prefix(&d, &density, 2);
+        let mut realized = Vec::new();
+        for _ in 0..4 {
+            realized.push(peeky.next(&d, &density).unwrap());
+        }
+        let repeek = peeky.peek_prefix(&d, &density, 3);
+        let rest: Vec<CellId> = std::iter::from_fn(|| peeky.next(&d, &density)).collect();
+        assert_eq!(
+            repeek[..],
+            rest[..repeek.len()],
+            "the rebuilt cursor must predict the live pops"
+        );
+        realized.extend(rest);
+
+        let expected: Vec<CellId> = std::iter::from_fn(|| pure.next(&d, &density)).collect();
+        assert_eq!(realized, expected, "peeking must never change the order");
+    }
+
+    #[test]
     fn peek_prefix_only_depends_on_the_density_snapshot() {
         // The commit-invariance contract: with the same (static) density map, a peek made
         // before a batch of commits equals the pops made after them, because commits never
@@ -375,14 +432,16 @@ mod tests {
         let targets = d.movable_ids();
         let density = DensityMap::build(&d, 16, 4);
         let orderer = SlidingWindowOrderer::new(&d, &targets, 8, 20, 3);
-        let before = orderer.peek_prefix(&d, &density, targets.len());
+        // the incremental cursor caches slots resolved under one density map, so comparing
+        // maps side by side requires independent orderers (see the peek_prefix docs)
+        let before = orderer.clone().peek_prefix(&d, &density, targets.len());
 
         // pile commit deltas onto the sparse corner until the live map ranks it densest
         let mut live = density.clone();
         for _ in 0..60 {
             live.apply_move(&Rect::new(10, 2, 16, 3), &Rect::new(96, 9, 104, 11));
         }
-        let after = orderer.peek_prefix(&d, &live, targets.len());
+        let after = orderer.clone().peek_prefix(&d, &live, targets.len());
         let mut sorted = after.clone();
         sorted.sort();
         let mut expect = targets;

@@ -1,4 +1,4 @@
-//! The parallel region-sharded MGL engine, with double-buffered batch pipelining.
+//! The parallel region-sharded MGL engine, with epoch-pipelined batch speculation.
 //!
 //! The paper's CPU baseline (Fig. 2(a)) parallelizes MGL by batching target cells whose
 //! legalization windows do not overlap and synchronizing after every batch — at the cost of
@@ -18,23 +18,30 @@
 //!    member is *speculated* on the rayon pool: region extraction, FOP (which is where the
 //!    per-shard `shift_phase_*` work runs) and the pure [`plan_commit_with`] verification
 //!    all execute against a shared `&Design` snapshot.
-//! 3. **In-order commit with write tracking.** Plans are applied strictly in the serial
-//!    order. Every commit records the bounding box of its design writes
-//!    ([`plan_writes`] / [`PlaceOutcome::writes`]); a later member whose window intersects
-//!    any write since its snapshot — and any member that was not speculated (straddler,
-//!    conflict) or whose speculation found no expansion-0 placement — is handled by the
-//!    ordinary serial [`place_target_with`] at its slot, window expansions and whole-die
-//!    fallback included.
-//! 4. **Double-buffered pipelining** (default on, [`ParallelMglLegalizer::with_pipelining`]).
-//!    While the commit thread applies batch *k*'s plans in serial order, the worker pool
-//!    already speculates batch *k+1* against a *shadow* copy of the design frozen at the
-//!    pre-batch-*k* state; after batch *k* commits, its plans are replayed into the shadow
-//!    (a `ShadowDelta` per commit — cheap x/y writes, never a re-clone). A batch-*k+1*
-//!    member is therefore stale if a write from **either in-flight batch** — batch *k*
-//!    ([`ShardStats::cross_batch_invalidated`]) or an earlier batch-*k+1* commit
-//!    ([`ShardStats::dirty_recomputes`]) — intersects its window. Without pipelining,
-//!    speculation and commit of each batch alternate on the same design (no shadow, no
-//!    cross-batch epoch).
+//! 3. **In-order commit with per-write tracking.** Plans are applied strictly in the serial
+//!    order. Every commit records one rectangle per design write it performed
+//!    ([`plan_write_rects`] / [`PlaceOutcome::writes`]) — the target's committed extent and
+//!    each moved localCell's swept span — rather than one collective bounding box, so a
+//!    later member is invalidated only when an *individual* write intersects its window. A
+//!    member whose window is hit by any write since its snapshot — and any member that was
+//!    not speculated (straddler, conflict) or whose speculation found no expansion-0
+//!    placement — is handled by the ordinary serial [`place_target_with`] at its slot,
+//!    window expansions and whole-die fallback included.
+//! 4. **Epoch-pipelined speculation** (default depth 2,
+//!    [`ParallelMglLegalizer::with_pipeline_depth`]). Mutable cell state is captured once
+//!    into an [`EpochCellStore`] — epoch-tagged copy-on-write columns shared between the
+//!    commit thread and a speculation runner thread. Committing batch *k* records its
+//!    writes into the store's open overlay and seals it as epoch *k+1*; launching batch *b*
+//!    takes an O(1) [`StoreSnapshot`] pinned to the last sealed epoch instead of cloning
+//!    the `Design` and its obstacle index. With pipeline depth *D*, up to *D−1* batches
+//!    speculate in flight while one commits, each against the newest epoch available at its
+//!    launch; retired epochs are promoted (folded) back into the shared base columns. A
+//!    member of batch *b* is stale if a write of an earlier **in-flight** batch
+//!    ([`ShardStats::cross_batch_invalidated`]) or an earlier commit of batch *b* itself
+//!    ([`ShardStats::dirty_recomputes`]) intersects its window — per write rect, so a late
+//!    speculation survives earlier non-overlapping commits. Depth 1 disables pipelining:
+//!    speculation and commit of each batch alternate on the same design (no store, no
+//!    cross-batch epochs).
 //!
 //! **Dynamic (sliding-window density) ordering.** The FLEX default configuration reorders
 //! its queue by localRegion density as it goes, which previously forced this engine to
@@ -65,8 +72,8 @@
 use crate::config::{MglConfig, OrderingStrategy};
 use crate::fop::{self, FopScratch, TargetSpec};
 use crate::legalize::{
-    accumulate_work, apply_commit, place_target_with, plan_commit_with, plan_writes, CommitPlan,
-    LegalizeResult, PlaceOutcome, PlacedBy,
+    accumulate_work, apply_commit, place_target_with, plan_commit_with, plan_write_rects,
+    CommitPlan, LegalizeResult, PlaceOutcome, PlacedBy,
 };
 use crate::ordering::{self, SlidingWindowOrderer};
 use crate::region::{target_window, LegalizedIndex, LocalRegion};
@@ -78,8 +85,10 @@ use flex_placement::layout::Design;
 use flex_placement::legality::check_legality_with;
 use flex_placement::metrics::displacement_stats;
 use flex_placement::segment::SegmentMap;
+use flex_placement::store::{CellState, Epoch, EpochCellStore, StoreSnapshot};
 use rayon::prelude::*;
 use std::collections::HashMap;
+use std::sync::mpsc;
 use std::time::Instant;
 
 #[cfg(doc)]
@@ -107,8 +116,8 @@ pub struct ShardStats {
     pub straddlers: usize,
     /// Prefix batches executed.
     pub batches: usize,
-    /// Batches whose speculation overlapped the previous batch's commit phase (the
-    /// double-buffered pipeline was actually active for them).
+    /// Batches whose commit phase overlapped at least one in-flight speculation (the epoch
+    /// pipeline was actually active for them).
     pub pipelined_batches: usize,
     /// Targets speculated in parallel.
     pub speculated: usize,
@@ -120,9 +129,9 @@ pub struct ShardStats {
     /// Speculations discarded because an earlier commit **of the same batch** wrote into
     /// their window.
     pub dirty_recomputes: usize,
-    /// Speculations discarded because a commit of the **previous in-flight batch** (the one
-    /// whose commit phase overlapped this batch's speculation) wrote into their window.
-    /// Always zero without pipelining.
+    /// Speculations discarded because a commit of an **earlier in-flight batch** (one of the
+    /// up to depth−1 batches that committed between this batch's snapshot epoch and its own
+    /// commit slot) wrote into their window. Always zero without pipelining (depth 1).
     pub cross_batch_invalidated: usize,
     /// Speculations discarded because the realized dynamic order diverged from the peeked
     /// prefix, so the speculated cell never reached a commit slot in its batch. Zero while
@@ -158,7 +167,9 @@ pub struct ParallelMglLegalizer {
     threads: usize,
     config: MglConfig,
     lookahead: usize,
-    pipelined: bool,
+    /// Maximum in-flight epochs: 1 disables pipelining, `D ≥ 2` keeps up to `D − 1` batches
+    /// speculating while one commits.
+    depth: usize,
 }
 
 /// Per-target scheduling metadata for one speculation batch.
@@ -183,7 +194,7 @@ enum OrderSource {
         next: usize,
     },
     Dynamic {
-        orderer: SlidingWindowOrderer,
+        orderer: Box<SlidingWindowOrderer>,
         density: DensityMap,
     },
 }
@@ -203,13 +214,13 @@ impl OrderSource {
                 // the same map the serial legalizer builds at the same point of the flow;
                 // it is never mutated afterwards, which is what makes peeks exact
                 density: DensityMap::build(design, cfg.density_bin_sites, cfg.density_bin_rows),
-                orderer: SlidingWindowOrderer::new(
+                orderer: Box::new(SlidingWindowOrderer::new(
                     design,
                     targets,
                     cfg.sliding_window,
                     cfg.window_half_sites,
                     cfg.window_half_rows,
-                ),
+                )),
             },
         }
     }
@@ -223,11 +234,12 @@ impl OrderSource {
     }
 
     /// Resolve (without consuming) the ids of order slots `[skip, skip + count)` ahead of
-    /// the current position.
-    fn peek(&self, design: &Design, skip: usize, count: usize) -> Vec<CellId> {
+    /// the current position. Dynamic resolution advances the orderer's incremental peek
+    /// cursor, so repeated peeks across batches cost O(new slots), not O(prefix).
+    fn peek(&mut self, design: &Design, skip: usize, count: usize) -> Vec<CellId> {
         match self {
             OrderSource::Static { order, next } => {
-                let lo = (next + skip).min(order.len());
+                let lo = (*next + skip).min(order.len());
                 let hi = (lo + count).min(order.len());
                 order[lo..hi].to_vec()
             }
@@ -256,12 +268,19 @@ impl OrderSource {
     }
 }
 
-/// One committed target's effect, replayed into the pipelining shadow design.
-enum ShadowDelta {
-    /// A region commit: replay the verified plan (localCell moves + the target).
-    Plan(CommitPlan),
-    /// A fallback/target-only write: copy the target's committed state from the design.
-    Target(CellId),
+/// One speculation batch handed to the pipeline's runner thread: the batch index, its
+/// non-straddler scheduling metadata and the epoch snapshot to speculate against.
+struct LaunchMsg {
+    batch: usize,
+    metas: Vec<TargetMeta>,
+    snapshot: StoreSnapshot,
+}
+
+/// One speculated batch coming back from the runner thread, in launch (= batch) order.
+struct SpecBatch {
+    batch: usize,
+    pending: HashMap<CellId, Speculation>,
+    speculated: usize,
 }
 
 /// Everything the strictly-serial commit phase accumulates across batches.
@@ -290,22 +309,16 @@ impl CommitAccum {
     }
 }
 
-/// Writes and shadow deltas produced by one batch's commit phase.
-struct BatchOutput {
-    writes: Vec<Rect>,
-    deltas: Vec<ShadowDelta>,
-}
-
 impl ParallelMglLegalizer {
     /// Create an engine with `threads` workers and the given MGL configuration. Pipelining
-    /// is on by default.
+    /// is on by default at the classic double-buffered depth of 2.
     pub fn new(threads: usize, config: MglConfig) -> Self {
         let threads = threads.max(1);
         Self {
             threads,
             config,
             lookahead: (4 * threads).max(MIN_LOOKAHEAD),
-            pipelined: true,
+            depth: 2,
         }
     }
 
@@ -317,11 +330,23 @@ impl ParallelMglLegalizer {
         self
     }
 
-    /// Enable or disable double-buffered batch pipelining (speculating batch *k+1* while
-    /// batch *k* commits). The placement is identical either way; pipelining trades one
-    /// design clone and the cross-batch invalidations for commit/speculation overlap.
+    /// Enable or disable batch pipelining. Disabling forces depth 1 (strict batch
+    /// barriers); enabling restores at least the classic double-buffered depth of 2 without
+    /// lowering a deeper [`ParallelMglLegalizer::with_pipeline_depth`] setting. The
+    /// placement is identical either way; pipelining trades the cross-batch invalidations
+    /// for commit/speculation overlap.
     pub fn with_pipelining(mut self, pipelined: bool) -> Self {
-        self.pipelined = pipelined;
+        self.depth = if pipelined { self.depth.max(2) } else { 1 };
+        self
+    }
+
+    /// Set the pipeline depth: the maximum number of in-flight epochs, i.e. up to
+    /// `depth − 1` batches speculating against epoch snapshots while one commits. Depth 1
+    /// disables pipelining; depth 2 is the classic double-buffered schedule. The placement
+    /// is identical at every depth (see the module docs); deeper pipelines trade staleness
+    /// (more invalidated speculation) for more commit/speculation overlap.
+    pub fn with_pipeline_depth(mut self, depth: usize) -> Self {
+        self.depth = depth.max(1);
         self
     }
 
@@ -335,9 +360,14 @@ impl ParallelMglLegalizer {
         self.threads
     }
 
-    /// Whether double-buffered batch pipelining is enabled.
+    /// Whether batch pipelining is enabled (pipeline depth > 1).
     pub fn pipelined(&self) -> bool {
-        self.pipelined
+        self.depth > 1
+    }
+
+    /// The configured pipeline depth (maximum in-flight epochs).
+    pub fn pipeline_depth(&self) -> usize {
+        self.depth
     }
 
     /// Legalize every movable cell of the design in place.
@@ -423,49 +453,92 @@ impl ParallelMglLegalizer {
         // `speculate`, so no scratch state is ever shared across threads
         let mut scratch = FopScratch::new();
 
-        // a run that fits in one batch has no batch k+1 to overlap with batch k's commit, so
-        // the shadow clones would buy nothing — take the barrier loop (identical output)
-        if self.pipelined && order.remaining() > self.lookahead {
-            // the speculation snapshot: lags the committed design by at most one batch
-            let mut shadow = design.clone();
-            let mut shadow_index = index.clone();
-            let mut writes_prev: Vec<Rect> = Vec::new();
+        // a run that fits in one batch has no later batch to overlap with its commit, so
+        // the epoch store would buy nothing — take the barrier loop (identical output)
+        if self.depth >= 2 && order.remaining() > self.lookahead {
+            let depth = self.depth;
+            let lookahead = self.lookahead;
+            let total = order.remaining();
+            let num_batches = total.div_ceil(lookahead);
+            let batch_count = |b: usize| lookahead.min(total - b * lookahead);
 
-            // warm-up: the first batch speculates against the (identical) shadow with no
-            // commit phase to overlap
-            let count0 = self.lookahead.min(order.remaining());
-            let mut peeked = order.peek(design, 0, count0);
-            let metas0 = build_metas(design, &peeked);
-            let (mut pending, n0) =
-                speculate_batch(&pool, metas0, &shadow, &shadow_index, &segmap, cfg);
-            acc.shards.speculated += n0;
+            // the shared epoch-tagged state both threads agree on: the commit thread
+            // records every write and seals one epoch per batch, launches pin snapshots
+            let store = EpochCellStore::capture(design);
+            // per-batch write rects, kept while any in-flight speculation may still need
+            // them for its staleness guard (batch b checks batches [s(b), b))
+            let mut batch_writes: Vec<Vec<Rect>> = Vec::with_capacity(num_batches);
 
-            while !peeked.is_empty() {
-                let count = peeked.len();
-                acc.shards.batches += 1;
-
-                // resolve batch k+1 beyond the still-unpopped current batch
-                let next_count = self.lookahead.min(order.remaining().saturating_sub(count));
-                let next_peeked = order.peek(design, count, next_count);
-                let next_metas = build_metas(design, &next_peeked);
-                let overlapping = !next_peeked.is_empty();
-
-                let (pool_ref, segmap_ref) = (&pool, &segmap);
-                let (shadow_ref, shadow_index_ref) = (&shadow, &shadow_index);
-                let ((next_pending, n_spec), out) = std::thread::scope(|s| {
-                    // batch k+1 speculates against the pre-batch-k shadow …
-                    let speculation = s.spawn(move || {
-                        speculate_batch(
+            let (pool_ref, segmap_ref) = (&pool, &segmap);
+            std::thread::scope(|s| {
+                let (launch_tx, launch_rx) = mpsc::channel::<LaunchMsg>();
+                let (result_tx, result_rx) = mpsc::channel::<SpecBatch>();
+                // the runner drains launches FIFO, so results arrive in batch order; it
+                // exits when the launch sender is dropped (normal exit and unwind alike)
+                s.spawn(move || {
+                    while let Ok(msg) = launch_rx.recv() {
+                        let (pending, speculated) = speculate_batch_snapshot(
                             pool_ref,
-                            next_metas,
-                            shadow_ref,
-                            shadow_index_ref,
+                            msg.metas,
+                            &msg.snapshot,
                             segmap_ref,
                             cfg,
-                        )
-                    });
-                    // … while this thread commits batch k in serial order
-                    let out = commit_batch(
+                        );
+                        let out = SpecBatch {
+                            batch: msg.batch,
+                            pending,
+                            speculated,
+                        };
+                        if result_tx.send(out).is_err() {
+                            break;
+                        }
+                    }
+                });
+
+                let launch = |b: usize, skip: usize, order: &mut OrderSource, design: &Design| {
+                    let ids = order.peek(design, skip, batch_count(b));
+                    let metas = build_metas(design, &ids);
+                    let msg = LaunchMsg {
+                        batch: b,
+                        metas,
+                        snapshot: store.snapshot(),
+                    };
+                    // a send only fails if the runner died; the recv below surfaces that
+                    let _ = launch_tx.send(msg);
+                };
+
+                // prime the pipeline: batches 0..depth-1 all speculate against epoch 0
+                for b in 0..(depth - 1).min(num_batches) {
+                    launch(b, b * lookahead, &mut order, design);
+                }
+
+                for k in 0..num_batches {
+                    // keep the pipeline full: batch k+depth-1 launches at the current
+                    // sealed epoch k, i.e. depth-1 whole batches ahead of the live order
+                    let ahead = k + depth - 1;
+                    if ahead < num_batches {
+                        launch(ahead, (depth - 1) * lookahead, &mut order, design);
+                    }
+                    let spec = result_rx.recv().expect("speculation runner thread died");
+                    debug_assert_eq!(spec.batch, k, "runner must return batches in order");
+                    acc.shards.batches += 1;
+                    acc.shards.speculated += spec.speculated;
+                    if k + 1 < num_batches {
+                        // another batch is speculating while this one commits
+                        acc.shards.pipelined_batches += 1;
+                    }
+
+                    let count = batch_count(k);
+                    let peeked = order.peek(design, 0, count);
+                    // every write committed since this batch's snapshot epoch s(k)
+                    let snap_epoch = k.saturating_sub(depth - 1);
+                    let writes_prev: Vec<Rect> = batch_writes[snap_epoch..k]
+                        .iter()
+                        .flatten()
+                        .copied()
+                        .collect();
+                    let mut pending = spec.pending;
+                    let writes = commit_batch(
                         design,
                         &segmap,
                         &mut index,
@@ -477,23 +550,17 @@ impl ParallelMglLegalizer {
                         &writes_prev,
                         &mut scratch,
                         &mut acc,
+                        Some(&store),
                     );
-                    (
-                        speculation.join().expect("speculation thread panicked"),
-                        out,
-                    )
-                });
-                if overlapping {
-                    acc.shards.pipelined_batches += 1;
+                    batch_writes.push(writes);
+                    store.seal_epoch();
+                    // fold retired epochs into the base columns: after this round the
+                    // oldest snapshot still in flight is batch k+1's, pinned to epoch
+                    // max(0, k+2-depth)
+                    store.promote_through((k + 2).saturating_sub(depth) as Epoch);
                 }
-                acc.shards.speculated += n_spec;
-
-                // catch the shadow up to the committed state (cheap plan replays, no clone)
-                replay_deltas(&mut shadow, &mut shadow_index, design, out.deltas);
-                writes_prev = out.writes;
-                peeked = next_peeked;
-                pending = next_pending;
-            }
+                drop(launch_tx);
+            });
         } else {
             while order.remaining() > 0 {
                 let count = self.lookahead.min(order.remaining());
@@ -515,6 +582,7 @@ impl ParallelMglLegalizer {
                     &[],
                     &mut scratch,
                     &mut acc,
+                    None,
                 );
             }
         }
@@ -563,7 +631,8 @@ fn speculate_batch(
 
 /// Commit one batch strictly in the live serial order: pop each slot from the orderer, apply
 /// the member's speculative plan if its window is clean since its snapshot, otherwise run the
-/// full serial placement at the slot. Returns the batch's write set and shadow deltas.
+/// full serial placement at the slot. Every committed state is recorded into `store` (when
+/// pipelining) so later epoch snapshots see it. Returns the batch's write rects.
 #[allow(clippy::too_many_arguments)]
 fn commit_batch(
     design: &mut Design,
@@ -577,9 +646,9 @@ fn commit_batch(
     writes_prev: &[Rect],
     scratch: &mut FopScratch,
     acc: &mut CommitAccum,
-) -> BatchOutput {
+    store: Option<&EpochCellStore>,
+) -> Vec<Rect> {
     let mut writes_cur: Vec<Rect> = Vec::new();
-    let mut deltas: Vec<ShadowDelta> = Vec::new();
     for slot in 0..count {
         let id = order
             .pop(design)
@@ -598,15 +667,16 @@ fn commit_batch(
         match speculation {
             Some(speculation) if speculation.plan.is_some() && !stale_prev && !stale_cur => {
                 let plan = speculation.plan.expect("guard checked plan");
-                let writes = plan_writes(design, &plan);
+                plan_write_rects(design, &plan, &mut writes_cur);
                 apply_commit(design, &plan);
                 index.insert(design, id);
+                if let Some(store) = store {
+                    record_plan(store, design, &plan);
+                }
                 acc.op_stats.merge(&speculation.stats);
                 acc.placed_in_region += 1;
                 acc.shards.committed_speculatively += 1;
-                writes_cur.push(writes);
                 acc.record(speculation.work, window, true);
-                deltas.push(ShadowDelta::Plan(plan));
             }
             speculation => {
                 if (stale_prev || stale_cur) && speculation.is_some() {
@@ -616,18 +686,24 @@ fn commit_batch(
                         acc.shards.dirty_recomputes += 1;
                     }
                 }
-                let mut out =
+                let out =
                     place_target_with(design, segmap, index, cfg, id, &mut acc.op_stats, scratch);
                 acc.shards.serial_inline += 1;
-                if let Some(writes) = out.writes {
-                    writes_cur.push(writes);
-                }
-                match out.placed {
-                    PlacedBy::Region => deltas.push(ShadowDelta::Plan(
-                        out.plan.take().expect("region placements carry their plan"),
-                    )),
-                    PlacedBy::Fallback => deltas.push(ShadowDelta::Target(id)),
-                    PlacedBy::None => {}
+                writes_cur.extend(out.writes.iter().copied());
+                if let Some(store) = store {
+                    match out.placed {
+                        PlacedBy::Region => record_plan(
+                            store,
+                            design,
+                            out.plan
+                                .as_ref()
+                                .expect("region placements carry their plan"),
+                        ),
+                        PlacedBy::Fallback => {
+                            store.record(id, CellState::of(design.cell(id)));
+                        }
+                        PlacedBy::None => {}
+                    }
                 }
                 tally(
                     &out,
@@ -644,42 +720,76 @@ fn commit_batch(
     // dynamic order diverged from the peeked prefix (see the module docs)
     acc.shards.order_invalidated += pending.len();
     pending.clear();
-    BatchOutput {
-        writes: writes_cur,
-        deltas,
-    }
+    writes_cur
 }
 
-/// Replay one batch's committed writes into the pipelining shadow (and its obstacle index),
-/// bringing it to the pre-next-batch state the next speculation round must see.
-fn replay_deltas(
-    shadow: &mut Design,
-    shadow_index: &mut LegalizedIndex,
-    design: &Design,
-    deltas: Vec<ShadowDelta>,
-) {
-    for delta in deltas {
-        match delta {
-            ShadowDelta::Plan(plan) => {
-                let target = plan.target;
-                apply_commit(shadow, &plan);
-                shadow_index.insert(shadow, target);
-            }
-            ShadowDelta::Target(id) => {
-                let (x, y, legalized) = {
-                    let c = design.cell(id);
-                    (c.x, c.y, c.legalized)
-                };
-                let c = shadow.cell_mut(id);
-                c.x = x;
-                c.y = y;
-                c.legalized = legalized;
-                if legalized {
-                    shadow_index.insert(shadow, id);
-                }
-            }
-        }
+/// Record one committed plan's final cell states into the epoch store: every moved localCell
+/// plus the target, read back from the design *after* [`apply_commit`].
+fn record_plan(store: &EpochCellStore, design: &Design, plan: &CommitPlan) {
+    for &(id, _) in &plan.moves {
+        store.record(id, CellState::of(design.cell(id)));
     }
+    store.record(plan.target, CellState::of(design.cell(plan.target)));
+}
+
+/// Speculate one batch on the worker pool against an epoch-pinned [`StoreSnapshot`] (the
+/// pipelined path: the commit thread may be mutating the live design concurrently).
+/// Straddlers are skipped — they always take the serial path at their commit slot.
+fn speculate_batch_snapshot(
+    pool: &rayon::ThreadPool,
+    metas: Vec<TargetMeta>,
+    snapshot: &StoreSnapshot,
+    segmap: &SegmentMap,
+    cfg: &MglConfig,
+) -> (HashMap<CellId, Speculation>, usize) {
+    let jobs: Vec<TargetMeta> = metas.into_iter().filter(|m| !m.straddler).collect();
+    let specs: Vec<(CellId, Speculation)> = pool.install(|| {
+        jobs.par_iter()
+            .map(|meta| (meta.id, speculate_snapshot(snapshot, segmap, cfg, meta)))
+            .collect()
+    });
+    let n = specs.len();
+    (specs.into_iter().collect(), n)
+}
+
+/// Evaluate one target speculatively at expansion level 0 against an epoch snapshot.
+/// Identical to [`speculate`] except that the target cell and the obstacle region come from
+/// the [`StoreSnapshot`] instead of a `&Design`.
+fn speculate_snapshot(
+    snapshot: &StoreSnapshot,
+    segmap: &SegmentMap,
+    cfg: &MglConfig,
+    meta: &TargetMeta,
+) -> Speculation {
+    let c = snapshot.cell(meta.id);
+    let spec = TargetSpec {
+        width: c.width,
+        height: c.height,
+        gx: c.gx,
+        gy: c.gy,
+        parity: c.row_parity,
+    };
+    let mut stats = FopOpStats::default();
+    let mut work = RegionWork {
+        target: meta.id,
+        target_width: spec.width,
+        target_height: spec.height,
+        ..RegionWork::default()
+    };
+    let region = LocalRegion::extract_snapshot(snapshot, segmap, meta.id, meta.window);
+    let mut plan = None;
+    if region.cells.len() <= cfg.max_region_cells
+        && region.can_host(spec.width, spec.height, spec.parity)
+    {
+        FopScratch::with_thread_local(|scratch| {
+            let outcome = fop::find_optimal_position_with(&region, &spec, cfg, &mut stats, scratch);
+            accumulate_work(&mut work, &outcome.work);
+            if let Some(best) = outcome.best {
+                plan = plan_commit_with(&region, &best, &spec, cfg, scratch);
+            }
+        });
+    }
+    Speculation { work, stats, plan }
 }
 
 /// Evaluate one target speculatively at expansion level 0 against a shared design snapshot.
@@ -795,22 +905,22 @@ mod tests {
 
     #[test]
     fn parallel_matches_the_serial_legalizer_exactly() {
-        // equivalence must hold at every density, expansions and fallbacks included, with
-        // and without pipelining
-        for pipelined in [true, false] {
+        // equivalence must hold at every density, expansions and fallbacks included, at
+        // every pipeline depth (1 = barriers, 2 = double-buffered, deeper = more epochs)
+        for depth in [1usize, 2, 3, 4] {
             for (seed, density) in [(7u64, 0.45), (8, 0.65), (9, 0.85)] {
                 let spec = BenchmarkSpec::tiny("par-eq", seed).with_density(density);
                 let mut d_par = generate(&spec);
                 let mut d_ser = generate(&spec);
                 let par = ParallelMglLegalizer::new(4, static_cfg())
-                    .with_pipelining(pipelined)
+                    .with_pipeline_depth(depth)
                     .legalize(&mut d_par);
                 let ser = MglLegalizer::new(static_cfg()).legalize(&mut d_ser);
                 assert_eq!(par.result.legal, ser.legal, "density {density}");
                 assert_eq!(
                     positions(&d_par),
                     positions(&d_ser),
-                    "density {density} pipelined {pipelined}"
+                    "density {density} depth {depth}"
                 );
                 assert_eq!(par.result.placed_in_region, ser.placed_in_region);
                 assert_eq!(par.result.fallback_placed, ser.fallback_placed);
@@ -828,7 +938,7 @@ mod tests {
     #[test]
     fn trace_matches_the_serial_trace() {
         let spec = BenchmarkSpec::tiny("par-trace", 9);
-        for pipelined in [true, false] {
+        for depth in [1usize, 2, 3] {
             let cfg = MglConfig {
                 collect_trace: true,
                 ..static_cfg()
@@ -836,7 +946,7 @@ mod tests {
             let mut d_par = generate(&spec);
             let mut d_ser = generate(&spec);
             let par = ParallelMglLegalizer::new(4, cfg.clone())
-                .with_pipelining(pipelined)
+                .with_pipeline_depth(depth)
                 .legalize(&mut d_par);
             let ser = MglLegalizer::new(cfg).legalize(&mut d_ser);
             let par_trace = par.result.trace.expect("trace requested");
@@ -844,7 +954,7 @@ mod tests {
             assert_eq!(par_trace.len(), d_par.num_movable());
             assert_eq!(
                 par_trace, ser_trace,
-                "work traces must be identical entry for entry (pipelined {pipelined})"
+                "work traces must be identical entry for entry (depth {depth})"
             );
         }
     }
@@ -855,20 +965,16 @@ mod tests {
         // it now speculates through the peeked prefix and must still match the serial
         // engine cell for cell
         let spec = BenchmarkSpec::tiny("par-sliding", 8).with_density(0.6);
-        for pipelined in [true, false] {
+        for depth in [1usize, 2, 3, 4] {
             let mut d_par = generate(&spec);
             let mut d_ser = generate(&spec);
             let cfg = MglConfig::flex();
             let par = ParallelMglLegalizer::new(4, cfg.clone())
-                .with_pipelining(pipelined)
+                .with_pipeline_depth(depth)
                 .legalize(&mut d_par);
             let ser = MglLegalizer::new(cfg).legalize(&mut d_ser);
             assert!(par.result.legal && ser.legal);
-            assert_eq!(
-                positions(&d_par),
-                positions(&d_ser),
-                "pipelined {pipelined}"
-            );
+            assert_eq!(positions(&d_par), positions(&d_ser), "depth {depth}");
             assert!(
                 par.shards.speculated > 0,
                 "the dynamic order must be speculated, not serialized"
@@ -902,11 +1008,11 @@ mod tests {
     #[test]
     fn engine_accounts_every_target_exactly_once() {
         let spec = BenchmarkSpec::tiny("par-account", 10).with_density(0.7);
-        for pipelined in [true, false] {
+        for depth in [1usize, 2, 3] {
             let mut d = generate(&spec);
             let n = d.num_movable();
             let out = ParallelMglLegalizer::new(3, static_cfg())
-                .with_pipelining(pipelined)
+                .with_pipeline_depth(depth)
                 .legalize(&mut d);
             assert_eq!(
                 out.result.placed_in_region + out.result.fallback_placed + out.result.failed.len(),
@@ -918,7 +1024,7 @@ mod tests {
             );
             assert!(out.shards.speculated >= out.shards.committed_speculatively);
             assert!(out.shards.speculative_fraction() > 0.0);
-            if pipelined {
+            if depth > 1 {
                 assert!(
                     out.shards.batches <= 1 || out.shards.pipelined_batches > 0,
                     "a multi-batch pipelined run must overlap at least one batch"
@@ -928,5 +1034,23 @@ mod tests {
                 assert_eq!(out.shards.cross_batch_invalidated, 0);
             }
         }
+    }
+
+    #[test]
+    fn builder_depth_and_pipelining_compose() {
+        let eng = ParallelMglLegalizer::new(2, static_cfg());
+        assert!(eng.pipelined());
+        assert_eq!(eng.pipeline_depth(), 2);
+        let eng = eng.with_pipeline_depth(4);
+        assert_eq!(eng.pipeline_depth(), 4);
+        // enabling pipelining never lowers a deeper setting; disabling forces depth 1
+        let eng = eng.with_pipelining(true);
+        assert_eq!(eng.pipeline_depth(), 4);
+        let eng = eng.with_pipelining(false);
+        assert!(!eng.pipelined());
+        assert_eq!(eng.pipeline_depth(), 1);
+        let eng = eng.with_pipelining(true);
+        assert_eq!(eng.pipeline_depth(), 2);
+        assert_eq!(eng.with_pipeline_depth(0).pipeline_depth(), 1);
     }
 }

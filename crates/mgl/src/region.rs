@@ -12,6 +12,7 @@ use flex_placement::cell::CellId;
 use flex_placement::geom::{Interval, Rect};
 use flex_placement::layout::Design;
 use flex_placement::segment::SegmentMap;
+use flex_placement::store::StoreSnapshot;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -201,7 +202,7 @@ impl LocalRegion {
             .iter()
             .filter(|c| !c.fixed && c.legalized && c.id != target)
             .collect();
-        Self::extract_from(design, segments, target, window, obstacles)
+        Self::extract_from(design.num_rows, segments, target, window, obstacles)
     }
 
     /// Extract the localRegion of `target` within `window`, taking obstacle candidates from a
@@ -219,11 +220,33 @@ impl LocalRegion {
             .filter(|&id| id != target)
             .map(|id| design.cell(id))
             .collect();
-        Self::extract_from(design, segments, target, window, obstacles)
+        Self::extract_from(design.num_rows, segments, target, window, obstacles)
+    }
+
+    /// Extract the localRegion of `target` within `window` from an epoch-pinned
+    /// [`StoreSnapshot`] instead of the live design. The snapshot's obstacle query
+    /// materializes the same candidate set, in the same id order, as
+    /// [`LegalizedIndex::candidates`] over an identically-placed design, so this produces
+    /// exactly the region [`LocalRegion::extract_indexed`] would — but without touching
+    /// `Design`, which the commit thread may be mutating concurrently.
+    pub fn extract_snapshot(
+        snapshot: &StoreSnapshot,
+        segments: &SegmentMap,
+        target: CellId,
+        window: Rect,
+    ) -> Self {
+        let obstacles = snapshot.obstacles(window.y_lo, window.y_hi, target);
+        Self::extract_from(
+            snapshot.num_rows(),
+            segments,
+            target,
+            window,
+            obstacles.iter().collect(),
+        )
     }
 
     fn extract_from(
-        design: &Design,
+        num_rows: i64,
         segments: &SegmentMap,
         target: CellId,
         window: Rect,
@@ -232,7 +255,7 @@ impl LocalRegion {
         let win_x = window.x_interval();
         // 1. one candidate segment per row: the widest free interval clipped to the window.
         let mut segs: Vec<LocalSegment> = Vec::new();
-        for row in window.y_lo.max(0)..window.y_hi.min(design.num_rows) {
+        for row in window.y_lo.max(0)..window.y_hi.min(num_rows) {
             if let Some(s) = segments.widest_in_window(row, &win_x) {
                 segs.push(LocalSegment { row, span: s.span });
             }

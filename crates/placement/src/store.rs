@@ -1,0 +1,510 @@
+//! Epoch-tagged copy-on-write store for mutable cell placement state.
+//!
+//! The parallel legalizer speculates future work against *frozen* views of the placement
+//! while the commit thread keeps mutating it. Cloning the whole [`Design`] per run (and
+//! replaying every commit into the clone) pays O(cells) up front and caps the pipeline at
+//! one in-flight snapshot; this module splits the *mutable* part of a cell — its current
+//! position and legalization flag, [`CellState`] — out of the [`Design`] into shared
+//! columns tagged by **epoch**:
+//!
+//! * [`EpochCellStore::capture`] freezes the immutable per-cell attributes (width, height,
+//!   global position, parity, fixedness) once and copies the current states as the epoch-0
+//!   **base columns**.
+//! * The commit thread records every state it writes into the **open overlay** (the write
+//!   list of the epoch in progress) via [`EpochCellStore::record`], and
+//!   [`EpochCellStore::seal_epoch`] closes it. Overlays are tiny — one entry per written
+//!   cell — so an epoch costs O(writes), not O(cells).
+//! * [`EpochCellStore::snapshot`] hands out a [`StoreSnapshot`] pinned to the last sealed
+//!   epoch. A snapshot resolves a cell's state as *the newest write tagged ≤ its epoch,
+//!   else the base column* — reads are never blocked by later writes, and no clone of the
+//!   columns is ever taken.
+//! * [`EpochCellStore::promote_through`] **promotes** retired overlays into the base
+//!   columns (keep-last fold, then truncation of the per-cell histories), keeping lookups
+//!   O(live epochs). The caller must only promote epochs no outstanding snapshot is pinned
+//!   to; snapshots assert this in debug builds.
+//!
+//! The store also mirrors the row bucketing of the legalizer's obstacle index: a movable
+//! cell that *becomes* legalized is bucketed under its rows with the epoch of that write,
+//! so [`StoreSnapshot::obstacles`] can answer "which legalized movable cells occupied rows
+//! `[y_lo, y_hi)` at my epoch" — the exact candidate query region extraction needs —
+//! without touching the live `Design`. Commits only ever shift legalized cells in x, so row
+//! membership is write-once, exactly like the live index.
+//!
+//! Interior state lives behind one [`RwLock`]; readers (speculation workers) take it
+//! briefly per query, the writer (the commit thread) per recorded state. The store is
+//! therefore `Sync` and safely shared across a scoped thread spawn without any `unsafe`.
+
+use crate::cell::{Cell, CellId};
+use crate::layout::Design;
+use std::sync::{Arc, RwLock};
+
+/// Epoch counter: `e` means "the state after `e` commit batches were sealed". Epoch 0 is
+/// the captured base.
+pub type Epoch = u32;
+
+/// The mutable placement state of one cell — everything legalization ever writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellState {
+    /// Current x position (site index, bottom-left corner).
+    pub x: i64,
+    /// Current y position (row index, bottom-left corner).
+    pub y: i64,
+    /// Whether the legalizer has committed this cell.
+    pub legalized: bool,
+}
+
+impl CellState {
+    /// The mutable state of `cell` as it currently stands.
+    pub fn of(cell: &Cell) -> Self {
+        Self {
+            x: cell.x,
+            y: cell.y,
+            legalized: cell.legalized,
+        }
+    }
+}
+
+/// The immutable per-cell attributes, captured once. Nothing in here is written by
+/// legalization (pre-move runs before capture), so snapshots share it freely.
+#[derive(Debug)]
+struct StaticCell {
+    width: i64,
+    height: i64,
+    gx: f64,
+    gy: f64,
+    fixed: bool,
+    row_parity: Option<u8>,
+}
+
+#[derive(Debug)]
+struct Statics {
+    cells: Vec<StaticCell>,
+    num_sites_x: i64,
+    num_rows: i64,
+}
+
+/// The shared columns: base state, per-cell epoch-tagged histories, per-epoch overlays and
+/// the row buckets of legalized movable cells.
+#[derive(Debug)]
+struct Columns {
+    /// State with every overlay of epoch ≤ `promoted` folded in.
+    base: Vec<CellState>,
+    /// Per-cell writes newer than `promoted`, ascending by epoch (ties resolved by
+    /// position: later entries win).
+    hist: Vec<Vec<(Epoch, CellState)>>,
+    /// Write list of each unpromoted epoch (oldest first): `(epoch, touched cell ids)`.
+    /// The open epoch's list sits at the back until sealed.
+    overlays: std::collections::VecDeque<(Epoch, Vec<CellId>)>,
+    /// Row → (cell, epoch at which it became legalized); movable cells only, mirroring the
+    /// legalizer's obstacle index.
+    rows: Vec<Vec<(CellId, Epoch)>>,
+    /// Epochs ≤ this are folded into `base`.
+    promoted: Epoch,
+    /// Highest sealed epoch; snapshots pin to this.
+    sealed: Epoch,
+}
+
+impl Columns {
+    /// State of `id` as of `epoch` (newest write tagged ≤ `epoch`, else the base column).
+    fn state_at(&self, id: CellId, epoch: Epoch) -> CellState {
+        debug_assert!(
+            epoch >= self.promoted,
+            "snapshot epoch {epoch} outlived promotion {}",
+            self.promoted
+        );
+        self.hist[id.index()]
+            .iter()
+            .rev()
+            .find(|(e, _)| *e <= epoch)
+            .map(|(_, s)| *s)
+            .unwrap_or(self.base[id.index()])
+    }
+}
+
+/// Epoch-tagged copy-on-write columns for the mutable cell state of one legalization run.
+#[derive(Debug)]
+pub struct EpochCellStore {
+    statics: Arc<Statics>,
+    columns: Arc<RwLock<Columns>>,
+}
+
+impl EpochCellStore {
+    /// Capture the design's current placement state as epoch 0.
+    ///
+    /// Call after `pre_move` so the captured positions are the ones legalization reads.
+    pub fn capture(design: &Design) -> Self {
+        let statics = Statics {
+            cells: design
+                .cells
+                .iter()
+                .map(|c| StaticCell {
+                    width: c.width,
+                    height: c.height,
+                    gx: c.gx,
+                    gy: c.gy,
+                    fixed: c.fixed,
+                    row_parity: c.row_parity,
+                })
+                .collect(),
+            num_sites_x: design.num_sites_x,
+            num_rows: design.num_rows,
+        };
+        let mut rows = vec![Vec::new(); design.num_rows.max(0) as usize];
+        for c in design.cells.iter().filter(|c| !c.fixed && c.legalized) {
+            bucket_rows(&mut rows, c.id, c.y, c.height, design.num_rows, 0);
+        }
+        let columns = Columns {
+            base: design.cells.iter().map(CellState::of).collect(),
+            hist: vec![Vec::new(); design.cells.len()],
+            overlays: std::collections::VecDeque::new(),
+            rows,
+            promoted: 0,
+            sealed: 0,
+        };
+        Self {
+            statics: Arc::new(statics),
+            columns: Arc::new(RwLock::new(columns)),
+        }
+    }
+
+    /// Record a committed state into the open overlay (the epoch that
+    /// [`EpochCellStore::seal_epoch`] will close as `sealed + 1`).
+    ///
+    /// A cell transitioning to `legalized` is also bucketed under its rows with the open
+    /// epoch, making it visible to [`StoreSnapshot::obstacles`] of later epochs.
+    pub fn record(&self, id: CellId, state: CellState) {
+        let mut cols = self.columns.write().expect("cell store lock poisoned");
+        let epoch = cols.sealed + 1;
+        let was_legalized = cols.state_at(id, cols.sealed).legalized
+            || cols.hist[id.index()]
+                .iter()
+                .any(|(e, s)| *e == epoch && s.legalized);
+        match cols.overlays.back_mut() {
+            Some((e, ids)) if *e == epoch => ids.push(id),
+            _ => cols.overlays.push_back((epoch, vec![id])),
+        }
+        cols.hist[id.index()].push((epoch, state));
+        if state.legalized && !was_legalized {
+            let c = &self.statics.cells[id.index()];
+            let (height, num_rows) = (c.height, self.statics.num_rows);
+            let Columns { rows, .. } = &mut *cols;
+            bucket_rows(rows, id, state.y, height, num_rows, epoch);
+        }
+    }
+
+    /// Seal the open overlay; returns the epoch it became. Subsequent
+    /// [`EpochCellStore::snapshot`] calls see every state recorded so far.
+    pub fn seal_epoch(&self) -> Epoch {
+        let mut cols = self.columns.write().expect("cell store lock poisoned");
+        cols.sealed += 1;
+        cols.sealed
+    }
+
+    /// The last sealed epoch.
+    pub fn sealed_epoch(&self) -> Epoch {
+        self.columns
+            .read()
+            .expect("cell store lock poisoned")
+            .sealed
+    }
+
+    /// A read-only view pinned to the last sealed epoch. Snapshots are cheap (two `Arc`
+    /// clones), `Send + Sync`, and stay exact until an epoch they are pinned to is
+    /// promoted — the caller must promote only epochs no live snapshot needs.
+    pub fn snapshot(&self) -> StoreSnapshot {
+        StoreSnapshot {
+            statics: Arc::clone(&self.statics),
+            columns: Arc::clone(&self.columns),
+            epoch: self.sealed_epoch(),
+        }
+    }
+
+    /// Promote every sealed overlay of epoch ≤ `epoch` into the base columns: fold the
+    /// newest promoted write of each touched cell into its base slot and drop the folded
+    /// history entries. Keeps per-lookup cost bounded by the number of *live* epochs.
+    pub fn promote_through(&self, epoch: Epoch) {
+        let mut cols = self.columns.write().expect("cell store lock poisoned");
+        let epoch = epoch.min(cols.sealed);
+        while let Some((e, _)) = cols.overlays.front() {
+            let e = *e;
+            if e > epoch {
+                break;
+            }
+            let (_, ids) = cols.overlays.pop_front().expect("checked front");
+            for id in ids {
+                let hist = &mut cols.hist[id.index()];
+                // keep-last fold of this cell's writes at epoch `e` (the overlay may list a
+                // cell several times; histories are epoch-ascending so a partition point
+                // separates promoted entries from live ones)
+                let keep_from = hist.partition_point(|(he, _)| *he <= e);
+                if keep_from > 0 {
+                    let folded = hist[keep_from - 1].1;
+                    hist.drain(..keep_from);
+                    cols.base[id.index()] = folded;
+                }
+            }
+            cols.promoted = e;
+        }
+    }
+
+    /// Lowest epoch that is still unpromoted data (for tests/diagnostics).
+    pub fn promoted_epoch(&self) -> Epoch {
+        self.columns
+            .read()
+            .expect("cell store lock poisoned")
+            .promoted
+    }
+}
+
+/// Bucket a newly legalized cell under the rows it spans (clamped to the die), tagged with
+/// the epoch of the write — the same clamping the live obstacle index applies.
+fn bucket_rows(
+    rows: &mut [Vec<(CellId, Epoch)>],
+    id: CellId,
+    y: i64,
+    height: i64,
+    num_rows: i64,
+    epoch: Epoch,
+) {
+    for row in y.max(0)..(y + height).min(num_rows) {
+        rows[row as usize].push((id, epoch));
+    }
+}
+
+/// A read-only view of the store pinned to one sealed epoch. Cheap to clone and to send to
+/// worker threads; every query materializes plain [`Cell`] values so callers never hold the
+/// store lock across their own work.
+#[derive(Debug, Clone)]
+pub struct StoreSnapshot {
+    statics: Arc<Statics>,
+    columns: Arc<RwLock<Columns>>,
+    epoch: Epoch,
+}
+
+impl StoreSnapshot {
+    /// The epoch this snapshot is pinned to.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Die width in sites.
+    pub fn num_sites_x(&self) -> i64 {
+        self.statics.num_sites_x
+    }
+
+    /// Die height in rows.
+    pub fn num_rows(&self) -> i64 {
+        self.statics.num_rows
+    }
+
+    /// Materialize `id` as a [`Cell`] with its state as of this snapshot's epoch.
+    pub fn cell(&self, id: CellId) -> Cell {
+        let cols = self.columns.read().expect("cell store lock poisoned");
+        self.materialize(id, &cols)
+    }
+
+    /// The mutable state of `id` as of this snapshot's epoch.
+    pub fn state(&self, id: CellId) -> CellState {
+        self.columns
+            .read()
+            .expect("cell store lock poisoned")
+            .state_at(id, self.epoch)
+    }
+
+    /// Materialize every movable cell that was legalized (at this epoch) and occupies any
+    /// row of `[y_lo, y_hi)`, excluding `exclude`, deduplicated and sorted by id — exactly
+    /// the obstacle-candidate query (and order) of the live legalizer's row index.
+    pub fn obstacles(&self, y_lo: i64, y_hi: i64, exclude: CellId) -> Vec<Cell> {
+        let cols = self.columns.read().expect("cell store lock poisoned");
+        let mut ids: Vec<CellId> = Vec::new();
+        for row in y_lo.max(0)..y_hi.min(self.statics.num_rows) {
+            ids.extend(
+                cols.rows[row as usize]
+                    .iter()
+                    .filter(|(_, e)| *e <= self.epoch)
+                    .map(|(id, _)| *id),
+            );
+        }
+        ids.sort_by_key(|id| id.0);
+        ids.dedup();
+        ids.into_iter()
+            .filter(|&id| id != exclude)
+            .map(|id| self.materialize(id, &cols))
+            .collect()
+    }
+
+    fn materialize(&self, id: CellId, cols: &Columns) -> Cell {
+        let s = cols.state_at(id, self.epoch);
+        let c = &self.statics.cells[id.index()];
+        Cell {
+            id,
+            width: c.width,
+            height: c.height,
+            gx: c.gx,
+            gy: c.gy,
+            x: s.x,
+            y: s.y,
+            fixed: c.fixed,
+            legalized: s.legalized,
+            row_parity: c.row_parity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 40×4 design: one legalized cell, one fixed macro, two unlegalized cells.
+    fn design() -> Design {
+        let mut d = Design::new("store", 40, 4);
+        let mut a = Cell::movable(CellId(0), 4, 1, 2.0, 1.0);
+        a.x = 2;
+        a.y = 1;
+        a.legalized = true;
+        d.add_cell(a);
+        d.add_cell(Cell::fixed(CellId(0), 5, 2, 20, 0));
+        d.add_cell(Cell::movable(CellId(0), 3, 2, 10.0, 1.0));
+        d.add_cell(Cell::movable(CellId(0), 2, 1, 30.0, 3.0));
+        d
+    }
+
+    #[test]
+    fn capture_reflects_the_design_state() {
+        let d = design();
+        let store = EpochCellStore::capture(&d);
+        let snap = store.snapshot();
+        assert_eq!(snap.epoch(), 0);
+        assert_eq!(snap.num_sites_x(), 40);
+        assert_eq!(snap.num_rows(), 4);
+        for c in &d.cells {
+            assert_eq!(snap.cell(c.id), *c, "cell {} diverged at capture", c.id);
+        }
+        // only the legalized movable cell is an obstacle; the fixed macro is not indexed
+        let obs = snap.obstacles(0, 4, CellId(2));
+        assert_eq!(obs.len(), 1);
+        assert_eq!(obs[0].id, CellId(0));
+        assert!(snap.obstacles(0, 4, CellId(0)).is_empty());
+    }
+
+    #[test]
+    fn snapshots_pin_their_epoch_while_later_writes_land() {
+        let d = design();
+        let store = EpochCellStore::capture(&d);
+        let before = store.snapshot();
+
+        // epoch 1: cell 2 becomes legalized at (12, 1), cell 0 shifts to x=4
+        store.record(
+            CellId(2),
+            CellState {
+                x: 12,
+                y: 1,
+                legalized: true,
+            },
+        );
+        store.record(
+            CellId(0),
+            CellState {
+                x: 4,
+                y: 1,
+                legalized: true,
+            },
+        );
+        assert_eq!(store.seal_epoch(), 1);
+        let after = store.snapshot();
+
+        // the old snapshot still sees epoch 0
+        assert_eq!(before.state(CellId(0)).x, 2);
+        assert!(!before.state(CellId(2)).legalized);
+        assert_eq!(before.obstacles(0, 4, CellId(3)).len(), 1);
+
+        // the new snapshot sees both writes, obstacles sorted by id
+        assert_eq!(after.state(CellId(0)).x, 4);
+        let obs = after.obstacles(0, 4, CellId(3));
+        assert_eq!(
+            obs.iter().map(|c| c.id).collect::<Vec<_>>(),
+            vec![CellId(0), CellId(2)]
+        );
+        assert_eq!(obs[1].x, 12);
+    }
+
+    #[test]
+    fn keep_last_write_wins_within_and_across_epochs() {
+        let d = design();
+        let store = EpochCellStore::capture(&d);
+        let mv = |x| CellState {
+            x,
+            y: 1,
+            legalized: true,
+        };
+        store.record(CellId(0), mv(5));
+        store.record(CellId(0), mv(6));
+        store.seal_epoch();
+        let e1 = store.snapshot();
+        store.record(CellId(0), mv(9));
+        store.seal_epoch();
+        let e2 = store.snapshot();
+        assert_eq!(e1.state(CellId(0)).x, 6);
+        assert_eq!(e2.state(CellId(0)).x, 9);
+        // a multi-row cell never re-buckets: cell 0 appears once per row it spans
+        let obs = e2.obstacles(1, 2, CellId(3));
+        assert_eq!(obs.len(), 1);
+        assert_eq!(obs[0].x, 9);
+    }
+
+    #[test]
+    fn promotion_folds_retired_epochs_and_preserves_later_snapshots() {
+        let d = design();
+        let store = EpochCellStore::capture(&d);
+        let mv = |x| CellState {
+            x,
+            y: 1,
+            legalized: true,
+        };
+        store.record(CellId(0), mv(5));
+        store.seal_epoch();
+        store.record(
+            CellId(2),
+            CellState {
+                x: 12,
+                y: 1,
+                legalized: true,
+            },
+        );
+        store.seal_epoch();
+        let live = store.snapshot(); // epoch 2
+
+        store.promote_through(1);
+        assert_eq!(store.promoted_epoch(), 1);
+        // the epoch-2 snapshot is unaffected by folding epoch 1 into the base
+        assert_eq!(live.state(CellId(0)).x, 5);
+        assert_eq!(live.obstacles(1, 2, CellId(3)).len(), 2);
+
+        store.promote_through(2);
+        assert_eq!(store.promoted_epoch(), 2);
+        assert_eq!(live.state(CellId(2)).x, 12);
+        // promotion never runs ahead of sealing
+        store.promote_through(99);
+        assert_eq!(store.promoted_epoch(), 2);
+    }
+
+    #[test]
+    fn row_bucketing_clamps_to_the_die() {
+        let mut d = Design::new("clamp", 20, 3);
+        d.add_cell(Cell::movable(CellId(0), 2, 2, 0.0, 0.0));
+        let store = EpochCellStore::capture(&d);
+        // legalize partially below row 0 and spanning past the top: rows are clamped
+        store.record(
+            CellId(0),
+            CellState {
+                x: 1,
+                y: -1,
+                legalized: true,
+            },
+        );
+        store.seal_epoch();
+        let snap = store.snapshot();
+        assert_eq!(snap.obstacles(0, 3, CellId(1)).len(), 1);
+        assert_eq!(snap.obstacles(1, 3, CellId(1)).len(), 0);
+    }
+}

@@ -1,8 +1,9 @@
 //! Property-based tests for the parallel region-sharded MGL engine: legality of every
 //! legalizer on random benchmarks, and determinism of serial vs. parallel legalization
-//! across the full {pipelined on/off} × {ordering strategy} × {thread count} matrix —
-//! including the FLEX default dynamic (sliding-window density) ordering, which previously
-//! degraded to serial and could not be covered at all.
+//! across the full {pipeline depth} × {ordering strategy} × {thread count} matrix —
+//! including the FLEX default dynamic (sliding-window density) ordering and pipeline
+//! depths above 2, where several speculation batches are in flight against distinct
+//! epoch snapshots of the copy-on-write cell store.
 
 use flex::baselines::cpu::CpuLegalizer;
 use flex::mgl::parallel::ParallelMglLegalizer;
@@ -94,14 +95,15 @@ proptest! {
         }
     }
 
-    /// The full engine matrix: {pipelined on/off} × {natural, size-descending,
+    /// The full engine matrix: {pipeline depth 1–4} × {natural, size-descending,
     /// sliding-window-density} orderings × thread counts, asserting **cell-for-cell**
-    /// equality with the serial legalizer run under the same configuration. The dynamic
-    /// ordering rows prove the peeked-prefix speculation reproduces the live sliding-window
-    /// order exactly (no orphaned speculations), which was untestable while the engine
-    /// degraded to serial for that configuration.
+    /// equality with the serial legalizer run under the same configuration. Depth 1 is
+    /// the barrier engine (no speculation across batches); depth 2 is the classic
+    /// double-buffered pipeline; depths 3 and 4 keep several batches speculating against
+    /// distinct epoch snapshots, so these rows prove the per-slot write-rect staleness
+    /// guard and the epoch store's promotion logic preserve serial bit-exactness.
     #[test]
-    fn pipelining_ordering_thread_matrix_is_serial_identical(
+    fn pipeline_depth_ordering_thread_matrix_is_serial_identical(
         seed in 0u64..10_000,
         density in 0.35f64..0.75,
         threads in 1usize..6,
@@ -125,19 +127,19 @@ proptest! {
             let serial = MglLegalizer::new(cfg.clone()).legalize(&mut d_serial);
             let serial_pos = positions(&d_serial);
 
-            for pipelined in [true, false] {
+            for depth in [1usize, 2, 3, 4] {
                 let mut d_par = generate(&spec);
                 let par = ParallelMglLegalizer::new(threads, cfg.clone())
-                    .with_pipelining(pipelined)
+                    .with_pipeline_depth(depth)
                     .legalize(&mut d_par);
                 prop_assert_eq!(par.result.legal, serial.legal);
                 prop_assert_eq!(
                     &serial_pos,
                     &positions(&d_par),
-                    "placements diverged: seed {} ordering {:?} pipelined {} threads {}",
+                    "placements diverged: seed {} ordering {:?} depth {} threads {}",
                     seed,
                     ordering,
-                    pipelined,
+                    depth,
                     threads
                 );
                 prop_assert_eq!(par.result.placed_in_region, serial.placed_in_region);
@@ -146,14 +148,14 @@ proptest! {
                 prop_assert_eq!(
                     par.result.average_displacement.to_bits(),
                     serial.average_displacement.to_bits(),
-                    "S_am must be byte-identical (seed {seed} ordering {ordering:?})"
+                    "S_am must be byte-identical (seed {seed} ordering {ordering:?} depth {depth})"
                 );
                 prop_assert_eq!(
                     par.shards.order_invalidated,
                     0,
                     "dynamic order diverged from the peek (seed {seed} ordering {ordering:?})"
                 );
-                if !pipelined {
+                if depth == 1 {
                     prop_assert_eq!(par.shards.pipelined_batches, 0);
                     prop_assert_eq!(par.shards.cross_batch_invalidated, 0);
                 }
