@@ -525,6 +525,157 @@ fn parallel_json() {
     println!("  wrote {path}");
 }
 
+/// `--eco-json`: measure the resident incremental ECO engine's per-delta latency on the
+/// acceptance-scale design and write `BENCH_eco.json`. The gate is the paper-motivated
+/// service bound: a `MoveCell` ECO on a 50k-cell design must re-legalize in under 1 ms at
+/// the median, with zero full index/density rebuilds.
+fn eco_json() {
+    use flex_eco::{DeltaKind, EcoDelta, EcoEngine};
+    use flex_placement::benchmark::BenchmarkSpec;
+    use flex_placement::cell::CellId;
+    use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+    let cells: usize = std::env::var("FLEX_BENCH_ECO_CELLS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50_000);
+    let deltas: usize = std::env::var("FLEX_BENCH_ECO_DELTAS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000);
+    let spec = BenchmarkSpec {
+        num_cells: cells,
+        ..BenchmarkSpec::medium("eco-latency", 42)
+    }
+    .with_density(0.45);
+
+    println!("--- resident ECO engine: per-delta latency ({cells} cells, {deltas} deltas) ---");
+    let design = generate(&spec);
+    let sites = design.num_sites_x;
+    let rows = design.num_rows;
+    let start = std::time::Instant::now();
+    let mut engine =
+        EcoEngine::legalize_and_build(design, MglConfig::default()).expect("bootstrap legalize");
+    let warmup_s = start.elapsed().as_secs_f64();
+    println!("  bootstrap legalize + warm structures: {warmup_s:.2} s");
+
+    // live-id tracking keeps every generated delta valid, so the latency samples measure
+    // re-legalization work, not validation rejections
+    let mut live: Vec<CellId> = engine
+        .design()
+        .cells
+        .iter()
+        .filter(|c| !c.fixed)
+        .map(|c| c.id)
+        .collect();
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut lat: [Vec<f64>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+    for _ in 0..deltas {
+        let gx = rng.random::<f64>() * sites as f64;
+        let gy = rng.random::<f64>() * rows as f64;
+        let at = rng.next_below(live.len() as u64) as usize;
+        let roll = rng.next_below(100);
+        let delta = if roll < 80 {
+            EcoDelta::MoveCell {
+                id: live[at],
+                gx,
+                gy,
+            }
+        } else if roll < 88 {
+            EcoDelta::InsertCell {
+                width: 2 + rng.next_below(6) as i64,
+                height: 1 + rng.next_below(2) as i64,
+                gx,
+                gy,
+            }
+        } else if roll < 96 {
+            EcoDelta::ResizeCell {
+                id: live[at],
+                width: 2 + rng.next_below(6) as i64,
+                height: 1 + rng.next_below(2) as i64,
+            }
+        } else {
+            EcoDelta::RemoveCell { id: live[at] }
+        };
+        let kind = delta.kind();
+        let report = engine
+            .apply(std::slice::from_ref(&delta))
+            .expect("valid delta");
+        lat[kind.index()].push(report.micros());
+        match delta {
+            EcoDelta::RemoveCell { .. } => {
+                live.swap_remove(at);
+            }
+            EcoDelta::InsertCell { .. } => {
+                let o = &report.outcomes[0];
+                if o.placed != flex_eco::PlacedKind::Failed {
+                    live.push(o.cell);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let pct = |sorted: &[f64], p: f64| -> f64 {
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    };
+    let legal_after = engine.check_legal();
+    let stats = engine.stats();
+    let mut kinds_json = String::new();
+    let mut move_p50 = 0.0f64;
+    for kind in DeltaKind::ALL {
+        let samples = &mut lat[kind.index()];
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let (p50, p99) = (pct(samples, 0.50), pct(samples, 0.99));
+        let mean = if samples.is_empty() {
+            0.0
+        } else {
+            samples.iter().sum::<f64>() / samples.len() as f64
+        };
+        if kind == DeltaKind::Move {
+            move_p50 = p50;
+        }
+        println!(
+            "  {:<7} n={:<6} p50={p50:>9.1} us   p99={p99:>9.1} us   mean={mean:>9.1} us",
+            kind.name(),
+            samples.len()
+        );
+        kinds_json.push_str(&format!(
+            "    {{\"kind\": \"{}\", \"count\": {}, \"p50_us\": {p50:.2}, \"p99_us\": {p99:.2}, \"mean_us\": {mean:.2}}}{}\n",
+            kind.name(),
+            samples.len(),
+            if kind == DeltaKind::Remove { "" } else { "," }
+        ));
+    }
+    println!(
+        "  legal_after={legal_after}  index_rebuilds={}  density_rebuilds={}  store_recaptures={}",
+        stats.index_rebuilds, stats.density_rebuilds, stats.store_recaptures
+    );
+
+    assert!(legal_after, "design must stay legal after the delta stream");
+    assert_eq!(stats.index_rebuilds, 0, "ECO must never rebuild the index");
+    assert_eq!(
+        stats.density_rebuilds, 0,
+        "ECO must never rebuild the density map"
+    );
+    assert!(
+        move_p50 < 1000.0,
+        "MoveCell p50 must stay under 1 ms at {cells} cells (got {move_p50:.1} us)"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"eco_latency\",\n  \"unit\": \"microseconds per delta\",\n  \"cells\": {cells},\n  \"deltas\": {deltas},\n  \"bootstrap_seconds\": {warmup_s:.3},\n  \"legal_after\": {legal_after},\n  \"index_rebuilds\": {},\n  \"density_rebuilds\": {},\n  \"store_recaptures\": {},\n  \"kinds\": [\n{kinds_json}  ]\n}}\n",
+        stats.index_rebuilds, stats.density_rebuilds, stats.store_recaptures
+    );
+    let path = std::env::var("FLEX_BENCH_ECO_OUT").unwrap_or_else(|_| "BENCH_eco.json".to_string());
+    std::fs::write(&path, &json).expect("write BENCH_eco.json");
+    println!("  wrote {path}");
+}
+
 fn main() {
     if std::env::args().any(|a| a == "--fop-json") {
         fop_json();
@@ -532,6 +683,10 @@ fn main() {
     }
     if std::env::args().any(|a| a == "--parallel-json") {
         parallel_json();
+        return;
+    }
+    if std::env::args().any(|a| a == "--eco-json") {
+        eco_json();
         return;
     }
     println!(

@@ -1,0 +1,171 @@
+//! `flex-eco-client`: exercise a running `flex-eco-serve` instance.
+//!
+//! Three modes: `--info` / `--stats` print the server's answer, `--shutdown` stops the
+//! server, and the default load-generator mode streams `--deltas N` random deltas at the
+//! engine and reports per-kind latency percentiles.
+
+use flex_eco::json::Json;
+use flex_eco::proto::Request;
+use flex_eco::service::EcoClient;
+use flex_eco::{DeltaKind, EcoDelta};
+use flex_placement::cell::CellId;
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: flex-eco-client --socket PATH [--deltas N] [--seed S] [--info] [--stats] [--shutdown]\n\
+         \n\
+         --socket PATH   Unix socket of a running flex-eco-serve (required)\n\
+         --deltas N      load-generator mode: send N random deltas (default 1000)\n\
+         --seed S        load-generator RNG seed (default 7)\n\
+         --info          print the server's design summary and exit\n\
+         --stats         print the server's lifetime counters and exit\n\
+         --shutdown      stop the server and exit"
+    );
+    std::process::exit(2);
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut socket: Option<String> = None;
+    let mut deltas: usize = 1000;
+    let mut seed: u64 = 7;
+    let mut mode: Option<Request> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--socket" => socket = Some(value("--socket")),
+            "--deltas" => deltas = value("--deltas").parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--info" => mode = Some(Request::Info),
+            "--stats" => mode = Some(Request::Stats),
+            "--shutdown" => mode = Some(Request::Shutdown),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage()
+            }
+        }
+    }
+    let Some(socket) = socket else { usage() };
+
+    let mut client = match EcoClient::connect(&socket) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {socket}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    if let Some(request) = mode {
+        match client.request(&request) {
+            Ok(payload) => println!("{}", String::from_utf8_lossy(&payload)),
+            Err(e) => {
+                eprintln!("request failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    // Load-generator mode: ask the server for the design shape, then stream random deltas.
+    let info = match client.request_json(&Request::Info) {
+        Ok(Ok(json)) => json,
+        Ok(Err(msg)) => {
+            eprintln!("info rejected: {msg}");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("info failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let info = info.get("info").cloned().unwrap_or(Json::Null);
+    let sites = info
+        .get("num_sites_x")
+        .and_then(Json::as_i64)
+        .unwrap_or(0)
+        .max(1);
+    let rows = info
+        .get("num_rows")
+        .and_then(Json::as_i64)
+        .unwrap_or(0)
+        .max(1);
+    let cells = info
+        .get("live_cells")
+        .and_then(Json::as_i64)
+        .unwrap_or(0)
+        .max(1) as u32;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut latencies: [Vec<f64>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+    let mut rejected = 0usize;
+    for _ in 0..deltas {
+        let gx = rng.random::<f64>() * sites as f64;
+        let gy = rng.random::<f64>() * rows as f64;
+        let id = CellId(rng.next_below(cells as u64) as u32);
+        let roll = rng.next_below(100);
+        let delta = if roll < 80 {
+            EcoDelta::MoveCell { id, gx, gy }
+        } else if roll < 88 {
+            EcoDelta::InsertCell {
+                width: 2 + rng.next_below(6) as i64,
+                height: 1 + rng.next_below(2) as i64,
+                gx,
+                gy,
+            }
+        } else if roll < 96 {
+            EcoDelta::ResizeCell {
+                id,
+                width: 2 + rng.next_below(6) as i64,
+                height: 1 + rng.next_below(2) as i64,
+            }
+        } else {
+            EcoDelta::RemoveCell { id }
+        };
+        let kind = delta.kind();
+        let start = Instant::now();
+        match client.request_json(&Request::Apply(vec![delta])) {
+            Ok(Ok(_)) => latencies[kind.index()].push(start.elapsed().as_secs_f64() * 1e6),
+            Ok(Err(_)) => rejected += 1, // e.g. a delta addressing an already-removed cell
+            Err(e) => {
+                eprintln!("apply failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    println!("sent {deltas} deltas ({rejected} rejected by validation)");
+    for kind in DeltaKind::ALL {
+        let lat = &mut latencies[kind.index()];
+        lat.sort_by(|a, b| a.total_cmp(b));
+        if lat.is_empty() {
+            continue;
+        }
+        let mean = lat.iter().sum::<f64>() / lat.len() as f64;
+        println!(
+            "  {:<7} n={:<6} p50={:>8.1}us p99={:>8.1}us mean={:>8.1}us",
+            kind.name(),
+            lat.len(),
+            percentile(lat, 0.50),
+            percentile(lat, 0.99),
+            mean
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! `flex-eco-serve`: host a resident incremental legalization engine on a Unix socket.
+//!
+//! Generates a benchmark design (same generator the paper figures use), legalizes it once,
+//! then serves ECO deltas over a length-prefixed JSON protocol until a client sends
+//! `{"op":"shutdown"}`.
+
+use flex_eco::service::EcoServer;
+use flex_eco::EcoEngine;
+use flex_mgl::config::MglConfig;
+use flex_placement::benchmark::{generate, BenchmarkSpec};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: flex-eco-serve --socket PATH [--cells N] [--seed S] [--density D] [--queue N] [--no-validate]\n\
+         \n\
+         --socket PATH   Unix socket to listen on (required)\n\
+         --cells N       movable cells in the generated design (default 50000)\n\
+         --seed S        benchmark generator seed (default 42)\n\
+         --density D     target design density (default 0.45)\n\
+         --queue N       request queue bound (default 1024)\n\
+         --no-validate   skip Design::validate_invariants at the batch boundary"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut socket: Option<String> = None;
+    let mut cells: usize = 50_000;
+    let mut seed: u64 = 42;
+    let mut density: f64 = 0.45;
+    let mut queue: usize = 1024;
+    let mut validate = true;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--socket" => socket = Some(value("--socket")),
+            "--cells" => cells = value("--cells").parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--density" => density = value("--density").parse().unwrap_or_else(|_| usage()),
+            "--queue" => queue = value("--queue").parse().unwrap_or_else(|_| usage()),
+            "--no-validate" => validate = false,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage()
+            }
+        }
+    }
+    let Some(socket) = socket else { usage() };
+
+    let spec = BenchmarkSpec {
+        num_cells: cells,
+        ..BenchmarkSpec::medium("eco-serve", seed)
+    }
+    .with_density(density);
+    eprintln!("generating {cells}-cell design (seed {seed}, density {density}) ...");
+    let design = generate(&spec);
+
+    eprintln!("legalizing and warming acceleration structures ...");
+    let engine = match EcoEngine::legalize_and_build(design, MglConfig::default()) {
+        Ok(engine) => engine.with_boundary_validation(validate),
+        Err(e) => {
+            eprintln!("failed to build resident engine: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let handle = match EcoServer::start(engine, &socket, queue.max(1)) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("failed to bind {socket}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {socket}");
+
+    let engine = handle.join();
+    let stats = engine.stats();
+    eprintln!(
+        "shutdown: {} deltas in {} batches ({} fallbacks, {} failed), legal={}",
+        stats.total_applied(),
+        stats.batches,
+        stats.fallbacks,
+        stats.failed,
+        engine.check_legal()
+    );
+}

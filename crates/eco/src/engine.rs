@@ -1,0 +1,467 @@
+//! The resident incremental ECO engine.
+//!
+//! [`EcoEngine`] takes ownership of a *legalized* [`Design`] together with the warm state a
+//! full legalization run builds once and then throws away: the [`SegmentMap`] (fixed
+//! obstacles — never invalidated by movable-cell deltas), the row-bucketed
+//! [`LegalizedIndex`], the [`DensityMap`] and the epoch-tagged [`EpochCellStore`]. An
+//! [`EcoDelta`] then costs only its *disturbed neighborhood*: the target is re-seeded with
+//! the per-cell pre-move, planned through the existing expanding-window FOP machinery
+//! ([`plan_place_target_with`]), and committed with point updates to the index
+//! ([`LegalizedIndex::insert_cell`] / [`LegalizedIndex::remove_cell`]) and density map
+//! ([`DensityMap::apply_move`]) — never a full rebuild ([`EcoStats::index_rebuilds`] and
+//! [`EcoStats::density_rebuilds`] stay 0 by construction).
+//!
+//! Batches are validated up front: a rejected batch leaves the resident state untouched. A
+//! delta that validates but finds no feasible position is rolled back individually and
+//! reported as [`PlacedKind::Failed`].
+
+use crate::delta::{DeltaKind, DeltaOutcome, EcoDelta, EcoError, EcoReport, EcoStats, PlacedKind};
+use flex_mgl::config::MglConfig;
+use flex_mgl::fop::FopScratch;
+use flex_mgl::legalize::{apply_commit, plan_place_target_with, MglLegalizer, PlacementDecision};
+use flex_mgl::region::{target_window, LegalizedIndex};
+use flex_mgl::stats::FopOpStats;
+use flex_placement::cell::{Cell, CellId};
+use flex_placement::density::DensityMap;
+use flex_placement::geom::Rect;
+use flex_placement::layout::Design;
+use flex_placement::legality::check_legality_with;
+use flex_placement::segment::SegmentMap;
+use flex_placement::store::{CellState, EpochCellStore};
+use std::time::Instant;
+
+/// A long-lived legalization session answering incremental deltas. See the module docs.
+#[derive(Debug)]
+pub struct EcoEngine {
+    design: Design,
+    cfg: MglConfig,
+    validate_boundary: bool,
+    segmap: SegmentMap,
+    index: LegalizedIndex,
+    density: DensityMap,
+    store: EpochCellStore,
+    scratch: FopScratch,
+    op_stats: FopOpStats,
+    stats: EcoStats,
+}
+
+/// Whether a cell slot is a removal tombstone (see `Design::tombstone_cell`).
+fn is_tombstone(c: &Cell) -> bool {
+    c.fixed && c.width == 0 && c.height == 0
+}
+
+impl EcoEngine {
+    /// Build a resident engine over an already-legalized design: every movable cell must
+    /// carry the `legalized` flag and the placement must pass the full legality check.
+    pub fn new(design: Design, cfg: MglConfig) -> Result<Self, EcoError> {
+        if !check_legality_with(&design, true).is_legal() {
+            return Err(EcoError::InvariantViolation(
+                "design handed to EcoEngine::new is not legal".to_string(),
+            ));
+        }
+        design
+            .validate_invariants()
+            .map_err(EcoError::InvariantViolation)?;
+        let segmap = SegmentMap::build(&design);
+        let index = LegalizedIndex::build(&design);
+        let density = DensityMap::build(&design, cfg.density_bin_sites, cfg.density_bin_rows);
+        let store = EpochCellStore::capture(&design);
+        Ok(Self {
+            design,
+            cfg,
+            validate_boundary: true,
+            segmap,
+            index,
+            density,
+            store,
+            scratch: FopScratch::new(),
+            op_stats: FopOpStats::default(),
+            stats: EcoStats::default(),
+        })
+    }
+
+    /// Convenience bootstrap: run the full serial legalizer on `design` first, then build
+    /// the resident engine on the result. Returns the engine and the legalization's
+    /// reported legality (the engine itself requires it to be `true`).
+    pub fn legalize_and_build(mut design: Design, cfg: MglConfig) -> Result<Self, EcoError> {
+        let result = MglLegalizer::new(cfg.clone()).legalize(&mut design);
+        if !result.legal {
+            return Err(EcoError::InvariantViolation(format!(
+                "bootstrap legalization failed for {} cells",
+                result.failed.len()
+            )));
+        }
+        Self::new(design, cfg)
+    }
+
+    /// Enable or disable the post-batch `Design::validate_invariants` boundary check
+    /// (enabled by default; the service maps `FlexConfig::eco_validate_boundary` here).
+    pub fn with_boundary_validation(mut self, validate: bool) -> Self {
+        self.validate_boundary = validate;
+        self
+    }
+
+    /// The resident design.
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &MglConfig {
+        &self.cfg
+    }
+
+    /// The warm obstacle index (tests compare it against a full rebuild).
+    pub fn index(&self) -> &LegalizedIndex {
+        &self.index
+    }
+
+    /// The warm density map (tests compare it against a full rebuild).
+    pub fn density(&self) -> &DensityMap {
+        &self.density
+    }
+
+    /// The warm epoch store; each non-structural batch seals one epoch here.
+    pub fn store(&self) -> &EpochCellStore {
+        &self.store
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> &EcoStats {
+        &self.stats
+    }
+
+    /// Run the full legality check over the resident design.
+    pub fn check_legal(&self) -> bool {
+        check_legality_with(&self.design, true).is_legal()
+    }
+
+    /// Number of live (non-tombstoned) movable cells.
+    pub fn live_cells(&self) -> usize {
+        self.design
+            .cells
+            .iter()
+            .filter(|c| !c.fixed && !is_tombstone(c))
+            .count()
+    }
+
+    /// Validate a batch against the resident design without mutating anything, simulating
+    /// the ids inserts would allocate and the removals earlier deltas in the batch perform.
+    fn validate(&self, deltas: &[EcoDelta]) -> Result<(), EcoError> {
+        let mut num_cells = self.design.cells.len();
+        let mut removed_in_batch: Vec<CellId> = Vec::new();
+        let check_target = |id: CellId, num_cells: usize, removed: &[CellId]| {
+            if id.index() >= num_cells {
+                return Err(EcoError::UnknownCell(id));
+            }
+            if removed.contains(&id) {
+                return Err(EcoError::RemovedCell(id));
+            }
+            if let Some(c) = self.design.cells.get(id.index()) {
+                if is_tombstone(c) {
+                    return Err(EcoError::RemovedCell(id));
+                }
+                if c.fixed {
+                    return Err(EcoError::FixedCell(id));
+                }
+            }
+            Ok(())
+        };
+        let check_dims = |width: i64, height: i64| {
+            if width <= 0
+                || height <= 0
+                || width > self.design.num_sites_x
+                || height > self.design.num_rows
+            {
+                Err(EcoError::BadDimensions { width, height })
+            } else {
+                Ok(())
+            }
+        };
+        for delta in deltas {
+            match delta {
+                EcoDelta::MoveCell { id, .. } => check_target(*id, num_cells, &removed_in_batch)?,
+                EcoDelta::InsertCell { width, height, .. } => {
+                    check_dims(*width, *height)?;
+                    num_cells += 1;
+                }
+                EcoDelta::ResizeCell { id, width, height } => {
+                    check_target(*id, num_cells, &removed_in_batch)?;
+                    check_dims(*width, *height)?;
+                }
+                EcoDelta::RemoveCell { id } => {
+                    check_target(*id, num_cells, &removed_in_batch)?;
+                    removed_in_batch.push(*id);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply one delta batch. Validation errors reject the batch up front (no state
+    /// changes); individual deltas with no feasible position are rolled back and counted in
+    /// [`EcoReport::failed`]. Everything else updates the resident design, index, density
+    /// map and epoch store incrementally.
+    pub fn apply(&mut self, deltas: &[EcoDelta]) -> Result<EcoReport, EcoError> {
+        let start = Instant::now();
+        self.validate(deltas)?;
+
+        let mut outcomes = Vec::with_capacity(deltas.len());
+        let mut recorded: Vec<(CellId, CellState)> = Vec::new();
+        let mut structural = false;
+        let mut displacement_delta = 0.0f64;
+
+        for delta in deltas {
+            let outcome = match delta {
+                EcoDelta::MoveCell { id, gx, gy } => self.relegalize_target(
+                    *id,
+                    DeltaKind::Move,
+                    &mut recorded,
+                    &mut displacement_delta,
+                    |c| {
+                        c.gx = *gx;
+                        c.gy = *gy;
+                    },
+                ),
+                EcoDelta::InsertCell {
+                    width,
+                    height,
+                    gx,
+                    gy,
+                } => {
+                    structural = true;
+                    let id =
+                        self.design
+                            .add_cell(Cell::movable(CellId(0), *width, *height, *gx, *gy));
+                    let outcome = self.relegalize_target(
+                        id,
+                        DeltaKind::Insert,
+                        &mut recorded,
+                        &mut displacement_delta,
+                        |_| {},
+                    );
+                    if outcome.placed == PlacedKind::Failed {
+                        // the cell was appended by this delta and never entered the index or
+                        // density map: un-append it so the id is not burned
+                        self.design.cells.pop();
+                    }
+                    outcome
+                }
+                EcoDelta::ResizeCell { id, width, height } => {
+                    structural = true;
+                    self.relegalize_target(
+                        *id,
+                        DeltaKind::Resize,
+                        &mut recorded,
+                        &mut displacement_delta,
+                        |c| {
+                            c.width = *width;
+                            c.height = *height;
+                            c.row_parity = if height % 2 == 0 {
+                                Some((c.gy.round() as i64).rem_euclid(2) as u8)
+                            } else {
+                                None
+                            };
+                        },
+                    )
+                }
+                EcoDelta::RemoveCell { id } => {
+                    structural = true;
+                    let c = self.design.cell(*id);
+                    let (old_rect, old_y, old_h, old_disp) =
+                        (c.rect(), c.y, c.height, c.displacement());
+                    self.index.remove_cell(*id, old_y, old_h);
+                    self.density.remove_rect(&old_rect);
+                    self.design.tombstone_cell(*id);
+                    displacement_delta -= old_disp;
+                    self.stats.applied[DeltaKind::Remove.index()] += 1;
+                    DeltaOutcome {
+                        cell: *id,
+                        kind: DeltaKind::Remove,
+                        placed: PlacedKind::NotNeeded,
+                        cells_touched: 1,
+                        disturbed: vec![old_rect],
+                    }
+                }
+            };
+            outcomes.push(outcome);
+        }
+
+        // keep the epoch store warm: structural deltas change the frozen statics (cell
+        // count, widths, heights, parities), so they force a re-capture; pure move batches
+        // seal one cheap overlay epoch and promote it immediately (the engine hands out no
+        // long-lived snapshots, so histories stay empty)
+        let epoch = if structural {
+            self.store = EpochCellStore::capture(&self.design);
+            self.stats.store_recaptures += 1;
+            0
+        } else {
+            for (id, state) in recorded.drain(..) {
+                self.store.record(id, state);
+            }
+            let epoch = self.store.seal_epoch();
+            self.store.promote_through(epoch);
+            epoch
+        };
+
+        if self.validate_boundary {
+            self.design
+                .validate_invariants()
+                .map_err(EcoError::InvariantViolation)?;
+        }
+
+        let cells_touched = outcomes.iter().map(|o| o.cells_touched).sum();
+        let fallbacks = outcomes
+            .iter()
+            .filter(|o| o.placed == PlacedKind::Fallback)
+            .count();
+        let failed = outcomes
+            .iter()
+            .filter(|o| o.placed == PlacedKind::Failed)
+            .count();
+        self.stats.batches += 1;
+        self.stats.fallbacks += fallbacks as u64;
+        self.stats.failed += failed as u64;
+        Ok(EcoReport {
+            outcomes,
+            cells_touched,
+            displacement_delta,
+            fallbacks,
+            failed,
+            latency: start.elapsed(),
+            epoch,
+        })
+    }
+
+    /// Shared move/insert/resize body: mutate the target with `change`, re-seed it with the
+    /// per-cell pre-move, plan through the expanding-window FOP + fallback machinery, and
+    /// commit with point updates — or roll the target back if nothing fits.
+    fn relegalize_target(
+        &mut self,
+        id: CellId,
+        kind: DeltaKind,
+        recorded: &mut Vec<(CellId, CellState)>,
+        displacement_delta: &mut f64,
+        change: impl FnOnce(&mut Cell),
+    ) -> DeltaOutcome {
+        let saved = self.design.cell(id).clone();
+        let was_placed = saved.legalized;
+        let old_rect = saved.rect();
+
+        change(self.design.cell_mut(id));
+        self.design.pre_move_cell(id);
+        if was_placed {
+            self.index.remove_cell(id, saved.y, saved.height);
+        }
+
+        let planned = plan_place_target_with(
+            &self.design,
+            &self.segmap,
+            &self.index,
+            &self.cfg,
+            id,
+            &mut self.op_stats,
+            &mut self.scratch,
+        );
+
+        if matches!(planned.decision, PlacementDecision::Fail) {
+            // roll this delta back: the slot reverts to its pre-delta cell wholesale
+            *self.design.cell_mut(id) = saved.clone();
+            if was_placed {
+                self.index.insert_cell(id, saved.y, saved.height);
+            }
+            return DeltaOutcome {
+                cell: id,
+                kind,
+                placed: PlacedKind::Failed,
+                cells_touched: 0,
+                disturbed: Vec::new(),
+            };
+        }
+
+        // the disturbed neighborhood: where the target was, the widest window planning may
+        // have searched (computed at the pre-moved position planning starts from), and the
+        // rectangles actually written
+        let mut disturbed = Vec::with_capacity(planned.writes.len() + 2);
+        if was_placed {
+            disturbed.push(old_rect);
+        }
+        disturbed.push(target_window(
+            &self.design,
+            id,
+            self.cfg.window_half_sites << self.cfg.max_window_expansions,
+            self.cfg.window_half_rows << self.cfg.max_window_expansions,
+        ));
+        disturbed.extend_from_slice(&planned.writes);
+
+        // density + displacement bookkeeping for shifted neighbors needs their pre-commit
+        // rects, so collect the moves before applying the plan
+        let mut neighbor_moves: Vec<(CellId, Rect, Rect)> = Vec::new();
+        let (placed, cells_touched) = match planned.decision {
+            PlacementDecision::Region(ref plan) => {
+                for &(mid, new_x) in &plan.moves {
+                    let mc = self.design.cell(mid);
+                    let to = Rect::new(new_x, mc.y, new_x + mc.width, mc.y + mc.height);
+                    neighbor_moves.push((mid, mc.rect(), to));
+                    *displacement_delta +=
+                        (new_x as f64 - mc.gx).abs() - (mc.x as f64 - mc.gx).abs();
+                }
+                let touched = 1 + plan.moves.len();
+                apply_commit(&mut self.design, plan);
+                (PlacedKind::Region, touched)
+            }
+            PlacementDecision::Fallback { x, row } => {
+                let t = self.design.cell_mut(id);
+                t.x = x;
+                t.y = row;
+                t.legalized = true;
+                (PlacedKind::Fallback, 1)
+            }
+            PlacementDecision::Fail => unreachable!("handled above"),
+        };
+
+        // point updates, never rebuilds: sorted-by-id index insertion keeps the warm index
+        // bucket-identical to a full rebuild, and apply_move touches only the bins the old
+        // and new extents overlap
+        let t = self.design.cell(id);
+        let (new_rect, new_y, new_h) = (t.rect(), t.y, t.height);
+        self.index.insert_cell(id, new_y, new_h);
+        if was_placed {
+            self.density.apply_move(&old_rect, &new_rect);
+        } else {
+            self.density.add_rect(&new_rect);
+        }
+        for (_, from, to) in &neighbor_moves {
+            self.density.apply_move(from, to);
+        }
+
+        // vertical displacement of the target changed too (neighbors only shift in x)
+        let before = if was_placed {
+            (saved.x as f64 - saved.gx).abs() + (saved.y as f64 - saved.gy).abs()
+        } else {
+            0.0
+        };
+        *displacement_delta += t.displacement() - before;
+
+        recorded.push((id, CellState::of(t)));
+        for (mid, _, to) in &neighbor_moves {
+            recorded.push((
+                *mid,
+                CellState {
+                    x: to.x_lo,
+                    y: to.y_lo,
+                    legalized: true,
+                },
+            ));
+        }
+
+        self.stats.applied[kind.index()] += 1;
+        DeltaOutcome {
+            cell: id,
+            kind,
+            placed,
+            cells_touched,
+            disturbed,
+        }
+    }
+}

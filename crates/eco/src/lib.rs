@@ -1,0 +1,34 @@
+//! Legalization as a service: a resident incremental ECO engine.
+//!
+//! Batch legalization (the `flex-mgl` crate) answers "make this whole placement legal".
+//! During engineering change orders the question is different: the design is *already*
+//! legal, a tool wants to nudge a handful of cells — move, insert, resize, remove — and
+//! wants the answer in microseconds, not a full re-run. This crate keeps a legalized
+//! design **resident**: the [`EcoEngine`] owns the design together with its warm
+//! acceleration structures (segment map, legalized index, density map, epoch cell store)
+//! and re-legalizes only the disturbed neighborhood of each delta, updating the
+//! structures point-wise instead of rebuilding them.
+//!
+//! The service layer ([`EcoServer`]/[`EcoClient`]) puts that engine behind a
+//! Unix-domain socket with a length-prefixed JSON protocol, so external tools can hold a
+//! session open and stream deltas at it. See `flex-eco-serve --help` for the CLI.
+//!
+//! Guarantees per applied batch:
+//!
+//! - the design stays legal (the differential test suite checks this property on random
+//!   delta streams);
+//! - cells wholly outside the reported disturbed rectangles are untouched, bit for bit;
+//! - the legalized index equals a from-scratch rebuild (point mutations keep the exact
+//!   bucket ordering), and the density map tracks every rect move incrementally;
+//! - a rejected batch (validation error) mutates nothing.
+
+pub mod delta;
+pub mod engine;
+pub mod json;
+pub mod proto;
+pub mod service;
+
+pub use delta::{DeltaKind, DeltaOutcome, EcoDelta, EcoError, EcoReport, EcoStats, PlacedKind};
+pub use engine::EcoEngine;
+pub use proto::Request;
+pub use service::{EcoClient, EcoServer, ServerHandle};

@@ -1,0 +1,249 @@
+//! The Unix-domain-socket front end: N concurrent clients, one resident engine.
+//!
+//! Concurrency model: the engine is deliberately **single-resident** — legalization state
+//! (design, index, density map, scratch arena) is one mutable session, so the server never
+//! runs two batches concurrently. Instead, each accepted connection gets a reader thread
+//! that decodes frames and pushes jobs onto a bounded [`std::sync::mpsc::sync_channel`];
+//! one engine thread drains the queue in arrival order and sends each response back through
+//! the job's reply channel. Back-pressure is the queue bound (`FlexConfig::
+//! eco_queue_capacity`): when clients outpace the engine, their reader threads block on the
+//! queue rather than ballooning memory.
+//!
+//! Shutdown: a `shutdown` request raises an atomic flag, is acknowledged, and stops the
+//! engine thread; a self-connection unblocks the accept loop, which then hangs up every
+//! client connection (waking loops blocked in a read) and joins every client thread. So
+//! [`ServerHandle::join`] returning means no thread of the server is left running — it
+//! hands the resident [`EcoEngine`] back for post-shutdown inspection.
+
+use crate::delta::EcoError;
+use crate::engine::EcoEngine;
+use crate::proto::{
+    decode_request, encode_error, encode_info, encode_report, encode_stats, read_frame,
+    write_frame, Request,
+};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One queued request: the decoded payload plus the channel the response goes back on.
+struct Job {
+    request: Request,
+    reply: SyncSender<Vec<u8>>,
+}
+
+/// A running ECO server.
+pub struct EcoServer;
+
+/// Handle to a running server: join it to get the resident engine back.
+pub struct ServerHandle {
+    path: PathBuf,
+    accept: JoinHandle<()>,
+    engine: JoinHandle<EcoEngine>,
+}
+
+impl EcoServer {
+    /// Bind `path` (any stale socket file is removed first) and serve `engine` until a
+    /// `shutdown` request arrives.
+    pub fn start(
+        engine: EcoEngine,
+        path: impl AsRef<Path>,
+        queue_capacity: usize,
+    ) -> std::io::Result<ServerHandle> {
+        let path = path.as_ref().to_path_buf();
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path)?;
+        let stopping = Arc::new(AtomicBool::new(false));
+        let (job_tx, job_rx) = sync_channel::<Job>(queue_capacity.max(1));
+
+        let engine_handle = {
+            let stopping = Arc::clone(&stopping);
+            let path = path.clone();
+            std::thread::spawn(move || engine_loop(engine, job_rx, stopping, path))
+        };
+
+        let accept_handle = {
+            let stopping = Arc::clone(&stopping);
+            std::thread::spawn(move || accept_loop(listener, job_tx, stopping))
+        };
+
+        Ok(ServerHandle {
+            path,
+            accept: accept_handle,
+            engine: engine_handle,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The socket path the server is listening on.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Block until the server has fully stopped (a client sent `shutdown`) and take the
+    /// resident engine back. The socket file is removed before this returns.
+    pub fn join(self) -> EcoEngine {
+        let _ = self.accept.join();
+        let engine = self.engine.join().expect("engine thread panicked");
+        let _ = std::fs::remove_file(&self.path);
+        engine
+    }
+}
+
+/// The single engine thread: drains jobs in arrival order until shutdown.
+fn engine_loop(
+    mut engine: EcoEngine,
+    jobs: Receiver<Job>,
+    stopping: Arc<AtomicBool>,
+    path: PathBuf,
+) -> EcoEngine {
+    while let Ok(job) = jobs.recv() {
+        let (response, stop) = match job.request {
+            Request::Apply(ref deltas) => match engine.apply(deltas) {
+                Ok(report) => (encode_report(&report), false),
+                Err(e) => (encode_error(&e), false),
+            },
+            Request::Info => {
+                let d = engine.design();
+                (
+                    encode_info(
+                        &d.name,
+                        d.num_sites_x,
+                        d.num_rows,
+                        engine.live_cells(),
+                        engine.check_legal(),
+                    ),
+                    false,
+                )
+            }
+            Request::Stats => (encode_stats(engine.stats()), false),
+            Request::Shutdown => (encode_stats(engine.stats()), true),
+        };
+        if stop {
+            // raise the flag BEFORE acknowledging, so the requester's client loop sees it
+            // right after writing the reply and hangs up instead of reading another frame
+            stopping.store(true, Ordering::SeqCst);
+        }
+        let _ = job.reply.send(response);
+        if stop {
+            // unblock the accept loop with a throwaway self-connection
+            let _ = UnixStream::connect(&path);
+            break;
+        }
+    }
+    engine
+}
+
+/// Accept clients until the stop flag is raised, then hang up on every connection (client
+/// loops blocked in a read wake with EOF) and join every client thread before exiting.
+fn accept_loop(listener: UnixListener, jobs: SyncSender<Job>, stopping: Arc<AtomicBool>) {
+    let mut clients: Vec<(UnixStream, JoinHandle<()>)> = Vec::new();
+    for stream in listener.incoming() {
+        if stopping.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { break };
+        let Ok(conn) = stream.try_clone() else {
+            continue;
+        };
+        let jobs = jobs.clone();
+        let stopping = Arc::clone(&stopping);
+        let handle = std::thread::spawn(move || client_loop(stream, jobs, stopping));
+        clients.push((conn, handle));
+    }
+    for (conn, handle) in clients {
+        // shut down only the read side: a loop blocked in `read_frame` wakes with EOF,
+        // while a reply still being written (the shutdown ack itself) flushes intact
+        let _ = conn.shutdown(std::net::Shutdown::Read);
+        let _ = handle.join();
+    }
+}
+
+/// One connection: read frames, enqueue jobs, write responses, until EOF or shutdown.
+fn client_loop(stream: UnixStream, jobs: SyncSender<Job>, stopping: Arc<AtomicBool>) {
+    let mut reader = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    while let Ok(Some(payload)) = read_frame(&mut reader) {
+        let response = match decode_request(&payload) {
+            Ok(request) => {
+                let (reply_tx, reply_rx) = sync_channel::<Vec<u8>>(1);
+                if jobs
+                    .send(Job {
+                        request,
+                        reply: reply_tx,
+                    })
+                    .is_err()
+                {
+                    break; // engine stopped
+                }
+                match reply_rx.recv() {
+                    Ok(response) => response,
+                    Err(_) => break,
+                }
+            }
+            Err(msg) => encode_error(&EcoError::Protocol(msg)),
+        };
+        if write_frame(&mut writer, &response).is_err() {
+            break;
+        }
+        // after a shutdown has been acknowledged (possibly by this very reply), stop
+        // reading: the accept thread is about to join this loop and must not wait on a
+        // client that never hangs up
+        if stopping.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+}
+
+/// A blocking client for the framed protocol (used by the tests, the example client binary
+/// and the CI smoke step).
+pub struct EcoClient {
+    stream: UnixStream,
+}
+
+impl EcoClient {
+    /// Connect to a running server.
+    pub fn connect(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(Self {
+            stream: UnixStream::connect(path)?,
+        })
+    }
+
+    /// Send one request and wait for its response payload (raw JSON bytes).
+    pub fn request(&mut self, request: &Request) -> std::io::Result<Vec<u8>> {
+        write_frame(&mut self.stream, &crate::proto::encode_request(request))?;
+        read_frame(&mut self.stream)?.ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed connection",
+            )
+        })
+    }
+
+    /// Send one request and parse the response, returning the parsed JSON if `ok` is true
+    /// and the error string otherwise.
+    pub fn request_json(
+        &mut self,
+        request: &Request,
+    ) -> std::io::Result<Result<crate::json::Json, String>> {
+        let payload = self.request(request)?;
+        let text = String::from_utf8_lossy(&payload).into_owned();
+        let json = crate::json::Json::parse(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        if json.get("ok").and_then(crate::json::Json::as_bool) == Some(true) {
+            Ok(Ok(json))
+        } else {
+            Ok(Err(json
+                .get("error")
+                .and_then(crate::json::Json::as_str)
+                .unwrap_or("unknown error")
+                .to_string()))
+        }
+    }
+}

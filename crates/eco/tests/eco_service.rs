@@ -1,0 +1,146 @@
+//! End-to-end service test: a resident engine behind a Unix socket, several concurrent
+//! clients streaming deltas, a clean shutdown handing the engine back for inspection.
+
+use flex_eco::json::Json;
+use flex_eco::proto::Request;
+use flex_eco::service::{EcoClient, EcoServer};
+use flex_eco::{EcoDelta, EcoEngine};
+use flex_mgl::config::MglConfig;
+use flex_placement::benchmark::{generate, BenchmarkSpec};
+use flex_placement::cell::CellId;
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+fn temp_socket(tag: &str) -> std::path::PathBuf {
+    let pid = std::process::id();
+    std::env::temp_dir().join(format!("flex-eco-test-{tag}-{pid}.sock"))
+}
+
+#[test]
+fn concurrent_clients_share_one_resident_engine() {
+    let design = generate(&BenchmarkSpec::tiny("eco-svc", 11));
+    let engine = EcoEngine::legalize_and_build(design, MglConfig::default()).unwrap();
+    let sites = engine.design().num_sites_x;
+    let rows = engine.design().num_rows;
+    let movable: Vec<CellId> = engine
+        .design()
+        .cells
+        .iter()
+        .filter(|c| !c.fixed)
+        .map(|c| c.id)
+        .collect();
+
+    let socket = temp_socket("concurrent");
+    let handle = EcoServer::start(engine, &socket, 64).unwrap();
+
+    const CLIENTS: usize = 4;
+    const DELTAS_PER_CLIENT: usize = 250;
+    let mut workers = Vec::new();
+    for w in 0..CLIENTS {
+        let socket = socket.clone();
+        let movable = movable.clone();
+        workers.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(w as u64 + 1);
+            let mut client = EcoClient::connect(&socket).expect("connect");
+            let mut accepted = 0usize;
+            for _ in 0..DELTAS_PER_CLIENT {
+                // moves only: always valid, so every client request must succeed
+                let id = movable[rng.next_below(movable.len() as u64) as usize];
+                let delta = EcoDelta::MoveCell {
+                    id,
+                    gx: rng.random::<f64>() * sites as f64,
+                    gy: rng.random::<f64>() * rows as f64,
+                };
+                let reply = client
+                    .request_json(&Request::Apply(vec![delta]))
+                    .expect("apply io");
+                match reply {
+                    Ok(json) => {
+                        assert_eq!(
+                            json.get("report")
+                                .and_then(|r| r.get("failed"))
+                                .and_then(Json::as_i64),
+                            Some(0)
+                        );
+                        accepted += 1;
+                    }
+                    Err(msg) => panic!("move delta rejected: {msg}"),
+                }
+            }
+            accepted
+        }));
+    }
+    let accepted: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
+    assert_eq!(accepted, CLIENTS * DELTAS_PER_CLIENT);
+
+    // the stats op sees every delta exactly once across all clients
+    let mut client = EcoClient::connect(&socket).unwrap();
+    let reply = client.request_json(&Request::Stats).unwrap().unwrap();
+    let stats = reply.get("stats").expect("stats body");
+    assert_eq!(
+        stats.get("applied_move").and_then(Json::as_i64),
+        Some((CLIENTS * DELTAS_PER_CLIENT) as i64)
+    );
+    assert_eq!(stats.get("index_rebuilds").and_then(Json::as_i64), Some(0));
+    assert_eq!(
+        stats.get("density_rebuilds").and_then(Json::as_i64),
+        Some(0)
+    );
+
+    // info reflects a live, legal resident design
+    let reply = client.request_json(&Request::Info).unwrap().unwrap();
+    let info = reply.get("info").expect("info body");
+    assert_eq!(info.get("legal").and_then(Json::as_bool), Some(true));
+
+    // shutdown is acknowledged, then join() hands the engine back, still legal
+    client.request(&Request::Shutdown).unwrap();
+    let engine = handle.join();
+    assert!(!socket.exists(), "socket file must be removed on shutdown");
+    assert!(engine.check_legal());
+    assert_eq!(
+        engine.stats().total_applied(),
+        (CLIENTS * DELTAS_PER_CLIENT) as u64
+    );
+}
+
+#[test]
+fn malformed_and_invalid_requests_get_typed_errors() {
+    let design = generate(&BenchmarkSpec::tiny("eco-svc-err", 23));
+    let engine = EcoEngine::legalize_and_build(design, MglConfig::default()).unwrap();
+    let num_cells = engine.design().cells.len() as u32;
+
+    let socket = temp_socket("errors");
+    let handle = EcoServer::start(engine, &socket, 8).unwrap();
+    let mut client = EcoClient::connect(&socket).unwrap();
+
+    // malformed JSON never reaches the engine; the connection survives
+    use std::io::Write;
+    let mut raw = std::os::unix::net::UnixStream::connect(&socket).unwrap();
+    let garbage = b"{\"op\":";
+    raw.write_all(&(garbage.len() as u32).to_be_bytes())
+        .unwrap();
+    raw.write_all(garbage).unwrap();
+    raw.flush().unwrap();
+    let mut reader = raw.try_clone().unwrap();
+    let reply = flex_eco::proto::read_frame(&mut reader).unwrap().unwrap();
+    let json = Json::parse(&String::from_utf8_lossy(&reply)).unwrap();
+    assert_eq!(json.get("ok").and_then(Json::as_bool), Some(false));
+
+    // a validation error comes back typed, and the engine state is untouched
+    let reply = client
+        .request_json(&Request::Apply(vec![EcoDelta::MoveCell {
+            id: CellId(num_cells + 99),
+            gx: 0.0,
+            gy: 0.0,
+        }]))
+        .unwrap();
+    let msg = reply.expect_err("unknown cell must be rejected");
+    assert!(msg.contains("unknown cell"), "{msg}");
+
+    let reply = client.request_json(&Request::Stats).unwrap().unwrap();
+    let stats = reply.get("stats").expect("stats body");
+    assert_eq!(stats.get("batches").and_then(Json::as_i64), Some(0));
+
+    client.request(&Request::Shutdown).unwrap();
+    let engine = handle.join();
+    assert!(engine.check_legal());
+}

@@ -97,6 +97,13 @@ pub struct FlexConfig {
     /// (up to `depth − 1` batches speculating while one commits). Only meaningful with
     /// `host_pipelining`; values below 2 are raised to 2 there. Placement-neutral.
     pub host_pipeline_depth: usize,
+    /// Bound on the ECO service's request queue (`flex-eco-serve`): at most this many decoded
+    /// client requests wait for the single resident engine before accept threads block.
+    pub eco_queue_capacity: usize,
+    /// Whether the ECO service validates `Design::validate_invariants` after every structural
+    /// delta batch at the request boundary, turning a malformed client delta into a typed
+    /// error instead of corrupted resident state.
+    pub eco_validate_boundary: bool,
 }
 
 impl Default for FlexConfig {
@@ -115,6 +122,8 @@ impl Default for FlexConfig {
             host_threads: 1,
             host_pipelining: true,
             host_pipeline_depth: 2,
+            eco_queue_capacity: 1024,
+            eco_validate_boundary: true,
         }
     }
 }
@@ -196,6 +205,18 @@ impl FlexConfig {
         self
     }
 
+    /// Set the ECO service's request-queue capacity (builder style). Clamped to at least 1.
+    pub fn with_eco_queue_capacity(mut self, capacity: usize) -> Self {
+        self.eco_queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Enable or disable boundary validation in the ECO service (builder style).
+    pub fn with_eco_validation(mut self, validate: bool) -> Self {
+        self.eco_validate_boundary = validate;
+        self
+    }
+
     /// Derive the `flex-mgl` configuration that matches this accelerator configuration (used to
     /// run the functional legalization on the host and collect the work trace).
     pub fn mgl_config(&self) -> MglConfig {
@@ -259,5 +280,12 @@ mod tests {
         assert_eq!(c.assignment, TaskAssignment::FopAndUpdateOnFpga);
         assert!(!c.sacs.pipelined);
         assert_eq!(FlexConfig::default().with_pes(0).num_fop_pes, 1);
+        let e = FlexConfig::default()
+            .with_eco_queue_capacity(0)
+            .with_eco_validation(false);
+        assert_eq!(e.eco_queue_capacity, 1);
+        assert!(!e.eco_validate_boundary);
+        assert_eq!(FlexConfig::default().eco_queue_capacity, 1024);
+        assert!(FlexConfig::default().eco_validate_boundary);
     }
 }

@@ -220,6 +220,8 @@ pub fn place_target(
 ///
 /// This is the per-cell step of the serial [`MglLegalizer`]; the parallel engine
 /// ([`crate::parallel::ParallelMglLegalizer`]) reuses it for cells it cannot speculate on.
+/// Implemented as [`plan_place_target_with`] (pure) followed by
+/// [`apply_placement`] — byte-for-byte the same placements as the former fused loop.
 pub fn place_target_with(
     design: &mut Design,
     segmap: &SegmentMap,
@@ -229,6 +231,58 @@ pub fn place_target_with(
     op_stats: &mut FopOpStats,
     scratch: &mut FopScratch,
 ) -> PlaceOutcome {
+    let planned = plan_place_target_with(design, segmap, index, cfg, target, op_stats, scratch);
+    apply_placement(design, index, planned)
+}
+
+/// What [`plan_place_target_with`] decided to do with a target cell, before any design write.
+#[derive(Debug, Clone)]
+pub enum PlacementDecision {
+    /// A verified region commit: apply via [`apply_commit`].
+    Region(CommitPlan),
+    /// The whole-die fallback scan found a gap at `(x, row)`.
+    Fallback {
+        /// Left-edge site of the gap.
+        x: i64,
+        /// Bottom row of the gap.
+        row: i64,
+    },
+    /// No feasible position anywhere.
+    Fail,
+}
+
+/// A planned (not yet applied) placement of one target cell: the decision plus everything
+/// [`PlaceOutcome`] reports. `writes` is already populated — write rects must be computed
+/// against the *pre-apply* design, so the planner records them while it still sees it.
+#[derive(Debug, Clone)]
+pub struct PlannedPlacement {
+    /// The target the plan is for.
+    pub target: CellId,
+    /// What to do with it.
+    pub decision: PlacementDecision,
+    /// The window of the successful expansion, or the last window tried.
+    pub window: Rect,
+    /// Expansion level of the decisive window.
+    pub expansion: u32,
+    /// One rect per design write the decision implies (empty for [`PlacementDecision::Fail`]).
+    pub writes: Vec<Rect>,
+    /// Work counters accumulated over every evaluated expansion.
+    pub work: RegionWork,
+}
+
+/// The planning half of [`place_target_with`]: expanding-window FOP first, then the fallback
+/// scan, without touching the design or the index. The ECO engine plans against the resident
+/// state, derives the disturbed neighborhood from [`PlannedPlacement::writes`], and only then
+/// applies; the serial engine applies immediately.
+pub fn plan_place_target_with(
+    design: &Design,
+    segmap: &SegmentMap,
+    index: &LegalizedIndex,
+    cfg: &MglConfig,
+    target: CellId,
+    op_stats: &mut FopOpStats,
+    scratch: &mut FopScratch,
+) -> PlannedPlacement {
     let (width, height, gx, gy, parity) = {
         let c = design.cell(target);
         (c.width, c.height, c.gx, c.gy, c.row_parity)
@@ -271,32 +325,73 @@ pub fn place_target_with(
             if let Some(plan) = plan_commit_with(&region, &best, &spec, cfg, scratch) {
                 let mut writes = Vec::new();
                 plan_write_rects(design, &plan, &mut writes);
-                apply_commit(design, &plan);
-                index.insert(design, target);
-                return PlaceOutcome {
-                    placed: PlacedBy::Region,
+                return PlannedPlacement {
+                    target,
+                    decision: PlacementDecision::Region(plan),
                     window,
                     expansion,
                     writes,
-                    plan: Some(plan),
                     work,
                 };
             }
         }
     }
 
-    let (placed, writes) = if fallback_place_indexed(design, index, target, &spec) {
-        index.insert(design, target);
-        (PlacedBy::Fallback, vec![design.cell(target).rect()])
-    } else {
-        (PlacedBy::None, Vec::new())
+    let (decision, writes) = match find_fallback_position(design, index, target, &spec) {
+        Some((x, row)) => (
+            PlacementDecision::Fallback { x, row },
+            vec![Rect::new(x, row, x + width, row + height)],
+        ),
+        None => (PlacementDecision::Fail, Vec::new()),
     };
-    PlaceOutcome {
-        placed,
+    PlannedPlacement {
+        target,
+        decision,
         window: last_window,
         expansion: last_expansion,
         writes,
-        plan: None,
+        work,
+    }
+}
+
+/// The application half of [`place_target_with`]: write a [`PlannedPlacement`] into the
+/// design and register the target in the index. The plan must have been computed against the
+/// design's current state.
+pub fn apply_placement(
+    design: &mut Design,
+    index: &mut LegalizedIndex,
+    planned: PlannedPlacement,
+) -> PlaceOutcome {
+    let PlannedPlacement {
+        target,
+        decision,
+        window,
+        expansion,
+        writes,
+        work,
+    } = planned;
+    let (placed, plan) = match decision {
+        PlacementDecision::Region(plan) => {
+            apply_commit(design, &plan);
+            index.insert(design, target);
+            (PlacedBy::Region, Some(plan))
+        }
+        PlacementDecision::Fallback { x, row } => {
+            let t = design.cell_mut(target);
+            t.x = x;
+            t.y = row;
+            t.legalized = true;
+            index.insert(design, target);
+            (PlacedBy::Fallback, None)
+        }
+        PlacementDecision::Fail => (PlacedBy::None, None),
+    };
+    PlaceOutcome {
+        placed,
+        window,
+        expansion,
+        writes,
+        plan,
         work,
     }
 }
@@ -540,6 +635,26 @@ pub fn fallback_place_indexed(
     target: CellId,
     spec: &TargetSpec,
 ) -> bool {
+    if let Some((x, row)) = find_fallback_position(design, index, target, spec) {
+        let t = design.cell_mut(target);
+        t.x = x;
+        t.y = row;
+        t.legalized = true;
+        true
+    } else {
+        false
+    }
+}
+
+/// The search half of [`fallback_place_indexed`]: the nearest `(x, row)` where the target
+/// fits between the already-legalized cells without shifting anything, or `None` if the die
+/// has no gap for it. Pure — the caller decides whether to write the position.
+pub fn find_fallback_position(
+    design: &Design,
+    index: &LegalizedIndex,
+    target: CellId,
+    spec: &TargetSpec,
+) -> Option<(i64, i64)> {
     let (gx, gy) = (spec.gx, spec.gy);
     // free intervals per row, with the legalized movable cells of that row subtracted
     let row_free = |row: i64| -> Vec<Interval> {
@@ -602,15 +717,7 @@ pub fn fallback_place_indexed(
         }
     }
 
-    if let Some((_, x, row)) = best {
-        let t = design.cell_mut(target);
-        t.x = x;
-        t.y = row;
-        t.legalized = true;
-        true
-    } else {
-        false
-    }
+    best.map(|(_, x, row)| (x, row))
 }
 
 #[cfg(test)]

@@ -83,9 +83,12 @@ pub struct LocalRegion {
 /// [`LocalRegion::extract`].
 ///
 /// Scanning every design cell per extraction makes legalization O(n²); this index cuts the
-/// candidate set to the cells actually occupying the window's rows. Membership is write-once:
-/// a legalized cell's bottom row and height never change afterwards (commits only shift cells
-/// in x), so the index only ever needs [`LegalizedIndex::insert`] — there is no invalidation.
+/// candidate set to the cells actually occupying the window's rows. During a legalization run
+/// membership is write-once: a legalized cell's bottom row and height never change afterwards
+/// (commits only shift cells in x), so the run only needs [`LegalizedIndex::insert`]. ECO
+/// deltas do change row membership (a cell moves rows, resizes, or is removed); they use the
+/// point mutations [`LegalizedIndex::remove_cell`] / [`LegalizedIndex::insert_cell`], which
+/// keep the index equal to a full rebuild.
 #[derive(Debug, Clone)]
 pub struct LegalizedIndex {
     rows: Vec<Vec<CellId>>,
@@ -167,6 +170,33 @@ impl LegalizedIndex {
     fn insert_rows(&mut self, id: CellId, y: i64, height: i64, num_rows: i64) {
         for row in y.max(0)..(y + height).min(num_rows) {
             self.rows[row as usize].push(id);
+        }
+    }
+
+    /// Register a cell spanning rows `[y, y + height)`, keeping each row bucket identical to
+    /// what a full rebuild would produce.
+    ///
+    /// [`LegalizedIndex::build`] / [`build_serial`](LegalizedIndex::build_serial) visit cells
+    /// in design order, which is ascending-id order, so every bucket is id-sorted; inserting
+    /// at the id's sort position preserves that. O(bucket) per row — the buckets ECO touches
+    /// hold a handful of neighborhood cells, not the design.
+    pub fn insert_cell(&mut self, id: CellId, y: i64, height: i64) {
+        let num_rows = self.rows.len() as i64;
+        for row in y.max(0)..(y + height).min(num_rows) {
+            let bucket = &mut self.rows[row as usize];
+            let at = bucket.partition_point(|&other| other.0 < id.0);
+            if bucket.get(at) != Some(&id) {
+                bucket.insert(at, id);
+            }
+        }
+    }
+
+    /// Remove a cell from the buckets of rows `[y, y + height)` — the rows it occupied
+    /// *before* the mutating delta. A no-op for rows it was never registered under.
+    pub fn remove_cell(&mut self, id: CellId, y: i64, height: i64) {
+        let num_rows = self.rows.len() as i64;
+        for row in y.max(0)..(y + height).min(num_rows) {
+            self.rows[row as usize].retain(|&other| other != id);
         }
     }
 
@@ -577,6 +607,47 @@ mod tests {
                 ser.cells_in_row(row),
                 "row {row} bucket diverged (content or order)"
             );
+        }
+    }
+
+    #[test]
+    fn point_mutations_match_full_rebuild() {
+        let mut d = Design::new("idx-mut", 64, 32);
+        for i in 0..60i64 {
+            let mut c = Cell::movable(CellId(0), 4, 1 + (i % 3), 0.0, 0.0);
+            c.x = (i * 7) % 60;
+            c.y = (i * 11) % 28;
+            c.legalized = true;
+            d.add_cell(c);
+        }
+        let mut index = LegalizedIndex::build_serial(&d);
+
+        // remove a mid-id multi-row cell, move it to new rows, re-insert
+        let id = CellId(17);
+        let (old_y, h) = (d.cell(id).y, d.cell(id).height);
+        index.remove_cell(id, old_y, h);
+        d.cells[id.index()].y = (old_y + 9) % 28;
+        index.insert_cell(id, d.cell(id).y, h);
+
+        // retire another cell entirely
+        let gone = CellId(41);
+        index.remove_cell(gone, d.cell(gone).y, d.cell(gone).height);
+        d.cells[gone.index()].legalized = false;
+
+        let rebuilt = LegalizedIndex::build_serial(&d);
+        for row in 0..d.num_rows {
+            assert_eq!(
+                index.cells_in_row(row),
+                rebuilt.cells_in_row(row),
+                "row {row} bucket diverged from rebuild after point mutations"
+            );
+        }
+
+        // double-insert is idempotent, remove of unregistered rows is a no-op
+        index.insert_cell(id, d.cell(id).y, h);
+        index.remove_cell(gone, 0, d.num_rows);
+        for row in 0..d.num_rows {
+            assert_eq!(index.cells_in_row(row), rebuilt.cells_in_row(row));
         }
     }
 

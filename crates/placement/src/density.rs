@@ -21,6 +21,9 @@ pub struct DensityMap {
     bin_h: i64,
     nx: usize,
     ny: usize,
+    /// Die rectangle; every contributing rectangle is clipped to it, so area outside the
+    /// die never counts as occupancy (the last bin row/column may extend past the die).
+    die: Rect,
     /// Occupied area per bin (movable + fixed + blockage), in site·row units.
     occupied: Vec<f64>,
     /// Free capacity per bin (bin area minus fixed/blockage area).
@@ -47,16 +50,21 @@ impl DensityMap {
             bin_h,
             nx,
             ny,
+            die: design.die(),
             occupied: Vec::new(),
             capacity: Vec::new(),
         };
 
         // bucket every contributing rectangle by the bin rows it touches (design order is
         // preserved per bucket, which keeps the per-bin float accumulation order — and hence
-        // the bits — identical to the serial build)
+        // the bits — identical to the serial build); rectangles are clipped to the die the
+        // same way `splat` clips, so a cell hanging past the die edge contributes only its
+        // in-die area
+        let die = map.die;
         let mut fixed_rects: Vec<Vec<Rect>> = vec![Vec::new(); ny];
         let mut movable_rects: Vec<Vec<Rect>> = vec![Vec::new(); ny];
         let bucket = |rects: &mut Vec<Vec<Rect>>, r: Rect| {
+            let r = r.intersect(&die);
             if r.is_empty() {
                 return;
             }
@@ -76,7 +84,6 @@ impl DensityMap {
         }
 
         // one shard per bin row: capacity (die minus fixed/blockages, clamped) and occupancy
-        let die = design.die();
         let rows: Vec<usize> = (0..ny).collect();
         let bands: Vec<(Vec<f64>, Vec<f64>)> = rows
             .into_par_iter()
@@ -131,11 +138,12 @@ impl DensityMap {
             bin_h,
             nx,
             ny,
+            die: design.die(),
             occupied: vec![0.0; nx * ny],
             capacity: vec![0.0; nx * ny],
         };
         // capacity starts as the geometric bin area clipped to the die
-        let die = design.die();
+        let die = map.die;
         for by in 0..ny {
             for bx in 0..nx {
                 let r = map.bin_rect(bx, by).intersect(&die);
@@ -176,7 +184,12 @@ impl DensityMap {
         (bx0, by0, bx1, by1)
     }
 
+    /// Apply `apply` to every bin a rectangle touches, weighted by overlap area. The
+    /// rectangle is clipped to the die first: a rect that falls partially (or fully)
+    /// outside the die bounds — e.g. an ECO delta whose desired position hangs past the die
+    /// edge — only contributes its in-die area, matching what a full rebuild would count.
     fn splat(&mut self, rect: &Rect, apply: impl Fn(&mut f64, f64), to_capacity: bool) {
+        let rect = &rect.intersect(&self.die);
         if rect.is_empty() {
             return;
         }
@@ -209,7 +222,9 @@ impl DensityMap {
     /// Apply one commit delta incrementally: a movable cell moved from `old` to `new`.
     ///
     /// Equivalent to (but much cheaper than) rebuilding the map after the move; only the
-    /// bins the two rectangles touch change. This is the hook a commit-reactive ordering
+    /// bins the two rectangles touch change. Both rectangles are clipped to the die bounds
+    /// (see [`DensityMap::add_rect`]), so a rect falling partially outside the die stays
+    /// consistent with a full rebuild. This is the hook a commit-reactive ordering
     /// would use to keep a live density map; the MGL legalizers deliberately do **not**
     /// call it — their sliding-window ordering reads the pre-legalization snapshot, which
     /// is the invariant that lets the parallel engine resolve the dynamic order ahead of
@@ -359,6 +374,44 @@ mod tests {
                     (map.density_at(x, y) - rebuilt.density_at(x, y)).abs() < 1e-9,
                     "bin ({bx},{by}) diverged after apply_move"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_move_clamps_out_of_bounds_rects_to_the_die() {
+        // regression: a new rect hanging past the die edge (or fully outside) must leave the
+        // map identical to a full rebuild of the mutated design — before the clamp, the
+        // off-die slice that landed inside the last (die-overhanging) bin was double-counted
+        // relative to the capacity, which only ever counts in-die area
+        let mut d = design();
+        let mut map = DensityMap::build(&d, 10, 4);
+        let old = d.cells[0].rect();
+        // hang 6 of 10 sites past the right die edge and one row below the die
+        d.cells[0].x = 36;
+        d.cells[0].y = -1;
+        let new = d.cells[0].rect();
+        map.apply_move(&old, &new);
+        let rebuilt = DensityMap::build(&d, 10, 4);
+        let (nx, ny) = map.dims();
+        for by in 0..ny {
+            for bx in 0..nx {
+                let (x, y) = (bx as i64 * 10, by as i64 * 4);
+                assert!(
+                    (map.density_at(x, y) - rebuilt.density_at(x, y)).abs() < 1e-9,
+                    "bin ({bx},{by}) diverged after out-of-bounds apply_move"
+                );
+            }
+        }
+        // and moving it back restores the original map exactly (clip symmetry)
+        map.apply_move(&new, &old);
+        d.cells[0].x = old.x_lo;
+        d.cells[0].y = old.y_lo;
+        let restored = DensityMap::build(&d, 10, 4);
+        for by in 0..ny {
+            for bx in 0..nx {
+                let (x, y) = (bx as i64 * 10, by as i64 * 4);
+                assert!((map.density_at(x, y) - restored.density_at(x, y)).abs() < 1e-9);
             }
         }
     }

@@ -252,28 +252,119 @@ impl Design {
             if c.fixed {
                 continue;
             }
-            let max_row = (num_rows - c.height).max(0);
-            let mut row = c.gy.round() as i64;
-            row = row.clamp(0, max_row);
-            if !c.parity_ok(row) {
-                // move to the nearest row of the right parity, preferring the closer side
-                let down = row - 1;
-                let up = row + 1;
-                row = if down >= 0 && (c.gy - down as f64).abs() <= (up as f64 - c.gy).abs() {
-                    down
-                } else if up <= max_row {
-                    up
-                } else {
-                    (down).max(0)
-                };
-                row = row.clamp(0, max_row);
-            }
-            let max_x = (num_sites - c.width).max(0);
-            c.x = (c.gx.round() as i64).clamp(0, max_x);
-            c.y = row;
-            c.legalized = false;
+            pre_move_one(c, num_sites, num_rows);
         }
     }
+
+    /// Snap a single movable cell to the nearest legal-parity row and clamp it inside the
+    /// die — the per-cell step of [`Design::pre_move`]. The ECO engine uses it to re-seed a
+    /// cell whose desired position changed without disturbing any other cell. No-op for
+    /// fixed cells.
+    pub fn pre_move_cell(&mut self, id: CellId) {
+        let num_rows = self.num_rows;
+        let num_sites = self.num_sites_x;
+        let c = &mut self.cells[id.index()];
+        if !c.fixed {
+            pre_move_one(c, num_sites, num_rows);
+        }
+    }
+
+    /// Retire a movable cell in place: it becomes a zero-area fixed marker that occupies no
+    /// sites, blocks no rows and contributes nothing to legality, density or displacement.
+    ///
+    /// [`Design::cells`] is index-addressed (`cells[i].id == CellId(i)`), so a cell can
+    /// never be physically removed without renumbering every later id; an ECO
+    /// `RemoveCell` instead leaves this tombstone behind. Zero-area fixed cells are inert
+    /// everywhere by construction — an empty rect overlaps nothing, spans no rows and has
+    /// no blocked intervals — and [`Design::validate_invariants`] accepts them explicitly.
+    pub fn tombstone_cell(&mut self, id: CellId) {
+        let c = &mut self.cells[id.index()];
+        c.width = 0;
+        c.height = 0;
+        c.fixed = true;
+        c.legalized = true;
+        c.row_parity = None;
+        // zero displacement so metrics over the full cell vector stay unaffected
+        c.gx = c.x as f64;
+        c.gy = c.y as f64;
+    }
+
+    /// Cheap structural sanity check: ids match indices (hence no duplicates), dimensions
+    /// are positive (zero-area fixed tombstones excepted — see
+    /// [`Design::tombstone_cell`]), and every legalized movable cell lies on rows that
+    /// exist. O(cells), no overlap detection — run [`crate::legality::check_legality`] for
+    /// the full check. The ECO service calls this at its request boundary so a malformed
+    /// client delta surfaces as a typed error instead of corrupting the resident state.
+    pub fn validate_invariants(&self) -> Result<(), String> {
+        if self.num_sites_x <= 0 || self.num_rows <= 0 {
+            return Err(format!(
+                "empty die: {} sites x {} rows",
+                self.num_sites_x, self.num_rows
+            ));
+        }
+        for (i, c) in self.cells.iter().enumerate() {
+            if c.id.index() != i {
+                return Err(format!(
+                    "cell at index {i} carries id {} (duplicate or stale id)",
+                    c.id
+                ));
+            }
+            if c.fixed && c.width == 0 && c.height == 0 {
+                continue; // tombstone
+            }
+            if c.width <= 0 || c.height <= 0 {
+                return Err(format!(
+                    "cell {} has non-positive size {}x{}",
+                    c.id, c.width, c.height
+                ));
+            }
+            if !c.fixed && c.legalized {
+                if c.y < 0 || c.y + c.height > self.num_rows {
+                    return Err(format!(
+                        "legalized cell {} occupies rows [{}, {}) outside the {}-row die",
+                        c.id,
+                        c.y,
+                        c.y + c.height,
+                        self.num_rows
+                    ));
+                }
+                if c.x < 0 || c.x + c.width > self.num_sites_x {
+                    return Err(format!(
+                        "legalized cell {} occupies sites [{}, {}) outside the {}-site die",
+                        c.id,
+                        c.x,
+                        c.x + c.width,
+                        self.num_sites_x
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The per-cell body of [`Design::pre_move`] / [`Design::pre_move_cell`].
+fn pre_move_one(c: &mut Cell, num_sites: i64, num_rows: i64) {
+    let max_row = (num_rows - c.height).max(0);
+    let mut row = c.gy.round() as i64;
+    row = row.clamp(0, max_row);
+    if !c.parity_ok(row) {
+        // move to the nearest row of the right parity, preferring the closer side
+        let down = row - 1;
+        let up = row + 1;
+        row = if down >= 0 && (c.gy - down as f64).abs() <= (up as f64 - c.gy).abs() {
+            down
+        } else if up <= max_row {
+            up
+        } else {
+            (down).max(0)
+        };
+        row = row.clamp(0, max_row);
+    }
+    let max_x = (num_sites - c.width).max(0);
+    c.x = (c.gx.round() as i64).clamp(0, max_x);
+    c.y = row;
+    c.legalized = false;
 }
 
 #[cfg(test)]

@@ -10,6 +10,8 @@
 //! * [`core`] — the FLEX accelerator itself (task assignment, multi-granularity pipeline,
 //!   SACS architecture, timing model).
 //! * [`baselines`] — the legalizers the paper compares against.
+//! * [`eco`] — legalization as a service: the resident incremental ECO engine and its
+//!   Unix-socket front end (`flex-eco-serve` / `flex-eco-client`).
 //!
 //! ## Quickstart
 //!
@@ -33,6 +35,7 @@
 
 pub use flex_baselines as baselines;
 pub use flex_core as core;
+pub use flex_eco as eco;
 pub use flex_fpga as fpga;
 pub use flex_mgl as mgl;
 pub use flex_placement as placement;
