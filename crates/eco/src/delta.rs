@@ -18,7 +18,9 @@ pub enum EcoDelta {
         gy: f64,
     },
     /// Insert a brand-new movable cell at a desired position. The engine assigns the next
-    /// free [`CellId`] and reports it in [`DeltaOutcome::cell`].
+    /// free [`CellId`] and reports it in [`DeltaOutcome::cell`]. If placement fails, the
+    /// assigned id is permanently retired (tombstoned) — it is never handed to a later
+    /// insert.
     InsertCell {
         /// Width in sites (> 0).
         width: i64,
@@ -161,7 +163,8 @@ pub enum PlacedKind {
 /// Per-delta outcome inside an [`EcoReport`].
 #[derive(Debug, Clone)]
 pub struct DeltaOutcome {
-    /// The cell the delta addressed (for inserts: the newly assigned id).
+    /// The cell the delta addressed (for inserts: the newly assigned id, which stays
+    /// retired if the insert failed).
     pub cell: CellId,
     /// The delta's kind.
     pub kind: DeltaKind,

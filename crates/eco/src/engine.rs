@@ -13,7 +13,10 @@
 //!
 //! Batches are validated up front: a rejected batch leaves the resident state untouched. A
 //! delta that validates but finds no feasible position is rolled back individually and
-//! reported as [`PlacedKind::Failed`].
+//! reported as [`PlacedKind::Failed`]. A failed [`EcoDelta::InsertCell`] permanently
+//! retires the id it was assigned (the slot is tombstoned, never popped), so ids are never
+//! reused and later deltas in the same batch that reference it fail cleanly instead of
+//! addressing a recycled slot.
 
 use crate::delta::{DeltaKind, DeltaOutcome, EcoDelta, EcoError, EcoReport, EcoStats, PlacedKind};
 use flex_mgl::config::MglConfig;
@@ -242,8 +245,10 @@ impl EcoEngine {
                     );
                     if outcome.placed == PlacedKind::Failed {
                         // the cell was appended by this delta and never entered the index or
-                        // density map: un-append it so the id is not burned
-                        self.design.cells.pop();
+                        // density map; tombstone it rather than popping so the id is burned
+                        // permanently — later deltas in this batch were validated against a
+                        // cell vector that includes it, and ids are never reused
+                        self.design.tombstone_cell(id);
                     }
                     outcome
                 }
@@ -268,19 +273,31 @@ impl EcoEngine {
                 EcoDelta::RemoveCell { id } => {
                     structural = true;
                     let c = self.design.cell(*id);
-                    let (old_rect, old_y, old_h, old_disp) =
-                        (c.rect(), c.y, c.height, c.displacement());
-                    self.index.remove_cell(*id, old_y, old_h);
-                    self.density.remove_rect(&old_rect);
-                    self.design.tombstone_cell(*id);
-                    displacement_delta -= old_disp;
-                    self.stats.applied[DeltaKind::Remove.index()] += 1;
-                    DeltaOutcome {
-                        cell: *id,
-                        kind: DeltaKind::Remove,
-                        placed: PlacedKind::NotNeeded,
-                        cells_touched: 1,
-                        disturbed: vec![old_rect],
+                    if is_tombstone(c) {
+                        // the target is an earlier failed InsertCell of this batch (see
+                        // relegalize_target): already retired, nothing to remove
+                        DeltaOutcome {
+                            cell: *id,
+                            kind: DeltaKind::Remove,
+                            placed: PlacedKind::Failed,
+                            cells_touched: 0,
+                            disturbed: Vec::new(),
+                        }
+                    } else {
+                        let (old_rect, old_y, old_h, old_disp) =
+                            (c.rect(), c.y, c.height, c.displacement());
+                        self.index.remove_cell(*id, old_y, old_h);
+                        self.density.remove_rect(&old_rect);
+                        self.design.tombstone_cell(*id);
+                        displacement_delta -= old_disp;
+                        self.stats.applied[DeltaKind::Remove.index()] += 1;
+                        DeltaOutcome {
+                            cell: *id,
+                            kind: DeltaKind::Remove,
+                            placed: PlacedKind::NotNeeded,
+                            cells_touched: 1,
+                            disturbed: vec![old_rect],
+                        }
                     }
                 }
             };
@@ -344,6 +361,18 @@ impl EcoEngine {
         displacement_delta: &mut f64,
         change: impl FnOnce(&mut Cell),
     ) -> DeltaOutcome {
+        // validation lets later deltas reference the id a prior InsertCell allocates, so if
+        // that insert failed placement the target here is its tombstone: fail the dependent
+        // delta instead of legalizing a retired slot
+        if is_tombstone(self.design.cell(id)) {
+            return DeltaOutcome {
+                cell: id,
+                kind,
+                placed: PlacedKind::Failed,
+                cells_touched: 0,
+                disturbed: Vec::new(),
+            };
+        }
         let saved = self.design.cell(id).clone();
         let was_placed = saved.legalized;
         let old_rect = saved.rect();

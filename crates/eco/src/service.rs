@@ -13,7 +13,10 @@
 //! engine thread; a self-connection unblocks the accept loop, which then hangs up every
 //! client connection (waking loops blocked in a read) and joins every client thread. So
 //! [`ServerHandle::join`] returning means no thread of the server is left running — it
-//! hands the resident [`EcoEngine`] back for post-shutdown inspection.
+//! hands the resident [`EcoEngine`] back for post-shutdown inspection. The same wind-down
+//! runs if the engine thread panics (a drop guard raises the flag and pokes the accept
+//! loop during unwinding), so a bug in the engine surfaces as a re-raised panic from
+//! `join`, never a hang.
 
 use crate::delta::EcoError;
 use crate::engine::EcoEngine;
@@ -84,12 +87,37 @@ impl ServerHandle {
     }
 
     /// Block until the server has fully stopped (a client sent `shutdown`) and take the
-    /// resident engine back. The socket file is removed before this returns.
+    /// resident engine back. The socket file is removed before this returns. If the engine
+    /// thread panicked, the panic is re-raised here (a [`StopGuard`] guarantees the accept
+    /// loop still winds down first, so this never deadlocks).
     pub fn join(self) -> EcoEngine {
         let _ = self.accept.join();
-        let engine = self.engine.join().expect("engine thread panicked");
+        let engine = match self.engine.join() {
+            Ok(engine) => engine,
+            Err(panic) => {
+                let _ = std::fs::remove_file(&self.path);
+                std::panic::resume_unwind(panic);
+            }
+        };
         let _ = std::fs::remove_file(&self.path);
         engine
+    }
+}
+
+/// Winds the server down no matter how the engine thread exits — including a panic, when
+/// this runs during unwinding: raise the stop flag so `accept_loop` and every `client_loop`
+/// break out, then poke the accept loop with a throwaway self-connection so it is not left
+/// blocked in `accept`. Without this, an engine panic would leave `ServerHandle::join`
+/// deadlocked on the accept thread forever.
+struct StopGuard {
+    stopping: Arc<AtomicBool>,
+    path: PathBuf,
+}
+
+impl Drop for StopGuard {
+    fn drop(&mut self) {
+        self.stopping.store(true, Ordering::SeqCst);
+        let _ = UnixStream::connect(&self.path);
     }
 }
 
@@ -100,6 +128,10 @@ fn engine_loop(
     stopping: Arc<AtomicBool>,
     path: PathBuf,
 ) -> EcoEngine {
+    let _guard = StopGuard {
+        stopping: Arc::clone(&stopping),
+        path,
+    };
     while let Ok(job) = jobs.recv() {
         let (response, stop) = match job.request {
             Request::Apply(ref deltas) => match engine.apply(deltas) {
@@ -129,8 +161,8 @@ fn engine_loop(
         }
         let _ = job.reply.send(response);
         if stop {
-            // unblock the accept loop with a throwaway self-connection
-            let _ = UnixStream::connect(&path);
+            // breaking drops the StopGuard, whose throwaway self-connection unblocks the
+            // accept loop
             break;
         }
     }
@@ -245,5 +277,31 @@ impl EcoClient {
                 .unwrap_or("unknown error")
                 .to_string()))
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression: an engine-thread panic used to leave `stopping` unset, so the accept
+    /// loop never exited and `ServerHandle::join` hung forever. The guard must raise the
+    /// flag during unwinding.
+    #[test]
+    fn stop_guard_raises_the_flag_during_panic_unwind() {
+        let stopping = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stopping);
+        let handle = std::thread::spawn(move || {
+            let _guard = StopGuard {
+                stopping: flag,
+                path: PathBuf::from("/nonexistent/eco-stop-guard.sock"),
+            };
+            panic!("simulated engine bug");
+        });
+        assert!(handle.join().is_err(), "the thread must have panicked");
+        assert!(
+            stopping.load(Ordering::SeqCst),
+            "StopGuard must raise the stop flag while unwinding"
+        );
     }
 }

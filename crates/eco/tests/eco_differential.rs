@@ -11,11 +11,11 @@
 //!    warm `DensityMap` matches a rebuild bin for bin;
 //! 5. a batch rejected by validation mutates nothing.
 
-use flex_eco::{EcoDelta, EcoEngine};
+use flex_eco::{EcoDelta, EcoEngine, PlacedKind};
 use flex_mgl::config::MglConfig;
 use flex_mgl::region::LegalizedIndex;
 use flex_placement::benchmark::{generate, BenchmarkSpec};
-use flex_placement::cell::CellId;
+use flex_placement::cell::{Cell, CellId};
 use flex_placement::density::DensityMap;
 use flex_placement::layout::Design;
 use proptest::prelude::*;
@@ -222,6 +222,91 @@ fn rejected_batches_leave_the_engine_untouched() {
     // the stats saw none of it
     assert_eq!(engine.stats().total_applied(), 0);
     assert_eq!(engine.stats().batches, 0);
+}
+
+/// A legal design whose die is 100% occupied, so any insert must fail placement.
+fn full_die_engine() -> EcoEngine {
+    let mut design = Design::new("full", 8, 1);
+    for i in 0..2i64 {
+        let mut c = Cell::movable(CellId(0), 4, 1, (i * 4) as f64, 0.0);
+        c.x = i * 4;
+        c.y = 0;
+        c.legalized = true;
+        design.add_cell(c);
+    }
+    EcoEngine::new(design, MglConfig::default()).expect("full die is legal")
+}
+
+/// Regression: a failed InsertCell used to pop the appended cell, so a later delta in the
+/// same batch addressing the id it had been assigned indexed out of bounds and panicked
+/// (killing the resident engine thread), and the next insert recycled the id. The slot is
+/// now tombstoned: dependent deltas fail cleanly and the id stays retired.
+#[test]
+fn failed_insert_retires_its_id_and_later_references_fail_cleanly() {
+    let mut engine = full_die_engine();
+    let new_id = CellId(engine.design().cells.len() as u32);
+
+    let report = engine
+        .apply(&[
+            EcoDelta::InsertCell {
+                width: 4,
+                height: 1,
+                gx: 0.0,
+                gy: 0.0,
+            },
+            EcoDelta::MoveCell {
+                id: new_id,
+                gx: 1.0,
+                gy: 0.0,
+            },
+            EcoDelta::ResizeCell {
+                id: new_id,
+                width: 2,
+                height: 1,
+            },
+            EcoDelta::RemoveCell { id: new_id },
+        ])
+        .expect("batch validates; the insert only fails at placement time");
+
+    assert_eq!(report.failed, 4, "insert and all three dependents fail");
+    assert!(report
+        .outcomes
+        .iter()
+        .all(|o| o.placed == PlacedKind::Failed));
+    assert_eq!(report.outcomes[0].cell, new_id);
+    assert!(engine.check_legal());
+
+    // the failed insert's id stays retired: the next insert allocates a fresh one...
+    let report = engine
+        .apply(&[EcoDelta::InsertCell {
+            width: 4,
+            height: 1,
+            gx: 0.0,
+            gy: 0.0,
+        }])
+        .unwrap();
+    assert_eq!(report.outcomes[0].cell, CellId(new_id.0 + 1));
+
+    // ...and addressing it in a later batch is a typed validation error, not a panic
+    let err = engine
+        .apply(&[EcoDelta::MoveCell {
+            id: new_id,
+            gx: 0.0,
+            gy: 0.0,
+        }])
+        .unwrap_err();
+    assert!(matches!(err, flex_eco::EcoError::RemovedCell(_)), "{err}");
+
+    // the engine is still live and consistent after the failures
+    let report = engine
+        .apply(&[EcoDelta::MoveCell {
+            id: CellId(0),
+            gx: 3.0,
+            gy: 0.0,
+        }])
+        .unwrap();
+    assert_eq!(report.failed, 0);
+    assert!(engine.check_legal());
 }
 
 #[test]
