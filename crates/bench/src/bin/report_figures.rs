@@ -28,6 +28,12 @@
 //! pipelining counters — and writes `BENCH_parallel.json` (path overridable via
 //! `FLEX_BENCH_PARALLEL_OUT`), so the parallel path's perf trajectory is tracked like the
 //! FOP kernel's.
+//!
+//! With `--metrics-json` it measures the observability layer itself: enabled-vs-disabled
+//! span overhead on the acceptance-scale pipelined parallel run (gated at
+//! `FLEX_BENCH_OBS_MAX_OVERHEAD`%, default 3), byte-identical placements, and a Chrome
+//! trace-event export proving speculation/commit overlap — written to `BENCH_obs.json`
+//! and `BENCH_obs_trace.json` (`FLEX_BENCH_OBS_OUT` / `FLEX_BENCH_OBS_TRACE`).
 
 use flex_baselines::cpu_gpu::{CpuGpuLegalizer, CpuGpuResult};
 use flex_core::accelerator::FlexOutcome;
@@ -676,7 +682,146 @@ fn eco_json() {
     println!("  wrote {path}");
 }
 
+/// `--metrics-json`: measure the observability layer itself on the acceptance-scale
+/// parallel run and write `BENCH_obs.json`. Two figures are recorded and gated:
+///
+/// * **disabled overhead** — instrumentation compiled in but switched off must be free:
+///   the enabled-vs-disabled wall-clock delta on a 50k-cell pipelined parallel
+///   legalization must stay under `FLEX_BENCH_OBS_MAX_OVERHEAD` percent (default 3%),
+///   and the placements must be byte-identical (spans observe, never perturb);
+/// * **pipeline overlap** — the Chrome trace exported from the enabled run must show
+///   speculation (`par.speculate_batch`, runner thread) overlapping commits
+///   (`par.commit_batch`, coordinator thread) in wall-clock time, i.e. the spans prove
+///   the deep-speculation pipeline actually pipelines.
+fn obs_json() {
+    use flex_mgl::parallel::ParallelMglLegalizer;
+    use flex_placement::benchmark::BenchmarkSpec;
+
+    let cells: usize = std::env::var("FLEX_BENCH_OBS_CELLS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50_000);
+    let repeats: usize = std::env::var("FLEX_BENCH_OBS_REPEATS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+        .max(1);
+    let max_overhead_pct: f64 = std::env::var("FLEX_BENCH_OBS_MAX_OVERHEAD")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3.0);
+    let threads = std::env::var("FLEX_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map_or(4, |n| n.max(1));
+    let spec = BenchmarkSpec {
+        num_cells: cells,
+        ..BenchmarkSpec::medium("obs-overhead", 42)
+    }
+    .with_density(0.45);
+
+    println!("--- observability overhead: enabled vs. disabled spans ({cells} cells, {threads}T, depth 2) ---");
+    let run = |enabled: bool| -> (f64, u64) {
+        flex_obs::set_enabled(enabled);
+        let engine =
+            ParallelMglLegalizer::new(threads, MglConfig::default()).with_pipeline_depth(2);
+        let mut d = generate(&spec);
+        let start = std::time::Instant::now();
+        let out = engine.legalize(&mut d);
+        let seconds = start.elapsed().as_secs_f64();
+        assert!(out.result.legal, "run must be legal");
+        (seconds, out.result.average_displacement.to_bits())
+    };
+
+    // interleave the two modes so drift (thermal, cache warm-up) hits both equally, and
+    // compare the minima: overhead is a property of the code path, not of scheduler noise
+    let mut disabled = f64::INFINITY;
+    let mut enabled = f64::INFINITY;
+    let (mut disabled_bits, mut enabled_bits) = (0u64, 0u64);
+    for i in 0..repeats {
+        let (d_s, d_bits) = run(false);
+        let (e_s, e_bits) = run(true);
+        disabled = disabled.min(d_s);
+        enabled = enabled.min(e_s);
+        disabled_bits = d_bits;
+        enabled_bits = e_bits;
+        println!("  repeat {i}: disabled {d_s:>7.2} s   enabled {e_s:>7.2} s");
+    }
+    flex_obs::set_enabled(false);
+    let overhead_pct = (enabled - disabled) / disabled * 100.0;
+    println!(
+        "  min: disabled {disabled:.3} s   enabled {enabled:.3} s   overhead {overhead_pct:+.2}%  (gate: ≤ {max_overhead_pct}%)"
+    );
+    assert_eq!(
+        disabled_bits, enabled_bits,
+        "instrumentation must not perturb the placement (displacement bits differ)"
+    );
+
+    // the spans of the last enabled run are still in the per-thread rings: export them as
+    // a Chrome trace and verify the pipeline overlap they exist to show
+    let events = flex_obs::collect_spans();
+    let rings = flex_obs::thread_rings();
+    let speculate: Vec<&flex_obs::SpanEvent> = events
+        .iter()
+        .filter(|e| e.name == "par.speculate_batch")
+        .collect();
+    let commit: Vec<&flex_obs::SpanEvent> = events
+        .iter()
+        .filter(|e| e.name == "par.commit_batch")
+        .collect();
+    let overlaps = speculate
+        .iter()
+        .filter(|s| {
+            commit.iter().any(|c| {
+                c.tid != s.tid
+                    && s.start_ns < c.start_ns + c.dur_ns
+                    && c.start_ns < s.start_ns + s.dur_ns
+            })
+        })
+        .count();
+    println!(
+        "  trace: {} spans, {} speculate / {} commit batches, {} speculate∥commit overlaps",
+        events.len(),
+        speculate.len(),
+        commit.len(),
+        overlaps
+    );
+    let trace_path = std::env::var("FLEX_BENCH_OBS_TRACE")
+        .unwrap_or_else(|_| "BENCH_obs_trace.json".to_string());
+    std::fs::write(
+        &trace_path,
+        flex_obs::export::chrome_trace_json_with_threads(&events, &rings),
+    )
+    .expect("write Chrome trace");
+    println!("  wrote {trace_path} (open via chrome://tracing or ui.perfetto.dev)");
+
+    assert!(
+        !speculate.is_empty() && !commit.is_empty(),
+        "enabled run must record speculation and commit spans"
+    );
+    assert!(
+        overlaps > 0,
+        "pipelined run must show speculation overlapping a commit on another thread"
+    );
+    assert!(
+        overhead_pct <= max_overhead_pct,
+        "disabled-instrumentation overhead {overhead_pct:.2}% exceeds the {max_overhead_pct}% gate"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"obs_overhead\",\n  \"unit\": \"seconds per parallel legalization\",\n  \"cells\": {cells},\n  \"threads\": {threads},\n  \"repeats\": {repeats},\n  \"disabled_s\": {disabled:.4},\n  \"enabled_s\": {enabled:.4},\n  \"overhead_pct\": {overhead_pct:.3},\n  \"gate_pct\": {max_overhead_pct},\n  \"placements_bit_identical\": true,\n  \"spans\": {},\n  \"speculate_batches\": {},\n  \"commit_batches\": {},\n  \"speculate_commit_overlaps\": {},\n  \"trace\": \"{trace_path}\"\n}}\n",
+        events.len(),
+        speculate.len(),
+        commit.len(),
+        overlaps
+    );
+    let path = std::env::var("FLEX_BENCH_OBS_OUT").unwrap_or_else(|_| "BENCH_obs.json".to_string());
+    std::fs::write(&path, &json).expect("write BENCH_obs.json");
+    println!("  wrote {path}");
+}
+
 fn main() {
+    flex_obs::init_from_env();
     if std::env::args().any(|a| a == "--fop-json") {
         fop_json();
         return;
@@ -687,6 +832,10 @@ fn main() {
     }
     if std::env::args().any(|a| a == "--eco-json") {
         eco_json();
+        return;
+    }
+    if std::env::args().any(|a| a == "--metrics-json") {
+        obs_json();
         return;
     }
     println!(

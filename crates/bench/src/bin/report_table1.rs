@@ -12,6 +12,7 @@ use flex_bench::{
 use flex_placement::iccad2017::CASES;
 
 fn main() {
+    flex_obs::init_from_env();
     let scale = scale_from_env();
     let threads = threads_from_env();
     println!("=== Table 1 reproduction (scale {scale}, {threads} CPU threads) ===\n");

@@ -7,6 +7,7 @@
 use flex_fpga::resources::{flex_resources, max_pes, ALVEO_U50};
 
 fn main() {
+    flex_obs::init_from_env();
     println!("=== Table 2 reproduction: FPGA resource consumption ===\n");
     println!(
         "{:<32} {:>10} {:>10} {:>8} {:>8}",

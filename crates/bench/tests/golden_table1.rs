@@ -90,6 +90,26 @@ fn golden_stats_fft_a_md2() {
     check_case("fft_a_md2");
 }
 
+/// Observability must not move a single golden byte: with spans *enabled* the captured
+/// stats must serialize to exactly the committed golden JSON (an exact string compare, not
+/// the tolerance compare — instrumentation that perturbed even an ULP would fail here).
+/// The serial-vs-parallel differential inside `run_case` runs instrumented too.
+#[test]
+fn golden_stats_are_byte_stable_with_spans_enabled() {
+    if std::env::var("FLEX_BLESS").ok().as_deref() == Some("1") {
+        return; // blessing runs capture the un-instrumented defaults
+    }
+    flex_obs::set_enabled(true);
+    let stats = run_case("fft_a_md2");
+    flex_obs::set_enabled(false);
+    let golden = std::fs::read_to_string(golden_path("fft_a_md2")).expect("golden file");
+    assert_eq!(
+        stats.to_json(),
+        golden,
+        "enabling spans changed the golden Table 1 bytes"
+    );
+}
+
 #[test]
 fn golden_stats_pci_b_b_md2() {
     check_case("pci_b_b_md2");

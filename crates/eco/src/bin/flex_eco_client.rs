@@ -1,37 +1,40 @@
 //! `flex-eco-client`: exercise a running `flex-eco-serve` instance.
 //!
-//! Three modes: `--info` / `--stats` print the server's answer, `--shutdown` stops the
-//! server, and the default load-generator mode streams `--deltas N` random deltas at the
-//! engine and reports per-kind latency percentiles.
+//! Query modes (`--info`, `--stats`, `--metrics`, `--prometheus`, `--trace`) print the
+//! server's answer, `--trace-out PATH` saves a Chrome trace-event document, `--shutdown`
+//! stops the server, and the default load-generator mode streams `--deltas N` random
+//! deltas at the engine and reports per-kind latency quantiles.
+//!
+//! Latencies are accumulated in [`flex_obs::Histogram`]s (constant memory, ~6% quantile
+//! error) instead of the sort-a-whole-`Vec` approach this binary started with, so an
+//! arbitrarily long soak run costs ~8 KiB per kind and p999 is as cheap as p50.
 
 use flex_eco::json::Json;
 use flex_eco::proto::Request;
 use flex_eco::service::EcoClient;
 use flex_eco::{DeltaKind, EcoDelta};
+use flex_obs::Histogram;
 use flex_placement::cell::CellId;
 use rand::{rngs::StdRng, RngExt, SeedableRng};
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: flex-eco-client --socket PATH [--deltas N] [--seed S] [--info] [--stats] [--shutdown]\n\
+        "usage: flex-eco-client --socket PATH [--deltas N] [--seed S] [--info] [--stats]\n\
+         \x20                      [--metrics] [--prometheus] [--trace] [--trace-out PATH] [--shutdown]\n\
          \n\
-         --socket PATH   Unix socket of a running flex-eco-serve (required)\n\
-         --deltas N      load-generator mode: send N random deltas (default 1000)\n\
-         --seed S        load-generator RNG seed (default 7)\n\
-         --info          print the server's design summary and exit\n\
-         --stats         print the server's lifetime counters and exit\n\
-         --shutdown      stop the server and exit"
+         --socket PATH     Unix socket of a running flex-eco-serve (required)\n\
+         --deltas N        load-generator mode: send N random deltas (default 1000)\n\
+         --seed S          load-generator RNG seed (default 7)\n\
+         --info            print the server's design summary and exit\n\
+         --stats           print the server's lifetime counters and exit\n\
+         --metrics         print the server's metrics snapshot (JSON) and exit\n\
+         --prometheus      print the server's metrics in Prometheus text format and exit\n\
+         --trace           print the server's recorded spans (JSON) and exit\n\
+         --trace-out PATH  save the server's spans as a Chrome trace-event file and exit\n\
+         --shutdown        stop the server and exit"
     );
     std::process::exit(2);
-}
-
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
 }
 
 fn main() {
@@ -40,6 +43,7 @@ fn main() {
     let mut deltas: usize = 1000;
     let mut seed: u64 = 7;
     let mut mode: Option<Request> = None;
+    let mut trace_out: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -55,6 +59,13 @@ fn main() {
             "--seed" => seed = value("--seed").parse().unwrap_or_else(|_| usage()),
             "--info" => mode = Some(Request::Info),
             "--stats" => mode = Some(Request::Stats),
+            "--metrics" => mode = Some(Request::Metrics { prometheus: false }),
+            "--prometheus" => mode = Some(Request::Metrics { prometheus: true }),
+            "--trace" => mode = Some(Request::Trace { chrome: false }),
+            "--trace-out" => {
+                trace_out = Some(value("--trace-out"));
+                mode = Some(Request::Trace { chrome: true });
+            }
             "--shutdown" => mode = Some(Request::Shutdown),
             "--help" | "-h" => usage(),
             other => {
@@ -74,12 +85,45 @@ fn main() {
     };
 
     if let Some(request) = mode {
-        match client.request(&request) {
-            Ok(payload) => println!("{}", String::from_utf8_lossy(&payload)),
+        let payload = match client.request(&request) {
+            Ok(payload) => payload,
             Err(e) => {
                 eprintln!("request failed: {e}");
                 std::process::exit(1);
             }
+        };
+        let text = String::from_utf8_lossy(&payload).into_owned();
+        match &request {
+            // Prometheus text and Chrome traces are embedded in the response envelope;
+            // unwrap them so the output is directly scrapable / loadable.
+            Request::Metrics { prometheus: true } => match Json::parse(&text)
+                .ok()
+                .and_then(|j| j.get("text").and_then(Json::as_str).map(str::to_owned))
+            {
+                Some(body) => print!("{body}"),
+                None => println!("{text}"),
+            },
+            Request::Trace { chrome: true } => {
+                let doc = match Json::parse(&text)
+                    .ok()
+                    .and_then(|j| j.get("trace").cloned())
+                {
+                    Some(trace) => trace.to_string(),
+                    None => {
+                        eprintln!("malformed trace response: {text}");
+                        std::process::exit(1);
+                    }
+                };
+                let path = trace_out.expect("--trace-out always carries a path");
+                if let Err(e) = std::fs::write(&path, doc) {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+                println!(
+                    "wrote Chrome trace to {path} (open via chrome://tracing or ui.perfetto.dev)"
+                );
+            }
+            _ => println!("{text}"),
         }
         return;
     }
@@ -114,7 +158,7 @@ fn main() {
         .max(1) as u32;
 
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut latencies: [Vec<f64>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+    let mut latencies: [Histogram; 4] = std::array::from_fn(|_| Histogram::new());
     let mut rejected = 0usize;
     for _ in 0..deltas {
         let gx = rng.random::<f64>() * sites as f64;
@@ -142,7 +186,7 @@ fn main() {
         let kind = delta.kind();
         let start = Instant::now();
         match client.request_json(&Request::Apply(vec![delta])) {
-            Ok(Ok(_)) => latencies[kind.index()].push(start.elapsed().as_secs_f64() * 1e6),
+            Ok(Ok(_)) => latencies[kind.index()].record_duration(start.elapsed()),
             Ok(Err(_)) => rejected += 1, // e.g. a delta addressing an already-removed cell
             Err(e) => {
                 eprintln!("apply failed: {e}");
@@ -151,21 +195,21 @@ fn main() {
         }
     }
 
+    let us = |ns: u64| ns as f64 / 1e3;
     println!("sent {deltas} deltas ({rejected} rejected by validation)");
     for kind in DeltaKind::ALL {
-        let lat = &mut latencies[kind.index()];
-        lat.sort_by(|a, b| a.total_cmp(b));
+        let lat = &latencies[kind.index()];
         if lat.is_empty() {
             continue;
         }
-        let mean = lat.iter().sum::<f64>() / lat.len() as f64;
         println!(
-            "  {:<7} n={:<6} p50={:>8.1}us p99={:>8.1}us mean={:>8.1}us",
+            "  {:<7} n={:<6} p50={:>8.1}us p99={:>8.1}us p999={:>8.1}us mean={:>8.1}us",
             kind.name(),
-            lat.len(),
-            percentile(lat, 0.50),
-            percentile(lat, 0.99),
-            mean
+            lat.count(),
+            us(lat.value_at_quantile(0.50)),
+            us(lat.value_at_quantile(0.99)),
+            us(lat.value_at_quantile(0.999)),
+            lat.mean() / 1e3
         );
     }
 }

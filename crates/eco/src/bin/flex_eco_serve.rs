@@ -11,14 +11,15 @@ use flex_placement::benchmark::{generate, BenchmarkSpec};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: flex-eco-serve --socket PATH [--cells N] [--seed S] [--density D] [--queue N] [--no-validate]\n\
+        "usage: flex-eco-serve --socket PATH [--cells N] [--seed S] [--density D] [--queue N] [--no-validate] [--no-obs]\n\
          \n\
          --socket PATH   Unix socket to listen on (required)\n\
          --cells N       movable cells in the generated design (default 50000)\n\
          --seed S        benchmark generator seed (default 42)\n\
          --density D     target design density (default 0.45)\n\
          --queue N       request queue bound (default 1024)\n\
-         --no-validate   skip Design::validate_invariants at the batch boundary"
+         --no-validate   skip Design::validate_invariants at the batch boundary\n\
+         --no-obs        disable span collection (the `trace` op then returns empty)"
     );
     std::process::exit(2);
 }
@@ -31,6 +32,7 @@ fn main() {
     let mut density: f64 = 0.45;
     let mut queue: usize = 1024;
     let mut validate = true;
+    let mut obs = true;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -47,6 +49,7 @@ fn main() {
             "--density" => density = value("--density").parse().unwrap_or_else(|_| usage()),
             "--queue" => queue = value("--queue").parse().unwrap_or_else(|_| usage()),
             "--no-validate" => validate = false,
+            "--no-obs" => obs = false,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -55,6 +58,10 @@ fn main() {
         }
     }
     let Some(socket) = socket else { usage() };
+
+    // A resident service wants its traces: spans default ON here (unlike the batch
+    // binaries, where FLEX_OBS opts in). `--no-obs` restores the zero-instrumentation path.
+    flex_obs::set_enabled(obs);
 
     let spec = BenchmarkSpec {
         num_cells: cells,

@@ -225,6 +225,8 @@ pub struct EcoStats {
     pub fallbacks: u64,
     /// Deltas rolled back because no feasible position existed.
     pub failed: u64,
+    /// Failed deltas bucketed by [`DeltaKind::index`] (sums to `failed`).
+    pub failed_by_kind: [u64; 4],
     /// Full `LegalizedIndex` rebuilds the engine performed (stays 0: point updates only).
     pub index_rebuilds: u64,
     /// Full `DensityMap` rebuilds the engine performed (stays 0: `apply_move` only).
@@ -238,5 +240,27 @@ impl EcoStats {
     /// Total deltas applied across all kinds.
     pub fn total_applied(&self) -> u64 {
         self.applied.iter().sum()
+    }
+
+    /// Mirror every counter into `registry` as `eco_*` series, with per-kind series
+    /// carrying a `kind` label. The struct's own public shape is unchanged — this is the
+    /// bridge onto the shared observability registry.
+    pub fn publish_to(&self, registry: &flex_obs::Registry) {
+        for kind in DeltaKind::ALL {
+            registry.set_counter(
+                &format!("eco_applied_total{{kind=\"{}\"}}", kind.name()),
+                self.applied[kind.index()],
+            );
+            registry.set_counter(
+                &format!("eco_failed_total{{kind=\"{}\"}}", kind.name()),
+                self.failed_by_kind[kind.index()],
+            );
+        }
+        registry.set_counter("eco_batches_total", self.batches);
+        registry.set_counter("eco_fallbacks_total", self.fallbacks);
+        registry.set_counter("eco_failed_total", self.failed);
+        registry.set_counter("eco_index_rebuilds_total", self.index_rebuilds);
+        registry.set_counter("eco_density_rebuilds_total", self.density_rebuilds);
+        registry.set_counter("eco_store_recaptures_total", self.store_recaptures);
     }
 }

@@ -46,6 +46,9 @@ pub struct EcoEngine {
     scratch: FopScratch,
     op_stats: FopOpStats,
     stats: EcoStats,
+    started: Instant,
+    /// Per-delta-kind apply latency, indexed by [`DeltaKind::index`].
+    latency: [flex_obs::Histogram; 4],
 }
 
 /// Whether a cell slot is a removal tombstone (see `Design::tombstone_cell`).
@@ -80,6 +83,8 @@ impl EcoEngine {
             scratch: FopScratch::new(),
             op_stats: FopOpStats::default(),
             stats: EcoStats::default(),
+            started: Instant::now(),
+            latency: std::array::from_fn(|_| flex_obs::Histogram::new()),
         })
     }
 
@@ -132,6 +137,18 @@ impl EcoEngine {
     /// Lifetime counters.
     pub fn stats(&self) -> &EcoStats {
         &self.stats
+    }
+
+    /// How long this engine has been resident.
+    pub fn uptime(&self) -> std::time::Duration {
+        self.started.elapsed()
+    }
+
+    /// Per-delta latency histograms (nanoseconds), indexed by
+    /// [`DeltaKind::index`](crate::delta::DeltaKind::index). Each applied delta records its
+    /// individual wall-clock time into its kind's bucket.
+    pub fn latency_histograms(&self) -> &[flex_obs::Histogram; 4] {
+        &self.latency
     }
 
     /// Run the full legality check over the resident design.
@@ -206,6 +223,7 @@ impl EcoEngine {
     /// [`EcoReport::failed`]. Everything else updates the resident design, index, density
     /// map and epoch store incrementally.
     pub fn apply(&mut self, deltas: &[EcoDelta]) -> Result<EcoReport, EcoError> {
+        let _span = flex_obs::span!("eco.apply_batch");
         let start = Instant::now();
         self.validate(deltas)?;
 
@@ -215,6 +233,7 @@ impl EcoEngine {
         let mut displacement_delta = 0.0f64;
 
         for delta in deltas {
+            let delta_start = Instant::now();
             let outcome = match delta {
                 EcoDelta::MoveCell { id, gx, gy } => self.relegalize_target(
                     *id,
@@ -301,6 +320,10 @@ impl EcoEngine {
                     }
                 }
             };
+            self.latency[delta.kind().index()].record_duration(delta_start.elapsed());
+            if outcome.placed == PlacedKind::Failed {
+                self.stats.failed_by_kind[outcome.kind.index()] += 1;
+            }
             outcomes.push(outcome);
         }
 

@@ -12,11 +12,20 @@
 //! | `batch`    | `deltas`: array of the above objects     | one atomic-validation batch     |
 //! | `info`     | —                                        | design summary                  |
 //! | `stats`    | —                                        | lifetime engine counters        |
+//! | `metrics`  | optional `format`: `"prometheus"`        | live metrics snapshot           |
+//! | `trace`    | optional `format`: `"chrome"`            | recent span dump                |
 //! | `shutdown` | —                                        | stop the server after replying  |
 //!
-//! Responses are `{"ok":true,...}` (with a `report`, `info` or `stats` object) or
-//! `{"ok":false,"error":"..."}`. Malformed frames produce an error response; the
-//! connection stays usable.
+//! Responses are `{"ok":true,...}` (with a `report`, `info`, `stats`, `metrics`, `text` or
+//! `trace` object) or `{"ok":false,"error":"..."}`. Malformed frames produce an error
+//! response; the connection stays usable.
+//!
+//! `metrics` answers with the process's registry snapshot — counters, gauges, and the
+//! engine's per-delta-kind apply-latency histograms — as structured JSON, or as Prometheus
+//! text exposition (in a `"text"` field) when `format` is `"prometheus"`. `trace` answers
+//! with the recent span events of every thread; with `format: "chrome"` the `"trace"`
+//! field is a complete Chrome trace-event document ready to save and load in
+//! `chrome://tracing`/Perfetto.
 
 use crate::delta::{EcoDelta, EcoError, EcoReport, EcoStats, PlacedKind};
 use crate::json::Json;
@@ -36,6 +45,16 @@ pub enum Request {
     Info,
     /// Lifetime engine counters.
     Stats,
+    /// Live metrics snapshot (JSON, or Prometheus text exposition).
+    Metrics {
+        /// Answer in the Prometheus text format instead of structured JSON.
+        prometheus: bool,
+    },
+    /// Recent span dump (structured events, or a Chrome trace-event document).
+    Trace {
+        /// Answer with a complete Chrome trace-event JSON document.
+        chrome: bool,
+    },
     /// Stop the server after acknowledging.
     Shutdown,
 }
@@ -133,6 +152,12 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, String> {
     match op {
         "info" => Ok(Request::Info),
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics {
+            prometheus: obj.get("format").and_then(Json::as_str) == Some("prometheus"),
+        }),
+        "trace" => Ok(Request::Trace {
+            chrome: obj.get("format").and_then(Json::as_str) == Some("chrome"),
+        }),
         "shutdown" => Ok(Request::Shutdown),
         "batch" => {
             let deltas = obj
@@ -154,6 +179,20 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
     let json = match request {
         Request::Info => Json::Obj(vec![("op".into(), Json::Str("info".into()))]),
         Request::Stats => Json::Obj(vec![("op".into(), Json::Str("stats".into()))]),
+        Request::Metrics { prometheus } => {
+            let mut fields = vec![("op".into(), Json::Str("metrics".into()))];
+            if *prometheus {
+                fields.push(("format".into(), Json::Str("prometheus".into())));
+            }
+            Json::Obj(fields)
+        }
+        Request::Trace { chrome } => {
+            let mut fields = vec![("op".into(), Json::Str("trace".into()))];
+            if *chrome {
+                fields.push(("format".into(), Json::Str("chrome".into())));
+            }
+            Json::Obj(fields)
+        }
         Request::Shutdown => Json::Obj(vec![("op".into(), Json::Str("shutdown".into()))]),
         Request::Apply(deltas) if deltas.len() == 1 => encode_delta(&deltas[0]),
         Request::Apply(deltas) => Json::Obj(vec![
@@ -250,8 +289,8 @@ pub fn encode_report(report: &EcoReport) -> Vec<u8> {
     .into_bytes()
 }
 
-/// Encode the `stats` response.
-pub fn encode_stats(stats: &EcoStats) -> Vec<u8> {
+/// Encode the `stats` response. `uptime` is how long the engine has been resident.
+pub fn encode_stats(stats: &EcoStats, uptime: std::time::Duration) -> Vec<u8> {
     use crate::delta::DeltaKind;
     let mut fields = vec![("ok".into(), Json::Bool(true))];
     let mut body = Vec::new();
@@ -261,9 +300,16 @@ pub fn encode_stats(stats: &EcoStats) -> Vec<u8> {
             Json::Num(stats.applied[kind.index()] as f64),
         ));
     }
+    for kind in DeltaKind::ALL {
+        body.push((
+            format!("failed_{}", kind.name()),
+            Json::Num(stats.failed_by_kind[kind.index()] as f64),
+        ));
+    }
     body.push(("batches".into(), Json::Num(stats.batches as f64)));
     body.push(("fallbacks".into(), Json::Num(stats.fallbacks as f64)));
     body.push(("failed".into(), Json::Num(stats.failed as f64)));
+    body.push(("uptime_s".into(), Json::Num(uptime.as_secs_f64())));
     body.push((
         "index_rebuilds".into(),
         Json::Num(stats.index_rebuilds as f64),
@@ -280,8 +326,15 @@ pub fn encode_stats(stats: &EcoStats) -> Vec<u8> {
     Json::Obj(fields).to_string().into_bytes()
 }
 
-/// Encode the `info` response.
-pub fn encode_info(name: &str, sites: i64, rows: i64, live_cells: usize, legal: bool) -> Vec<u8> {
+/// Encode the `info` response. `uptime` is how long the engine has been resident.
+pub fn encode_info(
+    name: &str,
+    sites: i64,
+    rows: i64,
+    live_cells: usize,
+    legal: bool,
+    uptime: std::time::Duration,
+) -> Vec<u8> {
     Json::Obj(vec![
         ("ok".into(), Json::Bool(true)),
         (
@@ -292,8 +345,53 @@ pub fn encode_info(name: &str, sites: i64, rows: i64, live_cells: usize, legal: 
                 ("num_rows".into(), Json::Num(rows as f64)),
                 ("live_cells".into(), Json::Num(live_cells as f64)),
                 ("legal".into(), Json::Bool(legal)),
+                ("uptime_s".into(), Json::Num(uptime.as_secs_f64())),
             ]),
         ),
+    ])
+    .to_string()
+    .into_bytes()
+}
+
+/// Encode the `metrics` response around an already-rendered registry snapshot
+/// (`flex_obs::export::snapshot_json` output, embedded verbatim).
+pub fn encode_metrics_json(snapshot_json: &str) -> Vec<u8> {
+    format!("{{\"ok\":true,\"metrics\":{snapshot_json}}}").into_bytes()
+}
+
+/// Encode the `metrics` response in Prometheus text form (the exposition document rides in
+/// a JSON string field so the framing stays uniform).
+pub fn encode_metrics_text(text: &str) -> Vec<u8> {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        ("format".into(), Json::Str("prometheus".into())),
+        ("text".into(), Json::Str(text.into())),
+    ])
+    .to_string()
+    .into_bytes()
+}
+
+/// Encode the `trace` response: either structured span events or (with `chrome`) a
+/// complete Chrome trace-event document embedded verbatim.
+pub fn encode_trace(events: &[flex_obs::SpanEvent], chrome: bool) -> Vec<u8> {
+    if chrome {
+        let doc = flex_obs::export::chrome_trace_json(events);
+        return format!("{{\"ok\":true,\"format\":\"chrome\",\"trace\":{doc}}}").into_bytes();
+    }
+    let spans: Vec<Json> = events
+        .iter()
+        .map(|e| {
+            Json::Obj(vec![
+                ("name".into(), Json::Str(e.name.into())),
+                ("tid".into(), Json::Num(e.tid as f64)),
+                ("ts_us".into(), Json::Num(e.start_ns as f64 / 1_000.0)),
+                ("dur_us".into(), Json::Num(e.dur_ns as f64 / 1_000.0)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        ("trace".into(), Json::Arr(spans)),
     ])
     .to_string()
     .into_bytes()
@@ -339,6 +437,10 @@ mod tests {
         let requests = [
             Request::Info,
             Request::Stats,
+            Request::Metrics { prometheus: false },
+            Request::Metrics { prometheus: true },
+            Request::Trace { chrome: false },
+            Request::Trace { chrome: true },
             Request::Shutdown,
             Request::Apply(vec![EcoDelta::MoveCell {
                 id: CellId(7),

@@ -18,11 +18,11 @@
 //! loop during unwinding), so a bug in the engine surfaces as a re-raised panic from
 //! `join`, never a hang.
 
-use crate::delta::EcoError;
+use crate::delta::{DeltaKind, EcoError};
 use crate::engine::EcoEngine;
 use crate::proto::{
-    decode_request, encode_error, encode_info, encode_report, encode_stats, read_frame,
-    write_frame, Request,
+    decode_request, encode_error, encode_info, encode_metrics_json, encode_metrics_text,
+    encode_report, encode_stats, encode_trace, read_frame, write_frame, Request,
 };
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
@@ -88,7 +88,7 @@ impl ServerHandle {
 
     /// Block until the server has fully stopped (a client sent `shutdown`) and take the
     /// resident engine back. The socket file is removed before this returns. If the engine
-    /// thread panicked, the panic is re-raised here (a [`StopGuard`] guarantees the accept
+    /// thread panicked, the panic is re-raised here (a `StopGuard` guarantees the accept
     /// loop still winds down first, so this never deadlocks).
     pub fn join(self) -> EcoEngine {
         let _ = self.accept.join();
@@ -147,12 +147,15 @@ fn engine_loop(
                         d.num_rows,
                         engine.live_cells(),
                         engine.check_legal(),
+                        engine.uptime(),
                     ),
                     false,
                 )
             }
-            Request::Stats => (encode_stats(engine.stats()), false),
-            Request::Shutdown => (encode_stats(engine.stats()), true),
+            Request::Stats => (encode_stats(engine.stats(), engine.uptime()), false),
+            Request::Metrics { prometheus } => (metrics_response(&engine, prometheus), false),
+            Request::Trace { chrome } => (encode_trace(&flex_obs::collect_spans(), chrome), false),
+            Request::Shutdown => (encode_stats(engine.stats(), engine.uptime()), true),
         };
         if stop {
             // raise the flag BEFORE acknowledging, so the requester's client loop sees it
@@ -167,6 +170,29 @@ fn engine_loop(
         }
     }
     engine
+}
+
+/// Compose the `metrics` response: publish the engine's lifetime counters and uptime into
+/// the process registry, take a snapshot, graft in the per-delta-kind apply-latency
+/// histograms, and render as JSON or Prometheus text.
+fn metrics_response(engine: &EcoEngine, prometheus: bool) -> Vec<u8> {
+    let registry = flex_obs::global();
+    engine.stats().publish_to(registry);
+    registry
+        .gauge("eco_uptime_seconds")
+        .set(engine.uptime().as_secs() as i64);
+    let mut snap = registry.snapshot();
+    for kind in DeltaKind::ALL {
+        snap.histograms.insert(
+            format!("eco_apply_latency_ns{{kind=\"{}\"}}", kind.name()),
+            engine.latency_histograms()[kind.index()].clone(),
+        );
+    }
+    if prometheus {
+        encode_metrics_text(&flex_obs::export::snapshot_prometheus(&snap))
+    } else {
+        encode_metrics_json(&flex_obs::export::snapshot_json(&snap))
+    }
 }
 
 /// Accept clients until the stop flag is raised, then hang up on every connection (client

@@ -103,6 +103,128 @@ fn concurrent_clients_share_one_resident_engine() {
 }
 
 #[test]
+fn metrics_and_trace_ops_expose_the_live_engine() {
+    // spans default off in test binaries; the trace op needs them on
+    flex_obs::set_enabled(true);
+
+    let design = generate(&BenchmarkSpec::tiny("eco-svc-obs", 31));
+    let engine = EcoEngine::legalize_and_build(design, MglConfig::default()).unwrap();
+    let sites = engine.design().num_sites_x;
+    let rows = engine.design().num_rows;
+    let movable: Vec<CellId> = engine
+        .design()
+        .cells
+        .iter()
+        .filter(|c| !c.fixed)
+        .map(|c| c.id)
+        .collect();
+
+    let socket = temp_socket("obs");
+    let handle = EcoServer::start(engine, &socket, 8).unwrap();
+    let mut client = EcoClient::connect(&socket).unwrap();
+
+    const MOVES: usize = 20;
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..MOVES {
+        let id = movable[rng.next_below(movable.len() as u64) as usize];
+        let delta = EcoDelta::MoveCell {
+            id,
+            gx: rng.random::<f64>() * sites as f64,
+            gy: rng.random::<f64>() * rows as f64,
+        };
+        client
+            .request_json(&Request::Apply(vec![delta]))
+            .unwrap()
+            .expect("move accepted");
+    }
+
+    // metrics (JSON): lifetime counters and the per-kind apply-latency histograms
+    let reply = client
+        .request_json(&Request::Metrics { prometheus: false })
+        .unwrap()
+        .unwrap();
+    let metrics = reply.get("metrics").expect("metrics body");
+    assert_eq!(
+        metrics
+            .get("counters")
+            .and_then(|c| c.get("eco_batches_total"))
+            .and_then(Json::as_i64),
+        Some(MOVES as i64)
+    );
+    assert_eq!(
+        metrics
+            .get("counters")
+            .and_then(|c| c.get("eco_applied_total{kind=\"move\"}"))
+            .and_then(Json::as_i64),
+        Some(MOVES as i64)
+    );
+    let move_latency = metrics
+        .get("histograms")
+        .and_then(|h| h.get("eco_apply_latency_ns{kind=\"move\"}"))
+        .expect("per-kind latency histogram");
+    assert_eq!(
+        move_latency.get("count").and_then(Json::as_i64),
+        Some(MOVES as i64)
+    );
+    assert!(move_latency.get("p99").and_then(Json::as_i64).unwrap_or(0) > 0);
+
+    // metrics (Prometheus text): same data in the exposition format
+    let reply = client
+        .request_json(&Request::Metrics { prometheus: true })
+        .unwrap()
+        .unwrap();
+    let text = reply
+        .get("text")
+        .and_then(Json::as_str)
+        .expect("prometheus text");
+    assert!(
+        text.contains("# TYPE eco_apply_latency_ns histogram"),
+        "{text}"
+    );
+    assert!(text.contains("eco_batches_total 20"), "{text}");
+    assert!(text.contains("le=\"+Inf\""), "{text}");
+
+    // trace (plain): the engine thread recorded one apply span per batch
+    let reply = client
+        .request_json(&Request::Trace { chrome: false })
+        .unwrap()
+        .unwrap();
+    let spans = reply.get("trace").and_then(Json::as_arr).expect("spans");
+    let applies = spans
+        .iter()
+        .filter(|s| s.get("name").and_then(Json::as_str) == Some("eco.apply_batch"))
+        .count();
+    assert!(
+        applies >= MOVES,
+        "expected ≥{MOVES} apply spans, got {applies}"
+    );
+
+    // trace (chrome): a loadable trace-event document
+    let reply = client
+        .request_json(&Request::Trace { chrome: true })
+        .unwrap()
+        .unwrap();
+    // the embedded document is the trace-event "JSON array format": a bare event list
+    let events = reply
+        .get("trace")
+        .and_then(Json::as_arr)
+        .expect("trace events");
+    assert!(events.iter().any(|e| {
+        e.get("name").and_then(Json::as_str) == Some("eco.apply_batch")
+            && e.get("ph").and_then(Json::as_str) == Some("X")
+    }));
+
+    // stats carries uptime and the per-kind failure counters
+    let reply = client.request_json(&Request::Stats).unwrap().unwrap();
+    let stats = reply.get("stats").expect("stats body");
+    assert!(stats.get("uptime_s").and_then(Json::as_f64).unwrap_or(-1.0) >= 0.0);
+    assert_eq!(stats.get("failed_move").and_then(Json::as_i64), Some(0));
+
+    client.request(&Request::Shutdown).unwrap();
+    handle.join();
+}
+
+#[test]
 fn malformed_and_invalid_requests_get_typed_errors() {
     let design = generate(&BenchmarkSpec::tiny("eco-svc-err", 23));
     let engine = EcoEngine::legalize_and_build(design, MglConfig::default()).unwrap();

@@ -66,6 +66,7 @@ impl FlexAccelerator {
     /// engine; the placement (and therefore the quality numbers and the work trace) is
     /// identical to the serial run, only the measured host runtime changes.
     pub fn legalize(&self, design: &mut Design) -> FlexOutcome {
+        let host_span = flex_obs::span!("flex.host_legalize");
         let (result, shards) = if self.config.host_threads > 1 {
             let engine =
                 ParallelMglLegalizer::new(self.config.host_threads, self.config.mgl_config())
@@ -78,10 +79,13 @@ impl FlexAccelerator {
                 None,
             )
         };
+        drop(host_span);
         let software =
             SoftwareBreakdown::from_result_with_threads(&result, self.config.host_threads);
         let trace = result.trace.clone().unwrap_or_default();
+        let timing_span = flex_obs::span!("flex.timing_estimate");
         let timing = timing::estimate(&self.config, &trace, &software);
+        drop(timing_span);
         FlexOutcome {
             result,
             software,

@@ -212,6 +212,7 @@ impl FlexSession {
     }
 
     fn run_one(&self, kind: EngineKind, config: &FlexConfig) -> EngineRun {
+        let _span = flex_obs::span!("session.run_engine");
         let engine = kind.build(config);
         let mut design = self.design.clone();
         let report = engine.legalize(&mut design);

@@ -70,10 +70,12 @@ impl MglLegalizer {
         let cfg = &self.config;
 
         // step (a): input & pre-move
+        let build_span = flex_obs::span!("mgl.build_structures");
         design.pre_move();
         let segmap = SegmentMap::build(design);
         let mut index = LegalizedIndex::build(design);
         let density = DensityMap::build(design, cfg.density_bin_sites, cfg.density_bin_rows);
+        drop(build_span);
 
         let targets = design.movable_ids();
         let mut op_stats = FopOpStats::default();
@@ -111,6 +113,7 @@ impl MglLegalizer {
         // reuse the same grow-only buffers
         let mut scratch = FopScratch::new();
 
+        let place_span = flex_obs::span!("mgl.place_loop");
         loop {
             let target = match sliding.as_mut() {
                 Some(orderer) => orderer.next(design, &density),
@@ -145,10 +148,17 @@ impl MglLegalizer {
             }
             prev_window = Some(window);
         }
+        drop(place_span);
 
         // step (e) epilogue: verify
+        let verify_span = flex_obs::span!("mgl.verify");
         let report = check_legality_with(design, true);
+        drop(verify_span);
         let disp = displacement_stats(design);
+        op_stats.publish_to(flex_obs::global());
+        if let Some(trace) = &trace {
+            trace.publish_to(flex_obs::global());
+        }
         LegalizeResult {
             legal: report.is_legal(),
             placed_in_region,
@@ -311,7 +321,9 @@ pub fn plan_place_target_with(
         let window = target_window(design, target, half_s, half_r);
         last_window = window;
         last_expansion = expansion;
+        let extract_span = flex_obs::span!("mgl.extract");
         let region = LocalRegion::extract_indexed(design, segmap, target, window, index);
+        drop(extract_span);
         if region.cells.len() > cfg.max_region_cells {
             // the region would only grow with further expansions: go straight to the fallback
             break;
@@ -319,10 +331,15 @@ pub fn plan_place_target_with(
         if !region.can_host(width, height, parity) {
             continue;
         }
+        let fop_span = flex_obs::span!("mgl.fop");
         let outcome = fop::find_optimal_position_with(&region, &spec, cfg, op_stats, scratch);
+        drop(fop_span);
         accumulate_work(&mut work, &outcome.work);
         if let Some(best) = outcome.best {
-            if let Some(plan) = plan_commit_with(&region, &best, &spec, cfg, scratch) {
+            let plan_span = flex_obs::span!("mgl.plan_commit");
+            let plan = plan_commit_with(&region, &best, &spec, cfg, scratch);
+            drop(plan_span);
+            if let Some(plan) = plan {
                 let mut writes = Vec::new();
                 plan_write_rects(design, &plan, &mut writes);
                 return PlannedPlacement {
@@ -337,6 +354,7 @@ pub fn plan_place_target_with(
         }
     }
 
+    let _fallback_span = flex_obs::span!("mgl.fallback_scan");
     let (decision, writes) = match find_fallback_position(design, index, target, &spec) {
         Some((x, row)) => (
             PlacementDecision::Fallback { x, row },
@@ -372,6 +390,7 @@ pub fn apply_placement(
     } = planned;
     let (placed, plan) = match decision {
         PlacementDecision::Region(plan) => {
+            let _apply_span = flex_obs::span!("mgl.apply_commit");
             apply_commit(design, &plan);
             index.insert(design, target);
             (PlacedBy::Region, Some(plan))

@@ -141,6 +141,33 @@ pub struct ShardStats {
 }
 
 impl ShardStats {
+    /// Mirror every counter into `registry` as `par_shard_*` series. The struct's own
+    /// public shape is unchanged — this is the bridge onto the shared observability
+    /// registry, called once per run.
+    pub fn publish_to(&self, registry: &flex_obs::Registry) {
+        for (name, v) in [
+            ("par_shard_bands", self.bands as u64),
+            ("par_shard_band_rows", self.band_rows.max(0) as u64),
+            ("par_shard_straddlers", self.straddlers as u64),
+            ("par_shard_batches", self.batches as u64),
+            ("par_shard_pipelined_batches", self.pipelined_batches as u64),
+            ("par_shard_speculated", self.speculated as u64),
+            (
+                "par_shard_committed_speculatively",
+                self.committed_speculatively as u64,
+            ),
+            ("par_shard_serial_inline", self.serial_inline as u64),
+            ("par_shard_dirty_recomputes", self.dirty_recomputes as u64),
+            (
+                "par_shard_cross_batch_invalidated",
+                self.cross_batch_invalidated as u64,
+            ),
+            ("par_shard_order_invalidated", self.order_invalidated as u64),
+        ] {
+            registry.set_counter(name, v);
+        }
+    }
+
     /// Fraction of targets whose FOP ran speculatively in parallel.
     pub fn speculative_fraction(&self) -> f64 {
         let total = self.committed_speculatively + self.serial_inline;
@@ -383,9 +410,11 @@ impl ParallelMglLegalizer {
         // step (a): input & pre-move — identical to the serial flow. The row-sharded builds
         // run inside the engine's own pool so the configured thread count bounds them too
         // (they would otherwise fan out on the global pool regardless of `threads`).
+        let build_span = flex_obs::span!("par.build_structures");
         design.pre_move();
         let segmap = pool.install(|| SegmentMap::build(design));
         let mut index = pool.install(|| LegalizedIndex::build(design));
+        drop(build_span);
 
         // step (b): the serial processing order this engine preserves — materialized for the
         // static strategies, resolved incrementally (peek + live pop) for the dynamic one
@@ -475,25 +504,30 @@ impl ParallelMglLegalizer {
                 let (result_tx, result_rx) = mpsc::channel::<SpecBatch>();
                 // the runner drains launches FIFO, so results arrive in batch order; it
                 // exits when the launch sender is dropped (normal exit and unwind alike)
-                s.spawn(move || {
-                    while let Ok(msg) = launch_rx.recv() {
-                        let (pending, speculated) = speculate_batch_snapshot(
-                            pool_ref,
-                            msg.metas,
-                            &msg.snapshot,
-                            segmap_ref,
-                            cfg,
-                        );
-                        let out = SpecBatch {
-                            batch: msg.batch,
-                            pending,
-                            speculated,
-                        };
-                        if result_tx.send(out).is_err() {
-                            break;
+                std::thread::Builder::new()
+                    .name("flex-spec-runner".into())
+                    .spawn_scoped(s, move || {
+                        while let Ok(msg) = launch_rx.recv() {
+                            let spec_span = flex_obs::span!("par.speculate_batch");
+                            let (pending, speculated) = speculate_batch_snapshot(
+                                pool_ref,
+                                msg.metas,
+                                &msg.snapshot,
+                                segmap_ref,
+                                cfg,
+                            );
+                            drop(spec_span);
+                            let out = SpecBatch {
+                                batch: msg.batch,
+                                pending,
+                                speculated,
+                            };
+                            if result_tx.send(out).is_err() {
+                                break;
+                            }
                         }
-                    }
-                });
+                    })
+                    .expect("failed to spawn speculation runner");
 
                 let launch = |b: usize, skip: usize, order: &mut OrderSource, design: &Design| {
                     let ids = order.peek(design, skip, batch_count(b));
@@ -538,6 +572,7 @@ impl ParallelMglLegalizer {
                         .copied()
                         .collect();
                     let mut pending = spec.pending;
+                    let commit_span = flex_obs::span!("par.commit_batch");
                     let writes = commit_batch(
                         design,
                         &segmap,
@@ -552,6 +587,7 @@ impl ParallelMglLegalizer {
                         &mut acc,
                         Some(&store),
                     );
+                    drop(commit_span);
                     batch_writes.push(writes);
                     store.seal_epoch();
                     // fold retired epochs into the base columns: after this round the
@@ -567,9 +603,12 @@ impl ParallelMglLegalizer {
                 acc.shards.batches += 1;
                 let peeked = order.peek(design, 0, count);
                 let metas = build_metas(design, &peeked);
+                let spec_span = flex_obs::span!("par.speculate_batch");
                 let (mut pending, n_spec) =
                     speculate_batch(&pool, metas, design, &index, &segmap, cfg);
+                drop(spec_span);
                 acc.shards.speculated += n_spec;
+                let _commit_span = flex_obs::span!("par.commit_batch");
                 commit_batch(
                     design,
                     &segmap,
@@ -601,6 +640,11 @@ impl ParallelMglLegalizer {
             op_stats: acc.op_stats,
             trace: acc.trace,
         };
+        acc.shards.publish_to(flex_obs::global());
+        result.op_stats.publish_to(flex_obs::global());
+        if let Some(trace) = &result.trace {
+            trace.publish_to(flex_obs::global());
+        }
         ParallelLegalizeResult {
             result,
             shards: acc.shards,

@@ -89,6 +89,27 @@ impl FopOpStats {
         self.other_ns += other.other_ns;
     }
 
+    /// Mirror every per-operator total into `registry` as `mgl_fop_<op>_ns` counters (plus
+    /// `mgl_fop_total_ns`). The struct's own shape is unchanged — this is the bridge onto
+    /// the shared observability registry.
+    pub fn publish_to(&self, registry: &flex_obs::Registry) {
+        for (name, v) in [
+            ("mgl_fop_cell_shift_ns", self.cell_shift_ns),
+            ("mgl_fop_presort_ns", self.presort_ns),
+            ("mgl_fop_sort_bp_ns", self.sort_bp_ns),
+            ("mgl_fop_merge_bp_ns", self.merge_bp_ns),
+            ("mgl_fop_sum_slopes_r_ns", self.sum_slopes_r_ns),
+            ("mgl_fop_sum_slopes_l_ns", self.sum_slopes_l_ns),
+            ("mgl_fop_calc_value_ns", self.calc_value_ns),
+            ("mgl_fop_fwd_traverse_ns", self.fwd_traverse_ns),
+            ("mgl_fop_bwd_traverse_ns", self.bwd_traverse_ns),
+            ("mgl_fop_other_ns", self.other_ns),
+            ("mgl_fop_total_ns", self.total_ns()),
+        ] {
+            registry.set_counter(name, v);
+        }
+    }
+
     /// Record a duration into a field selected by the operator name used in the paper's figures.
     pub fn add(&mut self, op: FopOperator, d: Duration) {
         let ns = d.as_nanos() as u64;
@@ -210,6 +231,33 @@ impl WorkTrace {
     /// legalizer combine per-shard traces in any grouping as long as the shard order is fixed.
     pub fn merge(&mut self, other: &WorkTrace) {
         self.regions.extend(other.regions.iter().cloned());
+    }
+
+    /// Mirror the trace's aggregates into `registry`: totals as `mgl_trace_*` counters and
+    /// the per-region work distributions (insertion points, breakpoints, subcell visits)
+    /// as histograms. The per-region `regions` Vec itself stays the FPGA model's input.
+    pub fn publish_to(&self, registry: &flex_obs::Registry) {
+        registry.set_counter("mgl_trace_regions", self.len() as u64);
+        registry.set_counter("mgl_trace_insertion_points", self.total_points());
+        registry.set_counter("mgl_trace_breakpoints", self.total_breakpoints());
+        registry.set_counter("mgl_trace_subcell_visits", self.total_subcell_visits());
+        let mut points = flex_obs::Histogram::new();
+        let mut breakpoints = flex_obs::Histogram::new();
+        let mut visits = flex_obs::Histogram::new();
+        for r in &self.regions {
+            points.record(r.insertion_points);
+            breakpoints.record(r.breakpoints);
+            visits.record(r.subcell_visits);
+        }
+        registry
+            .histogram("mgl_region_insertion_points")
+            .merge_from(&points);
+        registry
+            .histogram("mgl_region_breakpoints")
+            .merge_from(&breakpoints);
+        registry
+            .histogram("mgl_region_subcell_visits")
+            .merge_from(&visits);
     }
 
     /// Fraction of regions whose successor region did not overlap (preloadable).

@@ -1,0 +1,133 @@
+//! Property tests for the log-bucketed histogram: merge is exactly associative and
+//! commutative, merging equals bulk recording, and quantile estimates respect the
+//! `true ≤ est ≤ true·(1 + 1/SUB)` error bound the bucket layout promises.
+
+use flex_obs::hist::{Histogram, SUB};
+use proptest::prelude::*;
+
+/// Values spanning the interesting ranges: exact unit buckets, mid-range, and huge.
+fn widen(raw: &[u64]) -> Vec<u64> {
+    raw.iter()
+        .map(|&v| {
+            // spread the uniform draw across magnitudes: low 6 bits pick a shift
+            let shift = (v & 0x3f) as u32;
+            (v >> 6).checked_shl(shift).unwrap_or(v).max(v & 0xff)
+        })
+        .collect()
+}
+
+fn hist_of(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// Exact quantile of a value multiset, matching the histogram's rank convention
+/// (rank `⌈q·n⌉`, 1-based, clamped).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as f64;
+    let rank = ((q * n).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// merge(a, b) == merge(b, a), field for field.
+    #[test]
+    fn merge_is_commutative(
+        raw_a in prop::collection::vec(0u64..u64::MAX, 0..40),
+        raw_b in prop::collection::vec(0u64..u64::MAX, 0..40),
+    ) {
+        let (va, vb) = (widen(&raw_a), widen(&raw_b));
+        let mut ab = hist_of(&va);
+        ab.merge(&hist_of(&vb));
+        let mut ba = hist_of(&vb);
+        ba.merge(&hist_of(&va));
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+    #[test]
+    fn merge_is_associative(
+        raw_a in prop::collection::vec(0u64..u64::MAX, 0..30),
+        raw_b in prop::collection::vec(0u64..u64::MAX, 0..30),
+        raw_c in prop::collection::vec(0u64..u64::MAX, 0..30),
+    ) {
+        let (va, vb, vc) = (widen(&raw_a), widen(&raw_b), widen(&raw_c));
+        let mut left = hist_of(&va);
+        left.merge(&hist_of(&vb));
+        left.merge(&hist_of(&vc));
+        let mut bc = hist_of(&vb);
+        bc.merge(&hist_of(&vc));
+        let mut right = hist_of(&va);
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Merging shards is indistinguishable from recording every value into one histogram
+    /// — the contract that makes per-thread accumulation sound.
+    #[test]
+    fn merge_equals_bulk_recording(
+        raw_a in prop::collection::vec(0u64..u64::MAX, 0..40),
+        raw_b in prop::collection::vec(0u64..u64::MAX, 0..40),
+    ) {
+        let (va, vb) = (widen(&raw_a), widen(&raw_b));
+        let mut merged = hist_of(&va);
+        merged.merge(&hist_of(&vb));
+        let mut all: Vec<u64> = va.clone();
+        all.extend_from_slice(&vb);
+        prop_assert_eq!(merged, hist_of(&all));
+    }
+
+    /// Quantile estimates sit in `[true, true·(1 + 1/SUB)]` for every probed quantile.
+    #[test]
+    fn quantile_error_is_bounded(
+        raw in prop::collection::vec(0u64..u64::MAX, 1..120),
+        q in 0.0f64..1.0,
+    ) {
+        let values = widen(&raw);
+        let h = hist_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [q, 0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let truth = exact_quantile(&sorted, q);
+            let est = h.value_at_quantile(q);
+            prop_assert!(est >= truth, "q={q}: est {est} below true {truth}");
+            // upper bound: est ≤ true·(1 + 1/SUB), computed in u128 to avoid overflow
+            let limit = truth as u128 + (truth as u128) / SUB as u128;
+            prop_assert!(
+                (est as u128) <= limit.max(truth as u128),
+                "q={q}: est {est} above bound {limit} (true {truth})"
+            );
+        }
+    }
+
+    /// min/max/count/sum survive arbitrary merge trees.
+    #[test]
+    fn scalar_stats_survive_merges(
+        raw in prop::collection::vec(0u64..u64::MAX, 1..60),
+        split in 0usize..60,
+    ) {
+        let values = widen(&raw);
+        let cut = split.min(values.len());
+        let mut merged = hist_of(&values[..cut]);
+        merged.merge(&hist_of(&values[cut..]));
+        prop_assert_eq!(merged.count(), values.len() as u64);
+        prop_assert_eq!(merged.min(), *values.iter().min().unwrap());
+        prop_assert_eq!(merged.max(), *values.iter().max().unwrap());
+        let sum = values.iter().fold(0u64, |a, &v| a.saturating_add(v));
+        prop_assert_eq!(merged.sum(), sum);
+    }
+}
+
+#[test]
+fn empty_merge_is_identity() {
+    let mut h = Histogram::new();
+    h.record(42);
+    let before = h.clone();
+    h.merge(&Histogram::new());
+    assert_eq!(h, before);
+}

@@ -195,6 +195,7 @@ impl EpochCellStore {
     /// Seal the open overlay; returns the epoch it became. Subsequent
     /// [`EpochCellStore::snapshot`] calls see every state recorded so far.
     pub fn seal_epoch(&self) -> Epoch {
+        let _span = flex_obs::span!("store.seal_epoch");
         let mut cols = self.columns.write().expect("cell store lock poisoned");
         cols.sealed += 1;
         cols.sealed
@@ -223,6 +224,7 @@ impl EpochCellStore {
     /// newest promoted write of each touched cell into its base slot and drop the folded
     /// history entries. Keeps per-lookup cost bounded by the number of *live* epochs.
     pub fn promote_through(&self, epoch: Epoch) {
+        let _span = flex_obs::span!("store.promote_through");
         let mut cols = self.columns.write().expect("cell store lock poisoned");
         let epoch = epoch.min(cols.sealed);
         while let Some((e, _)) = cols.overlays.front() {

@@ -38,4 +38,5 @@ pub use flex_core as core;
 pub use flex_eco as eco;
 pub use flex_fpga as fpga;
 pub use flex_mgl as mgl;
+pub use flex_obs as obs;
 pub use flex_placement as placement;
