@@ -34,6 +34,11 @@
 //! `FLEX_BENCH_OBS_MAX_OVERHEAD`%, default 3), byte-identical placements, and a Chrome
 //! trace-event export proving speculation/commit overlap — written to `BENCH_obs.json`
 //! and `BENCH_obs_trace.json` (`FLEX_BENCH_OBS_OUT` / `FLEX_BENCH_OBS_TRACE`).
+//!
+//! With `--recovery-json` it measures the crash-safety machinery of the ECO service:
+//! journaled vs. journal-less `MoveCell` p50 (gated at
+//! `FLEX_BENCH_RECOVERY_MAX_OVERHEAD`%, default 25) and recovery time as a function of
+//! journal length — written to `BENCH_recovery.json` (`FLEX_BENCH_RECOVERY_OUT`).
 
 use flex_baselines::cpu_gpu::{CpuGpuLegalizer, CpuGpuResult};
 use flex_core::accelerator::FlexOutcome;
@@ -820,10 +825,176 @@ fn obs_json() {
     println!("  wrote {path}");
 }
 
+/// `--recovery-json`: measure what durability costs and what recovery buys, and write
+/// `BENCH_recovery.json`. Two figures are recorded and gated:
+///
+/// * **journal overhead** — the write-ahead journal (append + CRC + kernel write before
+///   every apply) must cost at most `FLEX_BENCH_RECOVERY_MAX_OVERHEAD` percent (default
+///   25%) over the journal-less `MoveCell` p50 on the same warm engine;
+/// * **recovery time vs. journal length** — the directory is checkpointed at several
+///   points of the delta stream and recovered from each copy; recovery must reproduce
+///   a legal engine at the exact checkpoint sequence, and the (replayed batches,
+///   recovery ms) curve goes in the report.
+fn recovery_json() {
+    use flex_eco::journal::{recover_engine, Journal, JournalConfig};
+    use flex_eco::{EcoDelta, EcoEngine};
+    use flex_placement::benchmark::BenchmarkSpec;
+    use flex_placement::cell::CellId;
+    use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+    let cells: usize = std::env::var("FLEX_BENCH_RECOVERY_CELLS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000);
+    let deltas: usize = std::env::var("FLEX_BENCH_RECOVERY_DELTAS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000);
+    let max_overhead_pct: f64 = std::env::var("FLEX_BENCH_RECOVERY_MAX_OVERHEAD")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(25.0);
+    let spec = BenchmarkSpec {
+        num_cells: cells,
+        ..BenchmarkSpec::medium("eco-recovery", 42)
+    }
+    .with_density(0.45);
+
+    println!("--- crash-safe ECO service: journal overhead + recovery time ({cells} cells, {deltas} moves per phase) ---");
+    let design = generate(&spec);
+    let sites = design.num_sites_x;
+    let rows = design.num_rows;
+    let start = std::time::Instant::now();
+    let mut engine =
+        EcoEngine::legalize_and_build(design, MglConfig::default()).expect("bootstrap legalize");
+    println!(
+        "  bootstrap legalize + warm structures: {:.2} s",
+        start.elapsed().as_secs_f64()
+    );
+    let live: Vec<CellId> = engine
+        .design()
+        .cells
+        .iter()
+        .filter(|c| !c.fixed)
+        .map(|c| c.id)
+        .collect();
+
+    let random_move = |rng: &mut StdRng| -> EcoDelta {
+        EcoDelta::MoveCell {
+            id: live[rng.next_below(live.len() as u64) as usize],
+            gx: rng.random::<f64>() * sites as f64,
+            gy: rng.random::<f64>() * rows as f64,
+        }
+    };
+    let pct = |sorted: &[f64], p: f64| -> f64 {
+        let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    };
+
+    // phase 1 — journal-less baseline: the same warm engine, the same move mix
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut plain: Vec<f64> = Vec::with_capacity(deltas);
+    for _ in 0..deltas {
+        let delta = random_move(&mut rng);
+        let t = std::time::Instant::now();
+        engine
+            .apply(std::slice::from_ref(&delta))
+            .expect("valid move");
+        plain.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    plain.sort_by(|a, b| a.total_cmp(b));
+
+    // phase 2 — journaled: append (CRC + kernel write, no fsync) before every apply,
+    // checkpointing the directory for the recovery curve (a byte-copy of the directory
+    // at batch k is exactly what a crash right after acking batch k leaves behind)
+    let dir = std::env::temp_dir().join(format!("flex-bench-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut journal_cfg = JournalConfig::new(&dir);
+    journal_cfg.snapshot_every = 0; // one generation: the whole stream replays
+    let mut journal =
+        Journal::create(journal_cfg, engine.design(), engine.stats(), 0).expect("create journal");
+    let checkpoints = [deltas / 4, deltas / 2, deltas];
+    let mut copies: Vec<(u64, std::path::PathBuf)> = Vec::new();
+    let mut journaled: Vec<f64> = Vec::with_capacity(deltas);
+    for i in 1..=deltas {
+        let delta = random_move(&mut rng);
+        let batch = std::slice::from_ref(&delta);
+        let t = std::time::Instant::now();
+        journal.append(batch).expect("journal append");
+        engine.apply(batch).expect("valid move");
+        journaled.push(t.elapsed().as_secs_f64() * 1e6);
+        if checkpoints.contains(&i) {
+            let copy = dir.with_extension(format!("ck{i}"));
+            let _ = std::fs::remove_dir_all(&copy);
+            std::fs::create_dir_all(&copy).expect("checkpoint dir");
+            for entry in std::fs::read_dir(&dir).expect("read journal dir").flatten() {
+                std::fs::copy(entry.path(), copy.join(entry.file_name())).expect("checkpoint copy");
+            }
+            copies.push((i as u64, copy));
+        }
+    }
+    journaled.sort_by(|a, b| a.total_cmp(b));
+
+    let (plain_p50, plain_p99) = (pct(&plain, 0.50), pct(&plain, 0.99));
+    let (j_p50, j_p99) = (pct(&journaled, 0.50), pct(&journaled, 0.99));
+    let overhead_pct = (j_p50 - plain_p50) / plain_p50 * 100.0;
+    println!("  move p50: journal-less {plain_p50:>8.1} us   journaled {j_p50:>8.1} us   overhead {overhead_pct:+.1}%  (gate: ≤ {max_overhead_pct}%)");
+    println!(
+        "  move p99: journal-less {plain_p99:>8.1} us   journaled {j_p99:>8.1} us   wal bytes {}",
+        journal.wal_bytes()
+    );
+
+    // phase 3 — recovery time vs. journal length, from the checkpoint copies
+    let mut points_json = String::new();
+    for (idx, (batches, copy)) in copies.iter().enumerate() {
+        let t = std::time::Instant::now();
+        let (recovered, rec_journal, report) =
+            recover_engine(JournalConfig::new(copy), MglConfig::default(), false)
+                .expect("recovery io")
+                .expect("checkpoint must recover");
+        let recover_ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            rec_journal.seq(),
+            *batches,
+            "recovery must reach the checkpoint"
+        );
+        assert_eq!(report.replayed, *batches, "every journaled batch replays");
+        assert!(recovered.check_legal(), "recovered engine must be legal");
+        println!(
+            "  recover @ {batches:>6} batches: {recover_ms:>8.1} ms  ({:.0} batches/s)",
+            *batches as f64 / (recover_ms / 1e3)
+        );
+        points_json.push_str(&format!(
+            "    {{\"replayed_batches\": {batches}, \"recover_ms\": {recover_ms:.2}}}{}\n",
+            if idx + 1 == copies.len() { "" } else { "," }
+        ));
+        let _ = std::fs::remove_dir_all(copy);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert!(
+        overhead_pct <= max_overhead_pct,
+        "journal overhead {overhead_pct:.1}% exceeds the {max_overhead_pct}% p50 gate"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"eco_recovery\",\n  \"unit\": \"microseconds per move / milliseconds per recovery\",\n  \"cells\": {cells},\n  \"deltas_per_phase\": {deltas},\n  \"journal_less_p50_us\": {plain_p50:.2},\n  \"journal_less_p99_us\": {plain_p99:.2},\n  \"journaled_p50_us\": {j_p50:.2},\n  \"journaled_p99_us\": {j_p99:.2},\n  \"overhead_pct\": {overhead_pct:.2},\n  \"gate_pct\": {max_overhead_pct},\n  \"wal_bytes\": {},\n  \"recovery\": [\n{points_json}  ]\n}}\n",
+        journal.wal_bytes()
+    );
+    let path = std::env::var("FLEX_BENCH_RECOVERY_OUT")
+        .unwrap_or_else(|_| "BENCH_recovery.json".to_string());
+    std::fs::write(&path, &json).expect("write BENCH_recovery.json");
+    println!("  wrote {path}");
+}
+
 fn main() {
     flex_obs::init_from_env();
     if std::env::args().any(|a| a == "--fop-json") {
         fop_json();
+        return;
+    }
+    if std::env::args().any(|a| a == "--recovery-json") {
+        recovery_json();
         return;
     }
     if std::env::args().any(|a| a == "--parallel-json") {

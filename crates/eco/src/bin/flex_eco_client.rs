@@ -185,18 +185,25 @@ fn main() {
         };
         let kind = delta.kind();
         let start = Instant::now();
-        match client.request_json(&Request::Apply(vec![delta])) {
+        // the retrying entry point: Busy sheds are waited out, a dropped/timed-out
+        // connection reconnects and resends — only a fatal error (protocol violation,
+        // retry budget exhausted) aborts the run
+        match client.request_json_retry(&Request::Apply(vec![delta])) {
             Ok(Ok(_)) => latencies[kind.index()].record_duration(start.elapsed()),
             Ok(Err(_)) => rejected += 1, // e.g. a delta addressing an already-removed cell
             Err(e) => {
-                eprintln!("apply failed: {e}");
+                eprintln!("apply failed (fatal, not retryable): {e}");
                 std::process::exit(1);
             }
         }
     }
 
     let us = |ns: u64| ns as f64 / 1e3;
-    println!("sent {deltas} deltas ({rejected} rejected by validation)");
+    println!(
+        "sent {deltas} deltas ({rejected} rejected by validation, {} transient retries, {} busy sheds absorbed)",
+        client.retries_performed(),
+        client.busy_shed_seen()
+    );
     for kind in DeltaKind::ALL {
         let lat = &latencies[kind.index()];
         if lat.is_empty() {

@@ -128,6 +128,15 @@ pub enum EcoError {
     InvariantViolation(String),
     /// A malformed request reached the engine through the service front end.
     Protocol(String),
+    /// The write-ahead journal could not durably record the batch; nothing was applied —
+    /// journal-before-apply ordering means a journal failure leaves the engine untouched.
+    Journal(String),
+    /// The server's bounded job queue is full and shed this request instead of blocking
+    /// the connection. Retry after the hinted delay.
+    Busy {
+        /// Suggested client back-off before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 impl std::fmt::Display for EcoError {
@@ -141,6 +150,10 @@ impl std::fmt::Display for EcoError {
             }
             EcoError::InvariantViolation(msg) => write!(f, "invariant violation: {msg}"),
             EcoError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            EcoError::Journal(msg) => write!(f, "journal error: {msg}"),
+            EcoError::Busy { retry_after_ms } => {
+                write!(f, "server busy, retry after {retry_after_ms}ms")
+            }
         }
     }
 }
@@ -215,7 +228,7 @@ impl EcoReport {
 }
 
 /// Lifetime counters of a resident engine, reported over the `stats` op.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EcoStats {
     /// Deltas applied, bucketed by [`DeltaKind::index`].
     pub applied: [u64; 4],

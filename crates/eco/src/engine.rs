@@ -88,6 +88,18 @@ impl EcoEngine {
         })
     }
 
+    /// Rebuild a resident engine from crash-recovery state: a design as a snapshot stored
+    /// it (already legal — snapshots are only ever taken of the live legal design) and the
+    /// lifetime counters as of that snapshot. The warm structures (segment map, index,
+    /// density map, epoch store) are rebuilt from the design; replaying the journal suffix
+    /// through [`EcoEngine::apply`] then reproduces the pre-crash state exactly, because
+    /// `apply` is deterministic in the design state and the delta sequence.
+    pub fn resume(design: Design, cfg: MglConfig, stats: EcoStats) -> Result<Self, EcoError> {
+        let mut engine = Self::new(design, cfg)?;
+        engine.stats = stats;
+        Ok(engine)
+    }
+
     /// Convenience bootstrap: run the full serial legalizer on `design` first, then build
     /// the resident engine on the result. Returns the engine and the legalization's
     /// reported legality (the engine itself requires it to be `true`).
@@ -233,6 +245,9 @@ impl EcoEngine {
         let mut displacement_delta = 0.0f64;
 
         for delta in deltas {
+            // deterministic kill switch for the crash-recovery and wind-down suites: a
+            // single relaxed load when injection is off
+            crate::fault::maybe_panic("eco.engine.panic");
             let delta_start = Instant::now();
             let outcome = match delta {
                 EcoDelta::MoveCell { id, gx, gy } => self.relegalize_target(

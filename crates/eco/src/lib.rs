@@ -21,14 +21,23 @@
 //! - the legalized index equals a from-scratch rebuild (point mutations keep the exact
 //!   bucket ordering), and the density map tracks every rect move incrementally;
 //! - a rejected batch (validation error) mutates nothing.
+//!
+//! Durability and fault tolerance: the [`journal`] module adds a write-ahead delta
+//! journal with periodic snapshots (journal-before-ack: an acknowledged batch survives
+//! process death; recovery replays the journal suffix onto the newest valid snapshot and
+//! is bit-identical to never having crashed), and the [`fault`] module provides the
+//! deterministic failpoint registry the crash/recovery test suites drive.
 
 pub mod delta;
 pub mod engine;
+pub mod fault;
+pub mod journal;
 pub mod json;
 pub mod proto;
 pub mod service;
 
 pub use delta::{DeltaKind, DeltaOutcome, EcoDelta, EcoError, EcoReport, EcoStats, PlacedKind};
 pub use engine::EcoEngine;
+pub use journal::{Journal, JournalConfig, RecoveryReport};
 pub use proto::Request;
-pub use service::{EcoClient, EcoServer, ServerHandle};
+pub use service::{EcoClient, EcoServer, ServerConfig, ServerHandle};

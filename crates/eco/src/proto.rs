@@ -94,8 +94,10 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
     w.flush()
 }
 
-/// Decode one delta object (the body of `move`/`insert`/`resize`/`remove` ops).
-fn decode_delta(obj: &Json) -> Result<EcoDelta, String> {
+/// Decode one delta object (the body of `move`/`insert`/`resize`/`remove` ops). Also the
+/// payload codec of write-ahead journal records (`crate::journal`), which is why it is
+/// crate-visible: the journal must replay exactly what the wire accepted.
+pub(crate) fn decode_delta(obj: &Json) -> Result<EcoDelta, String> {
     let op = obj
         .get("op")
         .and_then(Json::as_str)
@@ -206,7 +208,7 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
     json.to_string().into_bytes()
 }
 
-fn encode_delta(delta: &EcoDelta) -> Json {
+pub(crate) fn encode_delta(delta: &EcoDelta) -> Json {
     match delta {
         EcoDelta::MoveCell { id, gx, gy } => Json::Obj(vec![
             ("op".into(), Json::Str("move".into())),
@@ -397,14 +399,35 @@ pub fn encode_trace(events: &[flex_obs::SpanEvent], chrome: bool) -> Vec<u8> {
     .into_bytes()
 }
 
-/// Encode an error response.
+/// Encode an error response. [`EcoError::Busy`] additionally carries machine-readable
+/// `busy`/`retry_after_ms` fields so clients can distinguish shed load (retry with
+/// back-off) from a rejection (don't).
 pub fn encode_error(error: &EcoError) -> Vec<u8> {
-    Json::Obj(vec![
+    let mut fields = vec![
         ("ok".into(), Json::Bool(false)),
         ("error".into(), Json::Str(error.to_string())),
-    ])
-    .to_string()
-    .into_bytes()
+    ];
+    if let EcoError::Busy { retry_after_ms } = error {
+        fields.push(("busy".into(), Json::Bool(true)));
+        fields.push(("retry_after_ms".into(), Json::Num(*retry_after_ms as f64)));
+    }
+    Json::Obj(fields).to_string().into_bytes()
+}
+
+/// If `response` is a `Busy` shed (see [`encode_error`]), the suggested back-off in
+/// milliseconds. The client retry loop keys off this.
+pub fn busy_retry_after(response: &Json) -> Option<u64> {
+    if response.get("busy").and_then(Json::as_bool) == Some(true) {
+        Some(
+            response
+                .get("retry_after_ms")
+                .and_then(Json::as_i64)
+                .unwrap_or(1)
+                .max(0) as u64,
+        )
+    } else {
+        None
+    }
 }
 
 #[cfg(test)]
@@ -467,6 +490,18 @@ mod tests {
             let decoded = decode_request(&encoded).unwrap();
             assert_eq!(decoded, request);
         }
+    }
+
+    #[test]
+    fn busy_responses_are_machine_detectable() {
+        let bytes = encode_error(&EcoError::Busy { retry_after_ms: 5 });
+        let json = Json::parse(std::str::from_utf8(&bytes).unwrap()).unwrap();
+        assert_eq!(json.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(busy_retry_after(&json), Some(5));
+
+        let bytes = encode_error(&EcoError::Protocol("nope".into()));
+        let json = Json::parse(std::str::from_utf8(&bytes).unwrap()).unwrap();
+        assert_eq!(busy_retry_after(&json), None);
     }
 
     #[test]

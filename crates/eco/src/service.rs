@@ -5,9 +5,20 @@
 //! runs two batches concurrently. Instead, each accepted connection gets a reader thread
 //! that decodes frames and pushes jobs onto a bounded [`std::sync::mpsc::sync_channel`];
 //! one engine thread drains the queue in arrival order and sends each response back through
-//! the job's reply channel. Back-pressure is the queue bound (`FlexConfig::
-//! eco_queue_capacity`): when clients outpace the engine, their reader threads block on the
-//! queue rather than ballooning memory.
+//! the job's reply channel. Back-pressure is the queue bound (`ServerConfig::
+//! queue_capacity`) — and it *sheds* rather than blocks: when the queue is full the
+//! connection answers a typed `Busy` response with a retry-after hint instead of wedging
+//! its reader thread ([`EcoClient`]'s retry loop backs off and resends).
+//!
+//! Deadlines: every connection carries read/write timeouts
+//! ([`ServerConfig::idle_timeout`]), so a client that connects and then sends nothing —
+//! or stops draining its replies — is disconnected and its thread reclaimed instead of
+//! being pinned forever.
+//!
+//! Durability: with a [`Journal`] configured, every `apply` batch is appended to the
+//! write-ahead journal **before** it reaches the engine; a journal failure produces a
+//! typed error and the engine stays untouched. See [`crate::journal`] for the recovery
+//! side.
 //!
 //! Shutdown: a `shutdown` request raises an atomic flag, is acknowledged, and stops the
 //! engine thread; a self-connection unblocks the accept loop, which then hangs up every
@@ -20,21 +31,51 @@
 
 use crate::delta::{DeltaKind, EcoError};
 use crate::engine::EcoEngine;
+use crate::fault;
+use crate::journal::Journal;
+use crate::json::Json;
 use crate::proto::{
-    decode_request, encode_error, encode_info, encode_metrics_json, encode_metrics_text,
-    encode_report, encode_stats, encode_trace, read_frame, write_frame, Request,
+    busy_retry_after, decode_request, encode_error, encode_info, encode_metrics_json,
+    encode_metrics_text, encode_report, encode_request, encode_stats, encode_trace, read_frame,
+    write_frame, Request,
 };
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// One queued request: the decoded payload plus the channel the response goes back on.
 struct Job {
     request: Request,
     reply: SyncSender<Vec<u8>>,
+}
+
+/// Server tuning: queue bound, connection deadlines, load-shedding hint, durability.
+pub struct ServerConfig {
+    /// Bound of the job queue. A full queue sheds (`Busy`) instead of blocking readers.
+    pub queue_capacity: usize,
+    /// Per-connection read/write deadline. A connection idle (or not draining replies)
+    /// past this is disconnected and its thread reclaimed. `None` disables deadlines and
+    /// restores block-forever reads.
+    pub idle_timeout: Option<Duration>,
+    /// The retry-after hint carried by `Busy` responses, in milliseconds.
+    pub busy_retry_after_ms: u64,
+    /// Write-ahead journal; every accepted apply batch is journaled before it is applied.
+    pub journal: Option<Journal>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 64,
+            idle_timeout: Some(Duration::from_secs(30)),
+            busy_retry_after_ms: 2,
+            journal: None,
+        }
+    }
 }
 
 /// A running ECO server.
@@ -48,28 +89,50 @@ pub struct ServerHandle {
 }
 
 impl EcoServer {
-    /// Bind `path` (any stale socket file is removed first) and serve `engine` until a
-    /// `shutdown` request arrives.
+    /// Bind `path` and serve with default deadlines and no journal (see
+    /// [`EcoServer::start_with`]).
     pub fn start(
         engine: EcoEngine,
         path: impl AsRef<Path>,
         queue_capacity: usize,
     ) -> std::io::Result<ServerHandle> {
+        Self::start_with(
+            engine,
+            path,
+            ServerConfig {
+                queue_capacity,
+                ..ServerConfig::default()
+            },
+        )
+    }
+
+    /// Bind `path` (any stale socket file is removed first) and serve `engine` until a
+    /// `shutdown` request arrives.
+    pub fn start_with(
+        engine: EcoEngine,
+        path: impl AsRef<Path>,
+        config: ServerConfig,
+    ) -> std::io::Result<ServerHandle> {
         let path = path.as_ref().to_path_buf();
         let _ = std::fs::remove_file(&path);
         let listener = UnixListener::bind(&path)?;
         let stopping = Arc::new(AtomicBool::new(false));
-        let (job_tx, job_rx) = sync_channel::<Job>(queue_capacity.max(1));
+        let (job_tx, job_rx) = sync_channel::<Job>(config.queue_capacity.max(1));
+        let conn = ConnConfig {
+            idle_timeout: config.idle_timeout,
+            busy_retry_after_ms: config.busy_retry_after_ms,
+        };
 
         let engine_handle = {
             let stopping = Arc::clone(&stopping);
             let path = path.clone();
-            std::thread::spawn(move || engine_loop(engine, job_rx, stopping, path))
+            let journal = config.journal;
+            std::thread::spawn(move || engine_loop(engine, journal, job_rx, stopping, path))
         };
 
         let accept_handle = {
             let stopping = Arc::clone(&stopping);
-            std::thread::spawn(move || accept_loop(listener, job_tx, stopping))
+            std::thread::spawn(move || accept_loop(listener, job_tx, stopping, conn))
         };
 
         Ok(ServerHandle {
@@ -104,6 +167,13 @@ impl ServerHandle {
     }
 }
 
+/// The per-connection slice of [`ServerConfig`] (cheap to copy into client threads).
+#[derive(Clone, Copy)]
+struct ConnConfig {
+    idle_timeout: Option<Duration>,
+    busy_retry_after_ms: u64,
+}
+
 /// Winds the server down no matter how the engine thread exits — including a panic, when
 /// this runs during unwinding: raise the stop flag so `accept_loop` and every `client_loop`
 /// break out, then poke the accept loop with a throwaway self-connection so it is not left
@@ -121,9 +191,12 @@ impl Drop for StopGuard {
     }
 }
 
-/// The single engine thread: drains jobs in arrival order until shutdown.
+/// The single engine thread: drains jobs in arrival order until shutdown. With a journal,
+/// apply batches are journaled first — journal-before-ack is what makes an acknowledged
+/// batch durable, and a journal failure leaves the engine untouched by construction.
 fn engine_loop(
     mut engine: EcoEngine,
+    mut journal: Option<Journal>,
     jobs: Receiver<Job>,
     stopping: Arc<AtomicBool>,
     path: PathBuf,
@@ -134,10 +207,29 @@ fn engine_loop(
     };
     while let Ok(job) = jobs.recv() {
         let (response, stop) = match job.request {
-            Request::Apply(ref deltas) => match engine.apply(deltas) {
-                Ok(report) => (encode_report(&report), false),
-                Err(e) => (encode_error(&e), false),
-            },
+            Request::Apply(ref deltas) => {
+                let journaled = match journal.as_mut() {
+                    Some(j) => j.append(deltas).map(|_| ()),
+                    None => Ok(()),
+                };
+                match journaled {
+                    Err(e) => (encode_error(&EcoError::Journal(e.to_string())), false),
+                    Ok(()) => {
+                        let response = match engine.apply(deltas) {
+                            Ok(report) => encode_report(&report),
+                            Err(e) => encode_error(&e),
+                        };
+                        if let Some(j) = journal.as_mut() {
+                            // rotation failure is survivable — the open wal stays valid,
+                            // the only cost is a longer replay on the next recovery
+                            if let Err(e) = j.maybe_snapshot(engine.design(), engine.stats()) {
+                                eprintln!("eco journal: snapshot failed: {e} (continuing)");
+                            }
+                        }
+                        (response, false)
+                    }
+                }
+            }
             Request::Info => {
                 let d = engine.design();
                 (
@@ -161,6 +253,13 @@ fn engine_loop(
             // raise the flag BEFORE acknowledging, so the requester's client loop sees it
             // right after writing the reply and hangs up instead of reading another frame
             stopping.store(true, Ordering::SeqCst);
+            // a parting snapshot makes the next start recover instantly; failure only
+            // means recovery replays the wal instead
+            if let Some(j) = journal.as_mut() {
+                if let Err(e) = j.snapshot_now(engine.design(), engine.stats()) {
+                    eprintln!("eco journal: shutdown snapshot failed: {e}");
+                }
+            }
         }
         let _ = job.reply.send(response);
         if stop {
@@ -197,7 +296,12 @@ fn metrics_response(engine: &EcoEngine, prometheus: bool) -> Vec<u8> {
 
 /// Accept clients until the stop flag is raised, then hang up on every connection (client
 /// loops blocked in a read wake with EOF) and join every client thread before exiting.
-fn accept_loop(listener: UnixListener, jobs: SyncSender<Job>, stopping: Arc<AtomicBool>) {
+fn accept_loop(
+    listener: UnixListener,
+    jobs: SyncSender<Job>,
+    stopping: Arc<AtomicBool>,
+    conn_cfg: ConnConfig,
+) {
     let mut clients: Vec<(UnixStream, JoinHandle<()>)> = Vec::new();
     for stream in listener.incoming() {
         if stopping.load(Ordering::SeqCst) {
@@ -209,7 +313,7 @@ fn accept_loop(listener: UnixListener, jobs: SyncSender<Job>, stopping: Arc<Atom
         };
         let jobs = jobs.clone();
         let stopping = Arc::clone(&stopping);
-        let handle = std::thread::spawn(move || client_loop(stream, jobs, stopping));
+        let handle = std::thread::spawn(move || client_loop(stream, jobs, stopping, conn_cfg));
         clients.push((conn, handle));
     }
     for (conn, handle) in clients {
@@ -220,34 +324,80 @@ fn accept_loop(listener: UnixListener, jobs: SyncSender<Job>, stopping: Arc<Atom
     }
 }
 
-/// One connection: read frames, enqueue jobs, write responses, until EOF or shutdown.
-fn client_loop(stream: UnixStream, jobs: SyncSender<Job>, stopping: Arc<AtomicBool>) {
+/// Whether an I/O error is the connection's read deadline expiring (Unix reports a
+/// timed-out socket read as either `WouldBlock` or `TimedOut` depending on platform).
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// One connection: read frames, enqueue jobs, write responses — until EOF, shutdown, or
+/// an expired deadline (an idle client is disconnected, not waited on forever).
+fn client_loop(
+    stream: UnixStream,
+    jobs: SyncSender<Job>,
+    stopping: Arc<AtomicBool>,
+    conn_cfg: ConnConfig,
+) {
+    flex_obs::global().counter("eco_connections_total").inc();
+    if let Some(deadline) = conn_cfg.idle_timeout {
+        // failure to arm a deadline must not grant an infinite one
+        if stream.set_read_timeout(Some(deadline)).is_err()
+            || stream.set_write_timeout(Some(deadline)).is_err()
+        {
+            return;
+        }
+    }
     let mut reader = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     };
     let mut writer = stream;
-    while let Ok(Some(payload)) = read_frame(&mut reader) {
+    loop {
+        let frame = fault::fail_io("eco.socket.read").and_then(|()| read_frame(&mut reader));
+        let payload = match frame {
+            Ok(Some(payload)) => payload,
+            Ok(None) => break, // clean EOF
+            Err(e) => {
+                if is_timeout(&e) {
+                    flex_obs::global()
+                        .counter("eco_idle_disconnects_total")
+                        .inc();
+                }
+                break; // deadline expired or the stream broke: reclaim the thread
+            }
+        };
         let response = match decode_request(&payload) {
             Ok(request) => {
                 let (reply_tx, reply_rx) = sync_channel::<Vec<u8>>(1);
-                if jobs
-                    .send(Job {
-                        request,
-                        reply: reply_tx,
-                    })
-                    .is_err()
-                {
-                    break; // engine stopped
-                }
-                match reply_rx.recv() {
-                    Ok(response) => response,
-                    Err(_) => break,
+                let job = Job {
+                    request,
+                    reply: reply_tx,
+                };
+                // shed instead of blocking: a full queue answers Busy so this reader
+                // thread stays responsive (the "eco.queue.full" failpoint forces the shed
+                // path deterministically in tests)
+                let shed = fault::armed() && fault::fires("eco.queue.full");
+                if shed {
+                    busy_response(conn_cfg.busy_retry_after_ms)
+                } else {
+                    match jobs.try_send(job) {
+                        Ok(()) => match reply_rx.recv() {
+                            Ok(response) => response,
+                            Err(_) => break,
+                        },
+                        Err(TrySendError::Full(_)) => busy_response(conn_cfg.busy_retry_after_ms),
+                        Err(TrySendError::Disconnected(_)) => break, // engine stopped
+                    }
                 }
             }
             Err(msg) => encode_error(&EcoError::Protocol(msg)),
         };
-        if write_frame(&mut writer, &response).is_err() {
+        let wrote =
+            fault::fail_io("eco.socket.write").and_then(|()| write_frame(&mut writer, &response));
+        if wrote.is_err() {
             break;
         }
         // after a shutdown has been acknowledged (possibly by this very reply), stop
@@ -257,25 +407,91 @@ fn client_loop(stream: UnixStream, jobs: SyncSender<Job>, stopping: Arc<AtomicBo
             break;
         }
     }
+    // actually hang up: the accept loop retains a clone of this stream (to wake us at
+    // shutdown), so merely dropping our handles leaves the connection half-open and a
+    // peer blocked in a read would wait forever instead of seeing EOF and reconnecting
+    let _ = writer.shutdown(std::net::Shutdown::Both);
+}
+
+fn busy_response(retry_after_ms: u64) -> Vec<u8> {
+    flex_obs::global().counter("eco_busy_total").inc();
+    encode_error(&EcoError::Busy { retry_after_ms })
+}
+
+/// How [`EcoClient`] retries transient failures: exponential backoff with seeded jitter.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = fail on the first transient error).
+    pub max_retries: u32,
+    /// First backoff delay; doubles per retry.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+    /// Jitter seed (deterministic backoff schedules for tests and soak runs).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 6,
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(250),
+            seed: 0x5EED,
+        }
+    }
 }
 
 /// A blocking client for the framed protocol (used by the tests, the example client binary
-/// and the CI smoke step).
+/// and the CI smoke step). Remembers the socket path, so the retrying entry point
+/// ([`EcoClient::request_json_retry`]) can reconnect when the server dropped the
+/// connection (an idle-deadline disconnect, a server restart after a crash).
 pub struct EcoClient {
     stream: UnixStream,
+    path: PathBuf,
+    retry: RetryPolicy,
+    retries_performed: u64,
+    busy_shed_seen: u64,
+    jitter: u64,
 }
 
 impl EcoClient {
     /// Connect to a running server.
     pub fn connect(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let retry = RetryPolicy::default();
         Ok(Self {
-            stream: UnixStream::connect(path)?,
+            stream: UnixStream::connect(&path)?,
+            path,
+            jitter: fault::scramble_seed(retry.seed),
+            retry,
+            retries_performed: 0,
+            busy_shed_seen: 0,
         })
     }
 
-    /// Send one request and wait for its response payload (raw JSON bytes).
+    /// Replace the retry policy (affects [`EcoClient::request_json_retry`] only).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.jitter = fault::scramble_seed(retry.seed);
+        self.retry = retry;
+        self
+    }
+
+    /// Transient failures absorbed so far (reconnect-and-resend retries plus `Busy` sheds
+    /// waited out) — the load generator reports these in its summary.
+    pub fn retries_performed(&self) -> u64 {
+        self.retries_performed
+    }
+
+    /// `Busy` shed responses absorbed by the retry loop so far.
+    pub fn busy_shed_seen(&self) -> u64 {
+        self.busy_shed_seen
+    }
+
+    /// Send one request and wait for its response payload (raw JSON bytes). One attempt,
+    /// no retries — transient failures surface as errors.
     pub fn request(&mut self, request: &Request) -> std::io::Result<Vec<u8>> {
-        write_frame(&mut self.stream, &crate::proto::encode_request(request))?;
+        write_frame(&mut self.stream, &encode_request(request))?;
         read_frame(&mut self.stream)?.ok_or_else(|| {
             std::io::Error::new(
                 std::io::ErrorKind::UnexpectedEof,
@@ -285,25 +501,125 @@ impl EcoClient {
     }
 
     /// Send one request and parse the response, returning the parsed JSON if `ok` is true
-    /// and the error string otherwise.
-    pub fn request_json(
+    /// and the error string otherwise. One attempt, no retries.
+    pub fn request_json(&mut self, request: &Request) -> std::io::Result<Result<Json, String>> {
+        let payload = self.request(request)?;
+        Self::parse_response(&payload)
+    }
+
+    /// Like [`EcoClient::request_json`], but absorb transient failures: a `Busy` shed
+    /// waits out the server's retry-after hint, a retryable I/O error (timeout, reset,
+    /// dropped connection, refused reconnect) reconnects and resends, both under
+    /// exponential backoff with seeded jitter. Fatal errors (protocol violations,
+    /// malformed data) and request rejections return immediately.
+    ///
+    /// Retrying re-*sends*: if the failure hit after the server received the request but
+    /// before the reply arrived, the request may execute twice (at-least-once delivery).
+    /// Idempotent ops (`info`, `stats`, …) don't care; `apply` callers that need
+    /// exactly-once must not see transient errors in the first place (Unix sockets on one
+    /// host) or must de-duplicate above this layer.
+    pub fn request_json_retry(
         &mut self,
         request: &Request,
-    ) -> std::io::Result<Result<crate::json::Json, String>> {
-        let payload = self.request(request)?;
-        let text = String::from_utf8_lossy(&payload).into_owned();
-        let json = crate::json::Json::parse(&text)
+    ) -> std::io::Result<Result<Json, String>> {
+        let mut attempt = 0u32;
+        loop {
+            match self.request(request) {
+                Ok(payload) => {
+                    // a malformed response is fatal, never retried: the server is
+                    // speaking a different protocol, resending won't fix that
+                    let text = String::from_utf8_lossy(&payload).into_owned();
+                    let json = Json::parse(&text)
+                        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+                    if json.get("ok").and_then(Json::as_bool) == Some(true) {
+                        return Ok(Ok(json));
+                    }
+                    if let Some(hint_ms) = busy_retry_after(&json) {
+                        if attempt >= self.retry.max_retries {
+                            return Ok(Err(format!("server still busy after {attempt} retries")));
+                        }
+                        self.busy_shed_seen += 1;
+                        self.retries_performed += 1;
+                        let backoff = self.backoff_delay(attempt);
+                        std::thread::sleep(backoff.max(Duration::from_millis(hint_ms)));
+                        attempt += 1;
+                        continue;
+                    }
+                    // a real rejection (validation, journal, protocol): the caller's
+                    // problem, not a transient
+                    return Ok(Err(json
+                        .get("error")
+                        .and_then(Json::as_str)
+                        .unwrap_or("unknown error")
+                        .to_string()));
+                }
+                Err(e) => {
+                    if !is_retryable(&e) || attempt >= self.retry.max_retries {
+                        return Err(e);
+                    }
+                    self.retries_performed += 1;
+                    std::thread::sleep(self.backoff_delay(attempt));
+                    attempt += 1;
+                    // the old stream is suspect after any I/O error: reconnect (the
+                    // server may also be mid-restart, in which case connect itself is
+                    // the retried operation)
+                    if let Ok(stream) = UnixStream::connect(&self.path) {
+                        self.stream = stream;
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_response(payload: &[u8]) -> std::io::Result<Result<Json, String>> {
+        let text = String::from_utf8_lossy(payload).into_owned();
+        let json = Json::parse(&text)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-        if json.get("ok").and_then(crate::json::Json::as_bool) == Some(true) {
+        if json.get("ok").and_then(Json::as_bool) == Some(true) {
             Ok(Ok(json))
         } else {
             Ok(Err(json
                 .get("error")
-                .and_then(crate::json::Json::as_str)
+                .and_then(Json::as_str)
                 .unwrap_or("unknown error")
                 .to_string()))
         }
     }
+
+    /// Exponential backoff with full jitter: uniform in `(0, base × 2^attempt]`, capped.
+    fn backoff_delay(&mut self, attempt: u32) -> Duration {
+        let ceil = self
+            .retry
+            .base_delay
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.retry.max_delay)
+            .max(Duration::from_micros(100));
+        // xorshift64* jitter, seeded per client
+        let mut x = self.jitter;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.jitter = x;
+        let frac = (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
+        ceil.mul_f64(frac.max(0.1))
+    }
+}
+
+/// Transient, worth a reconnect-and-resend: deadline expiries, connection drops (the
+/// server's idle disconnect, a crash, a restart) and interrupted syscalls. Everything
+/// else — protocol errors, invalid data, permission problems — is fatal.
+fn is_retryable(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::TimedOut
+            | std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::ConnectionRefused
+            | std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::UnexpectedEof
+    )
 }
 
 #[cfg(test)]
@@ -329,5 +645,27 @@ mod tests {
             stopping.load(Ordering::SeqCst),
             "StopGuard must raise the stop flag while unwinding"
         );
+    }
+
+    #[test]
+    fn retryable_classification_separates_transient_from_fatal() {
+        use std::io::{Error, ErrorKind};
+        for kind in [
+            ErrorKind::TimedOut,
+            ErrorKind::WouldBlock,
+            ErrorKind::ConnectionReset,
+            ErrorKind::ConnectionRefused,
+            ErrorKind::BrokenPipe,
+            ErrorKind::UnexpectedEof,
+        ] {
+            assert!(is_retryable(&Error::from(kind)), "{kind:?}");
+        }
+        for kind in [
+            ErrorKind::InvalidData,
+            ErrorKind::PermissionDenied,
+            ErrorKind::NotFound,
+        ] {
+            assert!(!is_retryable(&Error::from(kind)), "{kind:?}");
+        }
     }
 }

@@ -266,3 +266,58 @@ fn malformed_and_invalid_requests_get_typed_errors() {
     let engine = handle.join();
     assert!(engine.check_legal());
 }
+
+#[test]
+fn idle_connections_hit_the_deadline_and_are_disconnected() {
+    use flex_eco::service::ServerConfig;
+    use std::io::Read;
+    use std::time::{Duration, Instant};
+
+    let design = generate(&BenchmarkSpec::tiny("eco-svc-idle", 41));
+    let engine = EcoEngine::legalize_and_build(design, MglConfig::default()).unwrap();
+    let movable = engine.design().cells.iter().find(|c| !c.fixed).unwrap().id;
+
+    let socket = temp_socket("idle");
+    let handle = EcoServer::start_with(
+        engine,
+        &socket,
+        ServerConfig {
+            idle_timeout: Some(Duration::from_millis(150)),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    // a slow client: connects, then sends nothing — the server must hang up on it
+    // rather than pin its reader thread forever
+    let mut idle = std::os::unix::net::UnixStream::connect(&socket).unwrap();
+    let start = Instant::now();
+    let mut buf = [0u8; 1];
+    let n = idle.read(&mut buf).expect("EOF, not an error");
+    assert_eq!(n, 0, "the server must close the idle connection");
+    let waited = start.elapsed();
+    assert!(
+        waited >= Duration::from_millis(100),
+        "disconnected suspiciously early ({waited:?})"
+    );
+    assert!(
+        waited < Duration::from_secs(10),
+        "idle deadline did not fire ({waited:?})"
+    );
+
+    // the server is unharmed: a live client still gets work done afterwards
+    let mut client = EcoClient::connect(&socket).unwrap();
+    client
+        .request_json(&Request::Apply(vec![EcoDelta::MoveCell {
+            id: movable,
+            gx: 1.0,
+            gy: 1.0,
+        }]))
+        .unwrap()
+        .expect("the engine must still be serving");
+
+    client.request(&Request::Shutdown).unwrap();
+    let engine = handle.join();
+    assert!(engine.check_legal());
+    assert_eq!(engine.stats().batches, 1);
+}

@@ -1,0 +1,189 @@
+//! Fixed-wall-time soak: the service under randomized (but seeded) fault injection.
+//!
+//! Several client threads stream move deltas through the retrying client while failpoints
+//! randomly break server-side reads and shed requests as `Busy`. After the clock runs out
+//! the suite asserts the service's long-haul invariants:
+//!
+//! - **exactly-once accounting**: every acknowledged apply is counted once in the engine's
+//!   lifetime stats — no acked batch lost, no batch double-applied (the injected faults —
+//!   pre-decode read failures and pre-enqueue sheds — strike before the engine sees the
+//!   request, so a client retry never duplicates work);
+//! - **no thread leaks**: after `join`, the process has exactly as many threads as before
+//!   the server started;
+//! - **clean shutdown**: the resident engine comes back legal, and the journal recovers
+//!   bit-identically to the surviving engine.
+//!
+//! Wall time defaults to 3 seconds; set `FLEX_SOAK_SECS` to soak longer in CI.
+
+use flex_eco::fault::{self, FaultRule};
+use flex_eco::journal::{recover_engine, Journal, JournalConfig};
+use flex_eco::proto::Request;
+use flex_eco::service::{EcoClient, EcoServer, RetryPolicy, ServerConfig};
+use flex_eco::{EcoDelta, EcoEngine};
+use flex_mgl::config::MglConfig;
+use flex_placement::benchmark::{generate, BenchmarkSpec};
+use flex_placement::cell::CellId;
+use flex_placement::snapshot::write_design;
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+use std::time::{Duration, Instant};
+
+fn live_threads() -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").expect("procfs");
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("Threads: line")
+}
+
+fn design_bytes(design: &flex_placement::layout::Design) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_design(&mut buf, design).unwrap();
+    buf
+}
+
+#[test]
+fn soak_under_fault_injection_keeps_exactly_once_stats_and_leaks_nothing() {
+    let soak = Duration::from_secs(
+        std::env::var("FLEX_SOAK_SECS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(3),
+    );
+
+    // faults that strike BEFORE the engine sees a request (failed pre-decode reads, shed
+    // enqueues) — a client retry after either is a true resend, not a duplicate; seeded,
+    // so a failing soak reproduces
+    fault::reset();
+    fault::seed(0xB10C);
+    fault::configure("eco.socket.read", FaultRule::Prob(1311)); // p ≈ 0.02
+    fault::configure("eco.queue.full", FaultRule::Prob(1311));
+
+    let design = generate(&BenchmarkSpec::tiny("eco-soak", 77));
+    let engine = EcoEngine::legalize_and_build(design, MglConfig::default()).unwrap();
+    let sites = engine.design().num_sites_x;
+    let rows = engine.design().num_rows;
+    let movable: Vec<CellId> = engine
+        .design()
+        .cells
+        .iter()
+        .filter(|c| !c.fixed)
+        .map(|c| c.id)
+        .collect();
+
+    let dir = std::env::temp_dir().join(format!("flex-eco-soak-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut journal_cfg = JournalConfig::new(&dir);
+    journal_cfg.snapshot_every = 128;
+    let journal = Journal::create(journal_cfg, engine.design(), engine.stats(), 0).unwrap();
+
+    let threads_before = live_threads();
+    let socket = std::env::temp_dir().join(format!("flex-eco-soak-{}.sock", std::process::id()));
+    let handle = EcoServer::start_with(
+        engine,
+        &socket,
+        ServerConfig {
+            journal: Some(journal),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    const CLIENTS: usize = 4;
+    let deadline = Instant::now() + soak;
+    let mut workers = Vec::new();
+    for w in 0..CLIENTS {
+        let socket = socket.clone();
+        let movable = movable.clone();
+        workers.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(w as u64 + 0x50AC);
+            let mut client = EcoClient::connect(&socket)
+                .expect("connect")
+                .with_retry_policy(RetryPolicy {
+                    max_retries: 8,
+                    base_delay: Duration::from_millis(1),
+                    max_delay: Duration::from_millis(50),
+                    seed: w as u64,
+                });
+            let (mut acked, mut rejected) = (0u64, 0u64);
+            while Instant::now() < deadline {
+                let delta = EcoDelta::MoveCell {
+                    id: movable[rng.next_below(movable.len() as u64) as usize],
+                    gx: rng.random::<f64>() * sites as f64,
+                    gy: rng.random::<f64>() * rows as f64,
+                };
+                match client.request_json_retry(&Request::Apply(vec![delta])) {
+                    Ok(Ok(_)) => acked += 1,
+                    // still-busy-after-retries: the request was shed every time, never
+                    // applied — count it out and press on
+                    Ok(Err(_)) => rejected += 1,
+                    Err(e) => panic!("client {w} hit a fatal transport error: {e}"),
+                }
+            }
+            (
+                acked,
+                rejected,
+                client.retries_performed(),
+                client.busy_shed_seen(),
+            )
+        }));
+    }
+
+    let mut total_acked = 0u64;
+    let mut total_retries = 0u64;
+    let mut total_busy = 0u64;
+    for worker in workers {
+        let (acked, _rejected, retries, busy) = worker.join().expect("soak client panicked");
+        total_acked += acked;
+        total_retries += retries;
+        total_busy += busy;
+    }
+    assert!(total_acked > 0, "the soak must make forward progress");
+
+    // disarm before the shutdown handshake so wind-down itself is not injected
+    fault::reset();
+    let mut client = EcoClient::connect(&socket).unwrap();
+    client.request(&Request::Shutdown).unwrap();
+    let engine = handle.join();
+
+    // clean shutdown: engine legal, every acknowledged batch counted exactly once
+    assert!(engine.check_legal());
+    assert_eq!(
+        engine.stats().batches,
+        total_acked,
+        "acked applies and engine lifetime stats must agree exactly \
+         ({total_retries} retries, {total_busy} busy sheds absorbed during the soak)"
+    );
+
+    // no thread leaks: every client loop, the accept loop and the engine thread are gone
+    let wind_down = Instant::now() + Duration::from_secs(5);
+    loop {
+        if live_threads() <= threads_before {
+            break;
+        }
+        assert!(
+            Instant::now() < wind_down,
+            "server threads leaked past join"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(!socket.exists());
+
+    // the journal's view of history equals the surviving engine, bit for bit
+    let (recovered, journal, report) =
+        recover_engine(JournalConfig::new(&dir), MglConfig::default(), true)
+            .unwrap()
+            .expect("soak journal must recover");
+    assert_eq!(journal.seq(), total_acked);
+    assert_eq!(
+        report.replayed, 0,
+        "the shutdown snapshot makes recovery instant"
+    );
+    assert_eq!(
+        design_bytes(recovered.design()),
+        design_bytes(engine.design())
+    );
+    assert_eq!(recovered.stats(), engine.stats());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

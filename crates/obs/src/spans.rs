@@ -65,6 +65,9 @@ impl Slot {
 pub struct SpanRing {
     slots: Box<[Slot]>,
     head: AtomicU64,
+    /// Highest sequence already handed out by [`SpanRing::drain`]; events at or below it
+    /// are never returned by a later drain.
+    drained: AtomicU64,
 }
 
 impl SpanRing {
@@ -74,6 +77,7 @@ impl SpanRing {
         Self {
             slots: (0..capacity).map(|_| Slot::empty()).collect(),
             head: AtomicU64::new(0),
+            drained: AtomicU64::new(0),
         }
     }
 
@@ -104,11 +108,17 @@ impl SpanRing {
     /// Snapshot every stable event in the ring, oldest first. Slots a writer is mid-flight
     /// on (or that were overwritten while being read) are skipped, never waited for.
     pub fn read_all(&self) -> Vec<SpanEvent> {
+        self.read_after(0).into_iter().map(|(_, e)| e).collect()
+    }
+
+    /// Like [`SpanRing::read_all`], but only events with sequence strictly greater than
+    /// `after`; the raw sealed sequences ride along.
+    fn read_after(&self, after: u64) -> Vec<(u64, SpanEvent)> {
         let mut out = Vec::with_capacity(self.slots.len());
         for slot in self.slots.iter() {
             let seq = slot.seq.load(Ordering::Acquire);
-            if seq == 0 {
-                continue;
+            if seq <= after {
+                continue; // 0 = empty/mid-write; otherwise already drained
             }
             let name = slot.name.load(Ordering::Relaxed);
             let tid = slot.tid.load(Ordering::Relaxed);
@@ -121,13 +131,38 @@ impl SpanRing {
         }
         out.sort_unstable_by_key(|&(seq, ..)| seq);
         out.into_iter()
-            .map(|(_, name, tid, start_ns, dur_ns)| SpanEvent {
-                name: resolve(name),
-                tid,
-                start_ns,
-                dur_ns,
+            .map(|(seq, name, tid, start_ns, dur_ns)| {
+                (
+                    seq,
+                    SpanEvent {
+                        name: resolve(name),
+                        tid,
+                        start_ns,
+                        dur_ns,
+                    },
+                )
             })
             .collect()
+    }
+
+    /// Consume the events recorded since the previous drain, oldest first. Advances a
+    /// per-ring watermark instead of clearing slots, so a drain never races a concurrent
+    /// [`SpanRing::read_all`] into losing events, and an event the writer is still
+    /// mid-flight on is *not* skipped forever — the watermark only moves past sequences
+    /// actually returned, so the in-flight tail lands in the next drain once sealed.
+    ///
+    /// A caller that drains more often than the ring wraps (every `capacity` events) sees
+    /// **every** event of an arbitrarily long run; without draining, drop-oldest caps
+    /// retained history at `capacity`. Events that wrapped out between drains are gone
+    /// (drop-oldest is the contract). Concurrent drains of the *same* ring may hand the
+    /// same event to both callers — drive draining from one collector thread.
+    pub fn drain(&self) -> Vec<SpanEvent> {
+        let after = self.drained.load(Ordering::Acquire);
+        let events = self.read_after(after);
+        if let Some(&(max_seq, _)) = events.last() {
+            self.drained.fetch_max(max_seq, Ordering::AcqRel);
+        }
+        events.into_iter().map(|(_, e)| e).collect()
     }
 
     /// Invalidate every slot (the head keeps counting, so sequences stay unique).
@@ -249,6 +284,17 @@ pub fn clear_spans() {
     }
 }
 
+/// Drain every registered ring's new-since-last-drain events, sorted by start time. A
+/// long-lived collector (the ECO soak harness, a periodic trace shipper) calls this more
+/// often than any ring wraps and accumulates complete history, instead of calling
+/// [`collect_spans`] at the end and keeping only the last 16k events per thread. Call from
+/// a single collector thread (see [`SpanRing::drain`]).
+pub fn drain_spans() -> Vec<SpanEvent> {
+    let mut events: Vec<SpanEvent> = thread_rings().iter().flat_map(|t| t.ring.drain()).collect();
+    events.sort_by_key(|e| (e.start_ns, e.tid));
+    events
+}
+
 // --- clock -----------------------------------------------------------------------------
 
 fn epoch() -> Instant {
@@ -358,6 +404,43 @@ mod tests {
         assert!(ring.read_all().is_empty());
         ring.record(0, 0, 2, 1);
         assert_eq!(ring.read_all().len(), 1);
+    }
+
+    #[test]
+    fn drain_returns_each_event_exactly_once() {
+        let ring = SpanRing::new(8);
+        for i in 0..5u64 {
+            ring.record(0, 0, i, 1);
+        }
+        let first: Vec<u64> = ring.drain().iter().map(|e| e.start_ns).collect();
+        assert_eq!(first, (0..5).collect::<Vec<_>>());
+        assert!(
+            ring.drain().is_empty(),
+            "second drain must return nothing new"
+        );
+        for i in 5..9u64 {
+            ring.record(0, 0, i, 1);
+        }
+        let second: Vec<u64> = ring.drain().iter().map(|e| e.start_ns).collect();
+        assert_eq!(second, (5..9).collect::<Vec<_>>());
+        // read_all still sees the full retained window: draining moves a watermark, it
+        // does not clear slots out from under a snapshot reader
+        assert_eq!(ring.read_all().len(), 8);
+    }
+
+    #[test]
+    fn frequent_drains_see_past_the_ring_capacity() {
+        let ring = SpanRing::new(4);
+        let mut seen = Vec::new();
+        for i in 0..40u64 {
+            ring.record(0, 0, i, 1);
+            if i % 3 == 0 {
+                seen.extend(ring.drain().iter().map(|e| e.start_ns));
+            }
+        }
+        seen.extend(ring.drain().iter().map(|e| e.start_ns));
+        // draining every 3 events on a capacity-4 ring loses nothing across 10× capacity
+        assert_eq!(seen, (0..40).collect::<Vec<_>>());
     }
 
     #[test]

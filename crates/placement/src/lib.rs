@@ -17,6 +17,7 @@
 //! * [`legality`] — legality checking (overlaps, sites, P/G alignment, die bounds).
 //! * [`metrics`] — displacement metrics, including the paper's average displacement `S_am`.
 //! * [`io`] — a plain-text interchange format (Bookshelf-like) for designs.
+//! * [`snapshot`] — a checksummed binary snapshot format (bit-exact, for crash recovery).
 //!
 //! The paper evaluates on the ICCAD 2017 multi-deck legalization contest benchmarks, which are
 //! not redistributable here; [`benchmark`] generates seeded synthetic designs that match the
@@ -40,6 +41,7 @@ pub mod metrics;
 pub mod netlist;
 pub mod row;
 pub mod segment;
+pub mod snapshot;
 pub mod store;
 
 pub use cell::{Cell, CellId};
