@@ -21,13 +21,15 @@ use std::time::Instant;
 fn usage() -> ! {
     eprintln!(
         "usage: flex-eco-client --socket PATH [--deltas N] [--seed S] [--info] [--stats]\n\
-         \x20                      [--metrics] [--prometheus] [--trace] [--trace-out PATH] [--shutdown]\n\
+         \x20                      [--health] [--metrics] [--prometheus] [--trace]\n\
+         \x20                      [--trace-out PATH] [--shutdown]\n\
          \n\
          --socket PATH     Unix socket of a running flex-eco-serve (required)\n\
          --deltas N        load-generator mode: send N random deltas (default 1000)\n\
          --seed S          load-generator RNG seed (default 7)\n\
          --info            print the server's design summary and exit\n\
          --stats           print the server's lifetime counters and exit\n\
+         --health          print supervision health (state, restarts, quarantine, scrub)\n\
          --metrics         print the server's metrics snapshot (JSON) and exit\n\
          --prometheus      print the server's metrics in Prometheus text format and exit\n\
          --trace           print the server's recorded spans (JSON) and exit\n\
@@ -59,6 +61,7 @@ fn main() {
             "--seed" => seed = value("--seed").parse().unwrap_or_else(|_| usage()),
             "--info" => mode = Some(Request::Info),
             "--stats" => mode = Some(Request::Stats),
+            "--health" => mode = Some(Request::Health),
             "--metrics" => mode = Some(Request::Metrics { prometheus: false }),
             "--prometheus" => mode = Some(Request::Metrics { prometheus: true }),
             "--trace" => mode = Some(Request::Trace { chrome: false }),
@@ -200,9 +203,11 @@ fn main() {
 
     let us = |ns: u64| ns as f64 / 1e3;
     println!(
-        "sent {deltas} deltas ({rejected} rejected by validation, {} transient retries, {} busy sheds absorbed)",
+        "sent {deltas} deltas ({rejected} rejected by validation, {} transient retries, \
+         {} busy sheds absorbed, {} recovering sheds absorbed)",
         client.retries_performed(),
-        client.busy_shed_seen()
+        client.busy_shed_seen(),
+        client.recovering_seen()
     );
     for kind in DeltaKind::ALL {
         let lat = &latencies[kind.index()];

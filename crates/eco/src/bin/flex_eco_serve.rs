@@ -12,6 +12,7 @@
 
 use flex_eco::journal::{recover_engine, Journal, JournalConfig};
 use flex_eco::service::{EcoServer, ServerConfig};
+use flex_eco::supervise::SuperviseConfig;
 use flex_eco::EcoEngine;
 use flex_mgl::config::MglConfig;
 use flex_placement::benchmark::{generate, BenchmarkSpec};
@@ -21,7 +22,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: flex-eco-serve --socket PATH [--cells N] [--seed S] [--density D] [--queue N]\n\
          \x20                     [--journal-dir DIR] [--fsync] [--snapshot-every N]\n\
-         \x20                     [--idle-timeout-ms MS] [--no-validate] [--no-obs]\n\
+         \x20                     [--idle-timeout-ms MS] [--batch-deadline-ms MS]\n\
+         \x20                     [--no-supervise] [--no-validate] [--no-obs]\n\
          \n\
          --socket PATH        Unix socket to listen on (required)\n\
          --cells N            movable cells in the generated design (default 50000)\n\
@@ -30,13 +32,19 @@ fn usage() -> ! {
          --queue N            request queue bound; a full queue sheds Busy (default 1024)\n\
          --journal-dir DIR    write-ahead journal + snapshots here; recover from DIR if it\n\
          \x20                    already holds a snapshot (crash-safe restarts)\n\
-         --fsync              fdatasync every journal append (power-loss durability)\n\
+         --fsync              fdatasync every journal append (power-loss durability;\n\
+         \x20                    queued batches are group-committed: one fsync per group)\n\
          --snapshot-every N   snapshot + rotate the journal every N batches (default 4096)\n\
          --idle-timeout-ms MS disconnect a connection idle past MS (default 30000, 0 = never)\n\
+         --batch-deadline-ms MS  supervision watchdog: a batch the engine has not answered\n\
+         \x20                    within MS is quarantined and the engine rebuilt (default 5000)\n\
+         --no-supervise       legacy mode: no watchdog/quarantine/scrubber; an engine\n\
+         \x20                    panic takes the whole server down\n\
          --no-validate        skip Design::validate_invariants at the batch boundary\n\
          --no-obs             disable span collection (the `trace` op then returns empty)\n\
          \n\
-         environment: FLEX_FAULTS / FLEX_FAULTS_SEED arm deterministic failpoints"
+         environment: FLEX_FAULTS / FLEX_FAULTS_SEED / FLEX_FAULTS_HANG_MS arm\n\
+         deterministic failpoints"
     );
     std::process::exit(2);
 }
@@ -52,6 +60,8 @@ fn main() {
     let mut fsync = false;
     let mut snapshot_every: u64 = 4096;
     let mut idle_timeout_ms: u64 = 30_000;
+    let mut batch_deadline_ms: u64 = 5_000;
+    let mut supervise = true;
     let mut validate = true;
     let mut obs = true;
 
@@ -81,6 +91,12 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| usage())
             }
+            "--batch-deadline-ms" => {
+                batch_deadline_ms = value("--batch-deadline-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--no-supervise" => supervise = false,
             "--no-validate" => validate = false,
             "--no-obs" => obs = false,
             "--help" | "-h" => usage(),
@@ -124,11 +140,12 @@ fn main() {
     let (engine, journal) = match recovered {
         Some((engine, journal, report)) => {
             eprintln!(
-                "recovered from {}: snapshot seq {} + {} replayed batches ({} rejected, {} torn bytes truncated, {} snapshots skipped) in {:.1}ms",
+                "recovered from {}: snapshot seq {} + {} replayed batches ({} rejected, {} quarantined skipped, {} torn bytes truncated, {} snapshots skipped) in {:.1}ms",
                 journal_cfg.as_ref().expect("journal cfg present").dir.display(),
                 report.base_seq,
                 report.replayed,
                 report.rejected,
+                report.quarantined_skipped,
                 report.truncated_bytes,
                 report.snapshots_skipped,
                 report.replay_time.as_secs_f64() * 1e3,
@@ -166,6 +183,10 @@ fn main() {
         queue_capacity: queue.max(1),
         idle_timeout: (idle_timeout_ms > 0).then(|| Duration::from_millis(idle_timeout_ms)),
         journal,
+        supervise: supervise.then(|| SuperviseConfig {
+            batch_deadline: Duration::from_millis(batch_deadline_ms.max(1)),
+            ..SuperviseConfig::default()
+        }),
         ..ServerConfig::default()
     };
     let handle = match EcoServer::start_with(engine, &socket, config) {

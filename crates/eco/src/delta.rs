@@ -137,6 +137,21 @@ pub enum EcoError {
         /// Suggested client back-off before retrying, in milliseconds.
         retry_after_ms: u64,
     },
+    /// The batch killed (or hung) the engine and was quarantined by the supervisor: it is
+    /// permanently rejected, skipped on every future replay, and must not be retried.
+    Poisoned {
+        /// The quarantined batch's journal sequence number.
+        seq: u64,
+        /// What the batch did to the engine (panic payload or watchdog verdict).
+        reason: String,
+    },
+    /// The supervisor is rebuilding the engine after a quarantine; the request was shed,
+    /// not lost — retry after the hinted delay (the retrying client absorbs this like
+    /// `Busy`).
+    Recovering {
+        /// Suggested client back-off before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 impl std::fmt::Display for EcoError {
@@ -153,6 +168,12 @@ impl std::fmt::Display for EcoError {
             EcoError::Journal(msg) => write!(f, "journal error: {msg}"),
             EcoError::Busy { retry_after_ms } => {
                 write!(f, "server busy, retry after {retry_after_ms}ms")
+            }
+            EcoError::Poisoned { seq, reason } => {
+                write!(f, "batch {seq} quarantined: {reason}")
+            }
+            EcoError::Recovering { retry_after_ms } => {
+                write!(f, "server recovering, retry after {retry_after_ms}ms")
             }
         }
     }

@@ -163,6 +163,13 @@ impl EcoEngine {
         &self.latency
     }
 
+    /// Whether the post-batch boundary invariant check is enabled (see
+    /// [`EcoEngine::with_boundary_validation`]); the supervisor preserves this across
+    /// engine rebuilds.
+    pub fn boundary_validation(&self) -> bool {
+        self.validate_boundary
+    }
+
     /// Run the full legality check over the resident design.
     pub fn check_legal(&self) -> bool {
         check_legality_with(&self.design, true).is_legal()
@@ -236,6 +243,9 @@ impl EcoEngine {
     /// map and epoch store incrementally.
     pub fn apply(&mut self, deltas: &[EcoDelta]) -> Result<EcoReport, EcoError> {
         let _span = flex_obs::span!("eco.apply_batch");
+        // deterministic stall for the supervisor's watchdog tests: a single relaxed load
+        // when injection is off (replay runs suppressed, so only live batches can hang)
+        crate::fault::maybe_hang("eco.engine.hang");
         let start = Instant::now();
         self.validate(deltas)?;
 
@@ -531,4 +541,120 @@ impl EcoEngine {
             disturbed,
         }
     }
+
+    /// Audit the warm structures over design rows `[row_lo, row_hi)` against the resident
+    /// design — the invariant scrubber's inner step. Each structure that diverges from
+    /// what a from-scratch build would contain yields one finding; an empty vec means the
+    /// slice is clean. Read-only: repairs go through [`EcoEngine::rebuild_structure`].
+    pub fn audit_rows(&self, row_lo: i64, row_hi: i64) -> Vec<ScrubFinding> {
+        let mut findings = Vec::new();
+        let mut push = |structure: ScrubStructure, result: Result<(), String>| {
+            if let Err(detail) = result {
+                findings.push(ScrubFinding { structure, detail });
+            }
+        };
+        push(
+            ScrubStructure::Index,
+            self.index.audit_rows(&self.design, row_lo, row_hi),
+        );
+        push(
+            ScrubStructure::Density,
+            self.density.audit_rows(&self.design, row_lo, row_hi),
+        );
+        push(
+            ScrubStructure::Segments,
+            self.segmap.audit_rows(&self.design, row_lo, row_hi),
+        );
+        findings
+    }
+
+    /// Rebuild one warm structure from scratch off the resident design — the graceful
+    /// degradation path when the scrubber finds corruption: only the corrupt structure is
+    /// rebuilt, the design and the other structures stay warm. Deliberately does **not**
+    /// touch [`EcoStats`] (lifetime counters are reconstructed by journal replay, which
+    /// never sees scrub repairs); the supervisor accounts repairs separately.
+    pub fn rebuild_structure(&mut self, structure: ScrubStructure) {
+        match structure {
+            ScrubStructure::Index => self.index = LegalizedIndex::build(&self.design),
+            ScrubStructure::Density => {
+                self.density = DensityMap::build(
+                    &self.design,
+                    self.cfg.density_bin_sites,
+                    self.cfg.density_bin_rows,
+                )
+            }
+            ScrubStructure::Segments => self.segmap = SegmentMap::build(&self.design),
+        }
+    }
+
+    /// Deliberately damage one warm structure near `row` — the fault-injection hook
+    /// behind the `eco.scrub.corrupt` failpoint. Returns `false` if nothing could be
+    /// damaged there (e.g. an empty index row). Test/fault machinery, not an API.
+    #[doc(hidden)]
+    pub fn corrupt_structure(&mut self, structure: ScrubStructure, row: i64) -> bool {
+        match structure {
+            ScrubStructure::Index => {
+                // unregister one live cell from one of its rows: the bucket now lies
+                let victim = self
+                    .design
+                    .cells
+                    .iter()
+                    .find(|c| !c.fixed && c.legalized && c.y <= row && row < c.y + c.height)
+                    .or_else(|| self.design.cells.iter().find(|c| !c.fixed && c.legalized));
+                match victim {
+                    Some(c) => {
+                        let at = row.clamp(c.y, c.y + c.height - 1);
+                        self.index.remove_cell(c.id, at, 1);
+                        true
+                    }
+                    None => false,
+                }
+            }
+            ScrubStructure::Density => {
+                let row = row.clamp(0, self.design.num_rows.max(1) - 1);
+                self.density.add_rect(&Rect::new(0, row, 1, row + 1));
+                true
+            }
+            ScrubStructure::Segments => self.segmap.corrupt_row(row),
+        }
+    }
+}
+
+/// One of the engine's warm structures, as the scrubber's audit/rebuild unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScrubStructure {
+    /// The row-bucketed [`LegalizedIndex`].
+    Index,
+    /// The bin-grid [`DensityMap`].
+    Density,
+    /// The fixed-obstacle [`SegmentMap`].
+    Segments,
+}
+
+impl ScrubStructure {
+    /// All structures, in audit order.
+    pub const ALL: [ScrubStructure; 3] = [
+        ScrubStructure::Index,
+        ScrubStructure::Density,
+        ScrubStructure::Segments,
+    ];
+
+    /// Stable name for metrics labels and corruption events.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScrubStructure::Index => "index",
+            ScrubStructure::Density => "density",
+            ScrubStructure::Segments => "segments",
+        }
+    }
+}
+
+/// One corruption the scrubber found: which structure diverged and the structure's own
+/// first-divergence evidence.
+#[derive(Debug, Clone)]
+pub struct ScrubFinding {
+    /// The structure that no longer matches the design.
+    pub structure: ScrubStructure,
+    /// First-divergence evidence from the structure's `audit_rows`.
+    pub detail: String,
 }

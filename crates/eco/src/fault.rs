@@ -17,6 +17,7 @@
 //! ```text
 //! FLEX_FAULTS="eco.journal.write=nth:3,eco.socket.read=prob:0.01"
 //! FLEX_FAULTS_SEED=42
+//! FLEX_FAULTS_HANG_MS=500   # stall duration for the hang-style points
 //! ```
 //!
 //! Failpoints the ECO service defines (grep for the literal names):
@@ -27,12 +28,20 @@
 //! | `eco.journal.flush`  | journal flush fails with an injected I/O error              |
 //! | `eco.snapshot.write` | snapshot write fails with an injected I/O error             |
 //! | `eco.engine.panic`   | engine thread panics mid-batch                              |
+//! | `eco.engine.hang`    | engine stalls mid-batch for [`hang_millis`] ms (watchdog)   |
+//! | `eco.scrub.corrupt`  | scrubber's next audit slice is deliberately corrupted first |
+//! | `eco.rebuild.hold`   | supervisor rebuild stalls for [`hang_millis`] ms            |
 //! | `eco.queue.full`     | job queue reports full → typed `Busy` response              |
 //! | `eco.socket.read`    | server-side frame read fails with an injected I/O error     |
 //! | `eco.socket.write`   | server-side frame write fails with an injected I/O error    |
+//!
+//! Replay is exempt: recovery and supervisor rebuilds run their `apply` replays inside
+//! [`with_suppressed`], so a deterministic schedule (say `eco.engine.panic=nth:3`) strikes
+//! live traffic exactly once instead of re-firing while the crash is being repaired.
 
+use std::cell::Cell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 /// When a failpoint fires.
@@ -64,6 +73,17 @@ struct Registry {
 }
 
 static ARMED: AtomicBool = AtomicBool::new(false);
+
+/// How long `maybe_hang` sleeps when its point fires, in milliseconds. Finite on purpose:
+/// an abandoned worker thread must eventually wake up and exit so soak tests can assert
+/// zero thread leaks.
+static HANG_MILLIS: AtomicU64 = AtomicU64::new(1000);
+
+thread_local! {
+    /// Depth of `with_suppressed` scopes on this thread; non-zero disables every
+    /// failpoint here without touching hit counters (replay must not consume schedules).
+    static SUPPRESSED: Cell<u32> = const { Cell::new(0) };
+}
 
 fn registry() -> &'static Mutex<Registry> {
     static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
@@ -125,9 +145,40 @@ pub fn fired_count(name: &str) -> u64 {
     reg.points.get(name).map_or(0, |p| p.fired)
 }
 
+/// Run `f` with every failpoint suppressed on the current thread. Recovery replay and
+/// supervisor rebuilds wrap their `EcoEngine::apply` calls in this: an injected fault
+/// describes *live* traffic, and re-firing it while repairing the damage it caused would
+/// wedge recovery forever. Suppressed hits are invisible — counters do not advance.
+pub fn with_suppressed<T>(f: impl FnOnce() -> T) -> T {
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            SUPPRESSED.with(|s| s.set(s.get() - 1));
+        }
+    }
+    SUPPRESSED.with(|s| s.set(s.get() + 1));
+    let _g = Guard;
+    f()
+}
+
+/// Whether failpoints are suppressed on the current thread (inside [`with_suppressed`]).
+pub fn suppressed() -> bool {
+    SUPPRESSED.with(|s| s.get() > 0)
+}
+
+/// Set how long [`maybe_hang`] stalls when its point fires.
+pub fn set_hang_millis(ms: u64) {
+    HANG_MILLIS.store(ms, Ordering::Relaxed);
+}
+
+/// Current [`maybe_hang`] stall duration in milliseconds.
+pub fn hang_millis() -> u64 {
+    HANG_MILLIS.load(Ordering::Relaxed)
+}
+
 /// Record a hit on `name` and decide whether it fires this time.
 pub fn fires(name: &str) -> bool {
-    if !armed() {
+    if !armed() || suppressed() {
         return false;
     }
     let mut reg = registry().lock().expect("fault registry poisoned");
@@ -188,6 +239,16 @@ pub fn maybe_panic(name: &str) {
     }
 }
 
+/// Stall the current thread for [`hang_millis`] milliseconds if `name` fires — the hung
+/// batch the supervisor's watchdog is built to catch. The sleep is finite: an abandoned
+/// worker wakes, finds its channel gone, and exits on its own.
+#[inline]
+pub fn maybe_hang(name: &str) {
+    if armed() && fires(name) {
+        std::thread::sleep(std::time::Duration::from_millis(hang_millis()));
+    }
+}
+
 /// Parse one `name=rule` pair. Rules: `off`, `always`, `nth:K`, `every:K`, `prob:P`
 /// (P a probability in `[0,1]`).
 fn parse_pair(pair: &str) -> Result<(String, FaultRule), String> {
@@ -230,6 +291,11 @@ pub fn init_from_env() -> usize {
     if let Ok(s) = std::env::var("FLEX_FAULTS_SEED") {
         if let Ok(v) = s.parse::<u64>() {
             seed(v);
+        }
+    }
+    if let Ok(s) = std::env::var("FLEX_FAULTS_HANG_MS") {
+        if let Ok(v) = s.parse::<u64>() {
+            set_hang_millis(v);
         }
     }
     let Ok(spec) = std::env::var("FLEX_FAULTS") else {
@@ -290,6 +356,23 @@ mod tests {
         assert_eq!(a, schedule(42), "same seed must repeat the schedule");
         assert_ne!(a, schedule(43), "a different seed must diverge");
         assert!(a.iter().any(|&f| f) && a.iter().any(|&f| !f), "{a:?}");
+    }
+
+    #[test]
+    fn suppression_hides_faults_without_consuming_the_schedule() {
+        let _g = LOCK.lock().unwrap();
+        reset();
+        configure("test.suppress", FaultRule::Nth(1));
+        with_suppressed(|| {
+            assert!(suppressed());
+            assert!(!fires("test.suppress"), "suppressed scopes never fire");
+            assert!(fail_io("test.suppress").is_ok());
+        });
+        assert!(!suppressed());
+        assert_eq!(fired_count("test.suppress"), 0);
+        // the schedule was not consumed: the first live hit still fires
+        assert!(fires("test.suppress"));
+        assert_eq!(fired_count("test.suppress"), 1);
     }
 
     #[test]

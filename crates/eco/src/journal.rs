@@ -48,8 +48,9 @@ use crate::proto::{decode_delta, encode_delta};
 use flex_mgl::config::MglConfig;
 use flex_placement::layout::Design;
 use flex_placement::snapshot::{crc32, read_design, write_design, SnapshotError};
+use std::collections::BTreeSet;
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
+use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -95,6 +96,10 @@ pub struct Journal {
     wal_bytes: u64,
     /// Batches appended to the open wal since its snapshot (drives rotation).
     batches_since_snapshot: u64,
+    /// Raised when a failed append could not be rolled back off the file either: the
+    /// durable boundary is unknowable, so every further append refuses rather than
+    /// risking acked history behind a torn record.
+    broken: bool,
 }
 
 fn snap_path(dir: &Path, seq: u64) -> PathBuf {
@@ -103,6 +108,10 @@ fn snap_path(dir: &Path, seq: u64) -> PathBuf {
 
 fn wal_path(dir: &Path, seq: u64) -> PathBuf {
     dir.join(format!("wal-{seq}.log"))
+}
+
+fn quarantine_path(dir: &Path) -> PathBuf {
+    dir.join("quarantine.log")
 }
 
 /// `snap-<seq>.ecosnap` / `wal-<seq>.log` → `<seq>`.
@@ -217,6 +226,20 @@ fn write_snapshot_file(
     design: &Design,
     stats: &EcoStats,
 ) -> std::io::Result<()> {
+    let mut image = Vec::new();
+    write_design(&mut image, design)?;
+    write_snapshot_file_bytes(path, seq, &image, stats)
+}
+
+/// Like [`write_snapshot_file`] but from an already-serialized design image — the
+/// supervised path, where the engine lives on the worker thread and ships its state to
+/// the supervisor as `write_design` bytes rather than by reference.
+fn write_snapshot_file_bytes(
+    path: &Path,
+    seq: u64,
+    image: &[u8],
+    stats: &EcoStats,
+) -> std::io::Result<()> {
     fault::fail_io("eco.snapshot.write")?;
     let tmp = path.with_extension("tmp");
     {
@@ -230,7 +253,7 @@ fn write_snapshot_file(
         f.write_all(&(header.len() as u32).to_le_bytes())?;
         f.write_all(&crc32(&header).to_le_bytes())?;
         f.write_all(&header)?;
-        write_design(&mut f, design)?;
+        f.write_all(image)?;
         f.sync_all()?;
     }
     // atomic publish: a crash before this rename leaves only the temp file, which
@@ -299,6 +322,7 @@ impl Journal {
             base_seq: seq,
             wal_bytes: 0,
             batches_since_snapshot: 0,
+            broken: false,
         };
         journal.publish_gauges();
         Ok(journal)
@@ -314,17 +338,57 @@ impl Journal {
         self.wal_bytes
     }
 
+    /// The journal's configuration (the supervisor re-opens the directory from this when
+    /// rebuilding a crashed engine).
+    pub fn config(&self) -> &JournalConfig {
+        &self.cfg
+    }
+
+    /// Whether the rotation interval has elapsed — the supervisor polls this to decide
+    /// when to request a design image from the worker for [`Journal::
+    /// snapshot_now_from_image`].
+    pub fn snapshot_due(&self) -> bool {
+        self.cfg.snapshot_every != 0 && self.batches_since_snapshot >= self.cfg.snapshot_every
+    }
+
     /// Durably append one batch **before** it is applied. On success the batch is safe
     /// against process death and its sequence number is returned; on failure nothing may
     /// be applied (the caller turns the error into a typed [`crate::delta::EcoError::
     /// Journal`] and the engine stays untouched — a partial record left by a failed write
     /// is exactly the torn tail recovery truncates).
     pub fn append(&mut self, deltas: &[EcoDelta]) -> std::io::Result<u64> {
+        self.append_group(std::slice::from_ref(&deltas))
+            .map(|seqs| seqs[0])
+    }
+
+    /// Group-commit append: durably record several batches with **one** write and one
+    /// `fdatasync` (in `fsync` mode), then return their sequence numbers so every batch
+    /// can be acked together — this is what makes power-loss durability affordable under
+    /// concurrent clients (N queued batches cost one disk flush, not N).
+    ///
+    /// All-or-nothing: on any failure the wal is rolled back to the pre-group boundary
+    /// (`set_len` + seek), no batch is durable, and the caller must reject the whole
+    /// group. If even the rollback fails, the journal marks itself broken and refuses
+    /// further appends — an unknowable durable boundary must not accept acks.
+    pub fn append_group(&mut self, batches: &[&[EcoDelta]]) -> std::io::Result<Vec<u64>> {
+        if self.broken {
+            return Err(std::io::Error::other(
+                "journal broken: a failed append could not be rolled back",
+            ));
+        }
+        if batches.is_empty() {
+            return Ok(Vec::new());
+        }
         let start = Instant::now();
-        let seq = self.seq + 1;
-        let record = encode_record(seq, deltas);
+        let mut seqs = Vec::with_capacity(batches.len());
+        let mut buf = Vec::new();
+        for (i, deltas) in batches.iter().enumerate() {
+            let seq = self.seq + 1 + i as u64;
+            buf.extend_from_slice(&encode_record(seq, deltas));
+            seqs.push(seq);
+        }
         let result = fault::fail_io("eco.journal.write")
-            .and_then(|()| self.wal.write_all(&record))
+            .and_then(|()| self.wal.write_all(&buf))
             .and_then(|()| fault::fail_io("eco.journal.flush"))
             .and_then(|()| {
                 if self.cfg.fsync {
@@ -336,17 +400,61 @@ impl Journal {
         let registry = flex_obs::global();
         if let Err(e) = result {
             registry.counter("eco_journal_write_errors_total").inc();
+            // roll the file back to the last acked boundary: a partial record must not
+            // linger ahead of future appends (recovery would truncate *at* the tear and
+            // drop acked history written after it), and a fully written record whose
+            // flush failed must not become durable without its ack
+            let repaired = self
+                .wal
+                .set_len(self.wal_bytes)
+                .and_then(|()| self.wal.seek(SeekFrom::Start(self.wal_bytes)));
+            if let Err(repair) = repaired {
+                self.broken = true;
+                registry.counter("eco_journal_broken_total").inc();
+                eprintln!(
+                    "eco journal: failed append could not be rolled back ({repair}); \
+                     journal disabled until restart"
+                );
+            }
             return Err(e);
         }
-        self.seq = seq;
-        self.wal_bytes += record.len() as u64;
-        self.batches_since_snapshot += 1;
+        self.seq += batches.len() as u64;
+        self.wal_bytes += buf.len() as u64;
+        self.batches_since_snapshot += batches.len() as u64;
         registry
             .histogram("eco_journal_append_ns")
             .record_duration(start.elapsed());
-        registry.counter("eco_journal_records_total").inc();
+        registry
+            .counter("eco_journal_records_total")
+            .add(batches.len() as u64);
+        if batches.len() > 1 {
+            registry.counter("eco_journal_group_commits_total").inc();
+            registry
+                .histogram("eco_journal_group_size")
+                .record(batches.len() as u64);
+        }
         self.publish_gauges();
-        Ok(seq)
+        Ok(seqs)
+    }
+
+    /// Persist a quarantine record for batch `seq`: replay will skip it forever (see
+    /// [`load_quarantine`] / [`recover_engine`]). Always fsync'd — quarantines are rare
+    /// and must survive anything the poisoned batch does next. The record is a JSON line
+    /// appended to `quarantine.log` in the journal directory.
+    pub fn quarantine(&mut self, seq: u64, reason: &str) -> std::io::Result<()> {
+        let mut f = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(quarantine_path(&self.cfg.dir))?;
+        let mut line = Json::Obj(vec![
+            ("seq".into(), Json::Num(seq as f64)),
+            ("reason".into(), Json::Str(reason.into())),
+        ])
+        .to_string();
+        line.push('\n');
+        f.write_all(line.as_bytes())?;
+        f.sync_data()?;
+        Ok(())
     }
 
     /// Write a snapshot + rotate now if the rotation interval has elapsed. Rotation
@@ -363,9 +471,22 @@ impl Journal {
     /// Unconditionally snapshot the engine state after batch [`Journal::seq`] and rotate
     /// to a fresh wal, then prune generations older than the previous one (keep 2).
     pub fn snapshot_now(&mut self, design: &Design, stats: &EcoStats) -> std::io::Result<()> {
+        let mut image = Vec::new();
+        write_design(&mut image, design)?;
+        self.snapshot_now_from_image(&image, stats)
+    }
+
+    /// [`Journal::snapshot_now`] from an already-serialized design image (the bytes
+    /// `write_design` produced) — used by the supervisor, which cannot borrow the engine
+    /// across the worker-thread boundary and receives its state as an image instead.
+    pub fn snapshot_now_from_image(
+        &mut self,
+        image: &[u8],
+        stats: &EcoStats,
+    ) -> std::io::Result<()> {
         let start = Instant::now();
         let seq = self.seq;
-        write_snapshot_file(&snap_path(&self.cfg.dir, seq), seq, design, stats)?;
+        write_snapshot_file_bytes(&snap_path(&self.cfg.dir, seq), seq, image, stats)?;
         self.wal = File::create(wal_path(&self.cfg.dir, seq))?;
         let old_base = self.base_seq;
         self.base_seq = seq;
@@ -425,8 +546,35 @@ pub struct RecoveryReport {
     pub truncated_bytes: u64,
     /// Newer snapshot generations skipped because they failed validation.
     pub snapshots_skipped: u64,
+    /// Journaled batches skipped because a quarantine record marked them poisoned (they
+    /// crashed or hung the engine before; replaying them would do it again).
+    pub quarantined_skipped: u64,
     /// Wall-clock time of recovery (snapshot load + replay).
     pub replay_time: std::time::Duration,
+}
+
+/// Read the quarantine set of a journal directory: the sequence numbers of batches that
+/// poisoned the engine and must never be replayed. Tolerant of a torn last line (a crash
+/// mid-append leaves at worst one partial record, which is ignored) and of a missing
+/// file (no quarantines yet).
+pub fn load_quarantine(dir: &Path) -> BTreeSet<u64> {
+    let mut out = BTreeSet::new();
+    let Ok(text) = std::fs::read_to_string(quarantine_path(dir)) else {
+        return out;
+    };
+    for line in text.lines() {
+        let Ok(json) = Json::parse(line) else {
+            continue; // torn tail from a crash mid-quarantine: skip, keep earlier records
+        };
+        if let Some(seq) = json
+            .get("seq")
+            .and_then(Json::as_i64)
+            .and_then(|n| u64::try_from(n).ok())
+        {
+            out.insert(seq);
+        }
+    }
+    out
 }
 
 /// One wal file's valid prefix: the records decoded, and where validity ended.
@@ -535,6 +683,7 @@ pub fn recover_engine(
         return Ok(None);
     };
     report.base_seq = base_seq;
+    let quarantined = load_quarantine(&cfg.dir);
 
     let mut engine = EcoEngine::resume(design, mgl, stats)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?
@@ -571,10 +720,20 @@ pub fn recover_engine(
         let scan = scan_wal(&wal_path(&cfg.dir, base), seq + 1)?;
         report.truncated_bytes += scan.truncated;
         for (record_seq, deltas) in scan.batches {
-            if engine.apply(&deltas).is_err() {
-                report.rejected += 1;
+            if quarantined.contains(&record_seq) {
+                // poisoned batch: it crashed or hung the engine once; replaying it would
+                // do so again. The sequence still advances — the hole is permanent.
+                report.quarantined_skipped += 1;
+            } else {
+                // replay with fault injection suppressed: a deterministic failpoint
+                // schedule (e.g. `eco.engine.panic=nth:3`) must not re-fire on history
+                // that already survived it, or recovery could never converge
+                let rejected = fault::with_suppressed(|| engine.apply(&deltas).is_err());
+                if rejected {
+                    report.rejected += 1;
+                }
+                report.replayed += 1;
             }
-            report.replayed += 1;
             seq = record_seq;
         }
         if scan.truncated > 0 {
@@ -623,6 +782,7 @@ pub fn recover_engine(
         base_seq: wal_base,
         wal_bytes,
         batches_since_snapshot: seq - wal_base,
+        broken: false,
     };
     journal.publish_gauges();
     Ok(Some((engine, journal, report)))

@@ -27,6 +27,12 @@
 //! process death; recovery replays the journal suffix onto the newest valid snapshot and
 //! is bit-identical to never having crashed), and the [`fault`] module provides the
 //! deterministic failpoint registry the crash/recovery test suites drive.
+//!
+//! Self-healing: the [`supervise`] module runs the engine on a disposable worker thread
+//! behind a watchdog — a batch that panics or hangs the engine is quarantined (typed
+//! `Poisoned` reply, persisted skip record) and the engine is rebuilt from durable
+//! history without dropping connections, while a background invariant scrubber audits
+//! the warm acceleration structures against the design and repairs corruption in place.
 
 pub mod delta;
 pub mod engine;
@@ -35,9 +41,11 @@ pub mod journal;
 pub mod json;
 pub mod proto;
 pub mod service;
+pub mod supervise;
 
 pub use delta::{DeltaKind, DeltaOutcome, EcoDelta, EcoError, EcoReport, EcoStats, PlacedKind};
-pub use engine::EcoEngine;
+pub use engine::{EcoEngine, ScrubFinding, ScrubStructure};
 pub use journal::{Journal, JournalConfig, RecoveryReport};
 pub use proto::Request;
 pub use service::{EcoClient, EcoServer, ServerConfig, ServerHandle};
+pub use supervise::{HealthSnapshot, ScrubConfig, SuperviseConfig, SupervisorState};

@@ -14,6 +14,7 @@
 //! | `stats`    | —                                        | lifetime engine counters        |
 //! | `metrics`  | optional `format`: `"prometheus"`        | live metrics snapshot           |
 //! | `trace`    | optional `format`: `"chrome"`            | recent span dump                |
+//! | `health`   | —                                        | supervisor state (always answers)|
 //! | `shutdown` | —                                        | stop the server after replying  |
 //!
 //! Responses are `{"ok":true,...}` (with a `report`, `info`, `stats`, `metrics`, `text` or
@@ -55,6 +56,10 @@ pub enum Request {
         /// Answer with a complete Chrome trace-event JSON document.
         chrome: bool,
     },
+    /// Supervisor health: state machine position, restart/quarantine counters, scrub
+    /// progress. Answered by the connection thread itself — it works even while the
+    /// engine is hung or mid-rebuild.
+    Health,
     /// Stop the server after acknowledging.
     Shutdown,
 }
@@ -160,6 +165,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, String> {
         "trace" => Ok(Request::Trace {
             chrome: obj.get("format").and_then(Json::as_str) == Some("chrome"),
         }),
+        "health" => Ok(Request::Health),
         "shutdown" => Ok(Request::Shutdown),
         "batch" => {
             let deltas = obj
@@ -195,6 +201,7 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
             }
             Json::Obj(fields)
         }
+        Request::Health => Json::Obj(vec![("op".into(), Json::Str("health".into()))]),
         Request::Shutdown => Json::Obj(vec![("op".into(), Json::Str("shutdown".into()))]),
         Request::Apply(deltas) if deltas.len() == 1 => encode_delta(&deltas[0]),
         Request::Apply(deltas) => Json::Obj(vec![
@@ -399,17 +406,61 @@ pub fn encode_trace(events: &[flex_obs::SpanEvent], chrome: bool) -> Vec<u8> {
     .into_bytes()
 }
 
-/// Encode an error response. [`EcoError::Busy`] additionally carries machine-readable
-/// `busy`/`retry_after_ms` fields so clients can distinguish shed load (retry with
-/// back-off) from a rejection (don't).
+/// Encode the `health` response from a supervisor snapshot. Always `ok:true` — an
+/// unhealthy server still answers health, that is the point.
+pub fn encode_health(h: &crate::supervise::HealthSnapshot) -> Vec<u8> {
+    let mut body = vec![
+        ("state".into(), Json::Str(h.state.name().into())),
+        ("supervised".into(), Json::Bool(h.supervised)),
+        ("restarts".into(), Json::Num(h.restarts as f64)),
+        ("quarantined".into(), Json::Num(h.quarantined as f64)),
+        (
+            "scrub".into(),
+            Json::Obj(vec![
+                ("slices".into(), Json::Num(h.scrub_slices as f64)),
+                ("sweeps".into(), Json::Num(h.scrub_sweeps as f64)),
+                ("corruptions".into(), Json::Num(h.scrub_corruptions as f64)),
+                ("rebuilds".into(), Json::Num(h.scrub_rebuilds as f64)),
+                ("progress".into(), Json::Num(h.scrub_progress)),
+            ]),
+        ),
+        ("uptime_s".into(), Json::Num(h.uptime.as_secs_f64())),
+    ];
+    if let Some(reason) = &h.last_fault {
+        body.push(("last_fault".into(), Json::Str(reason.clone())));
+    }
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        ("health".into(), Json::Obj(body)),
+    ])
+    .to_string()
+    .into_bytes()
+}
+
+/// Encode an error response. [`EcoError::Busy`] and [`EcoError::Recovering`] additionally
+/// carry machine-readable `busy`/`recovering` + `retry_after_ms` fields so clients can
+/// distinguish shed load (retry with back-off) from a rejection (don't);
+/// [`EcoError::Poisoned`] carries `poisoned`/`seq` so callers can record which batch was
+/// quarantined — a poisoned batch must never be retried.
 pub fn encode_error(error: &EcoError) -> Vec<u8> {
     let mut fields = vec![
         ("ok".into(), Json::Bool(false)),
         ("error".into(), Json::Str(error.to_string())),
     ];
-    if let EcoError::Busy { retry_after_ms } = error {
-        fields.push(("busy".into(), Json::Bool(true)));
-        fields.push(("retry_after_ms".into(), Json::Num(*retry_after_ms as f64)));
+    match error {
+        EcoError::Busy { retry_after_ms } => {
+            fields.push(("busy".into(), Json::Bool(true)));
+            fields.push(("retry_after_ms".into(), Json::Num(*retry_after_ms as f64)));
+        }
+        EcoError::Recovering { retry_after_ms } => {
+            fields.push(("recovering".into(), Json::Bool(true)));
+            fields.push(("retry_after_ms".into(), Json::Num(*retry_after_ms as f64)));
+        }
+        EcoError::Poisoned { seq, .. } => {
+            fields.push(("poisoned".into(), Json::Bool(true)));
+            fields.push(("seq".into(), Json::Num(*seq as f64)));
+        }
+        _ => {}
     }
     Json::Obj(fields).to_string().into_bytes()
 }
@@ -417,7 +468,18 @@ pub fn encode_error(error: &EcoError) -> Vec<u8> {
 /// If `response` is a `Busy` shed (see [`encode_error`]), the suggested back-off in
 /// milliseconds. The client retry loop keys off this.
 pub fn busy_retry_after(response: &Json) -> Option<u64> {
-    if response.get("busy").and_then(Json::as_bool) == Some(true) {
+    retry_after_marked(response, "busy")
+}
+
+/// If `response` is a `Recovering` shed (the supervisor is rebuilding the engine), the
+/// suggested back-off in milliseconds. Absorbed by the client retry loop like `Busy`, but
+/// counted separately.
+pub fn recovering_retry_after(response: &Json) -> Option<u64> {
+    retry_after_marked(response, "recovering")
+}
+
+fn retry_after_marked(response: &Json, marker: &str) -> Option<u64> {
+    if response.get(marker).and_then(Json::as_bool) == Some(true) {
         Some(
             response
                 .get("retry_after_ms")
@@ -464,6 +526,7 @@ mod tests {
             Request::Metrics { prometheus: true },
             Request::Trace { chrome: false },
             Request::Trace { chrome: true },
+            Request::Health,
             Request::Shutdown,
             Request::Apply(vec![EcoDelta::MoveCell {
                 id: CellId(7),
@@ -502,6 +565,25 @@ mod tests {
         let bytes = encode_error(&EcoError::Protocol("nope".into()));
         let json = Json::parse(std::str::from_utf8(&bytes).unwrap()).unwrap();
         assert_eq!(busy_retry_after(&json), None);
+    }
+
+    #[test]
+    fn recovering_and_poisoned_responses_are_machine_detectable() {
+        let bytes = encode_error(&EcoError::Recovering { retry_after_ms: 9 });
+        let json = Json::parse(std::str::from_utf8(&bytes).unwrap()).unwrap();
+        assert_eq!(recovering_retry_after(&json), Some(9));
+        assert_eq!(busy_retry_after(&json), None, "recovering is not busy");
+
+        let bytes = encode_error(&EcoError::Poisoned {
+            seq: 17,
+            reason: "panic: injected".into(),
+        });
+        let json = Json::parse(std::str::from_utf8(&bytes).unwrap()).unwrap();
+        assert_eq!(json.get("poisoned").and_then(Json::as_bool), Some(true));
+        assert_eq!(json.get("seq").and_then(Json::as_i64), Some(17));
+        // a poisoned batch must never look retryable to the client loop
+        assert_eq!(busy_retry_after(&json), None);
+        assert_eq!(recovering_retry_after(&json), None);
     }
 
     #[test]

@@ -35,10 +35,11 @@ use crate::fault;
 use crate::journal::Journal;
 use crate::json::Json;
 use crate::proto::{
-    busy_retry_after, decode_request, encode_error, encode_info, encode_metrics_json,
-    encode_metrics_text, encode_report, encode_request, encode_stats, encode_trace, read_frame,
-    write_frame, Request,
+    busy_retry_after, decode_request, encode_error, encode_health, encode_info,
+    encode_metrics_json, encode_metrics_text, encode_report, encode_request, encode_stats,
+    encode_trace, read_frame, recovering_retry_after, write_frame, Request,
 };
+use crate::supervise::{supervisor_loop, SuperviseConfig, SupervisorShared, SupervisorState};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -48,9 +49,9 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// One queued request: the decoded payload plus the channel the response goes back on.
-struct Job {
-    request: Request,
-    reply: SyncSender<Vec<u8>>,
+pub(crate) struct Job {
+    pub(crate) request: Request,
+    pub(crate) reply: SyncSender<Vec<u8>>,
 }
 
 /// Server tuning: queue bound, connection deadlines, load-shedding hint, durability.
@@ -65,6 +66,13 @@ pub struct ServerConfig {
     pub busy_retry_after_ms: u64,
     /// Write-ahead journal; every accepted apply batch is journaled before it is applied.
     pub journal: Option<Journal>,
+    /// Self-healing supervision (`Some`, the default): the engine runs on a disposable
+    /// worker thread behind a watchdog; a batch that panics or hangs it is quarantined
+    /// with a typed `Poisoned` reply and the engine is rebuilt from snapshot + journal
+    /// without dropping connections (see [`crate::supervise`]). `None` restores the
+    /// legacy contract: an engine panic winds the whole server down and
+    /// [`ServerHandle::join`] re-raises it.
+    pub supervise: Option<SuperviseConfig>,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +82,7 @@ impl Default for ServerConfig {
             idle_timeout: Some(Duration::from_secs(30)),
             busy_retry_after_ms: 2,
             journal: None,
+            supervise: Some(SuperviseConfig::default()),
         }
     }
 }
@@ -118,16 +127,34 @@ impl EcoServer {
         let listener = UnixListener::bind(&path)?;
         let stopping = Arc::new(AtomicBool::new(false));
         let (job_tx, job_rx) = sync_channel::<Job>(config.queue_capacity.max(1));
+        // the shared health block exists in both modes, so the `health` op (answered by
+        // connection threads, never the engine) works even unsupervised
+        let retry_after_ms = config
+            .supervise
+            .as_ref()
+            .map_or(config.busy_retry_after_ms, |s| s.retry_after_ms);
+        let shared = Arc::new(SupervisorShared::new(
+            config.supervise.is_some(),
+            retry_after_ms,
+        ));
         let conn = ConnConfig {
             idle_timeout: config.idle_timeout,
             busy_retry_after_ms: config.busy_retry_after_ms,
+            shared: Arc::clone(&shared),
         };
 
         let engine_handle = {
             let stopping = Arc::clone(&stopping);
             let path = path.clone();
             let journal = config.journal;
-            std::thread::spawn(move || engine_loop(engine, journal, job_rx, stopping, path))
+            match config.supervise {
+                Some(sup) => std::thread::spawn(move || {
+                    supervisor_loop(engine, journal, sup, shared, job_rx, stopping, path)
+                }),
+                None => std::thread::spawn(move || {
+                    engine_loop(engine, journal, job_rx, stopping, path, shared)
+                }),
+            }
         };
 
         let accept_handle = {
@@ -167,11 +194,14 @@ impl ServerHandle {
     }
 }
 
-/// The per-connection slice of [`ServerConfig`] (cheap to copy into client threads).
-#[derive(Clone, Copy)]
+/// The per-connection slice of [`ServerConfig`] (cloned into client threads).
+#[derive(Clone)]
 struct ConnConfig {
     idle_timeout: Option<Duration>,
     busy_retry_after_ms: u64,
+    /// Health state: connection threads answer `health` from this and shed applies with
+    /// a typed `Recovering` while the supervisor is rebuilding the engine.
+    shared: Arc<SupervisorShared>,
 }
 
 /// Winds the server down no matter how the engine thread exits — including a panic, when
@@ -179,9 +209,9 @@ struct ConnConfig {
 /// break out, then poke the accept loop with a throwaway self-connection so it is not left
 /// blocked in `accept`. Without this, an engine panic would leave `ServerHandle::join`
 /// deadlocked on the accept thread forever.
-struct StopGuard {
-    stopping: Arc<AtomicBool>,
-    path: PathBuf,
+pub(crate) struct StopGuard {
+    pub(crate) stopping: Arc<AtomicBool>,
+    pub(crate) path: PathBuf,
 }
 
 impl Drop for StopGuard {
@@ -200,6 +230,7 @@ fn engine_loop(
     jobs: Receiver<Job>,
     stopping: Arc<AtomicBool>,
     path: PathBuf,
+    shared: Arc<SupervisorShared>,
 ) -> EcoEngine {
     let _guard = StopGuard {
         stopping: Arc::clone(&stopping),
@@ -230,24 +261,10 @@ fn engine_loop(
                     }
                 }
             }
-            Request::Info => {
-                let d = engine.design();
-                (
-                    encode_info(
-                        &d.name,
-                        d.num_sites_x,
-                        d.num_rows,
-                        engine.live_cells(),
-                        engine.check_legal(),
-                        engine.uptime(),
-                    ),
-                    false,
-                )
-            }
-            Request::Stats => (encode_stats(engine.stats(), engine.uptime()), false),
-            Request::Metrics { prometheus } => (metrics_response(&engine, prometheus), false),
-            Request::Trace { chrome } => (encode_trace(&flex_obs::collect_spans(), chrome), false),
+            // normally intercepted by the connection thread; kept correct here anyway
+            Request::Health => (encode_health(&shared.snapshot()), false),
             Request::Shutdown => (encode_stats(engine.stats(), engine.uptime()), true),
+            ref request => (query_response(&engine, request), false),
         };
         if stop {
             // raise the flag BEFORE acknowledging, so the requester's client loop sees it
@@ -269,6 +286,28 @@ fn engine_loop(
         }
     }
     engine
+}
+
+/// Answer a read-only query against the engine (shared by the legacy engine loop and the
+/// supervised worker thread). `Apply`/`Shutdown`/`Health` never reach this.
+pub(crate) fn query_response(engine: &EcoEngine, request: &Request) -> Vec<u8> {
+    match request {
+        Request::Info => {
+            let d = engine.design();
+            encode_info(
+                &d.name,
+                d.num_sites_x,
+                d.num_rows,
+                engine.live_cells(),
+                engine.check_legal(),
+                engine.uptime(),
+            )
+        }
+        Request::Stats => encode_stats(engine.stats(), engine.uptime()),
+        Request::Metrics { prometheus } => metrics_response(engine, *prometheus),
+        Request::Trace { chrome } => encode_trace(&flex_obs::collect_spans(), *chrome),
+        _ => encode_error(&EcoError::Protocol("not a query".to_string())),
+    }
 }
 
 /// Compose the `metrics` response: publish the engine's lifetime counters and uptime into
@@ -313,6 +352,7 @@ fn accept_loop(
         };
         let jobs = jobs.clone();
         let stopping = Arc::clone(&stopping);
+        let conn_cfg = conn_cfg.clone();
         let handle = std::thread::spawn(move || client_loop(stream, jobs, stopping, conn_cfg));
         clients.push((conn, handle));
     }
@@ -370,6 +410,14 @@ fn client_loop(
             }
         };
         let response = match decode_request(&payload) {
+            // `health` is answered right here, engine-free, so it works even while the
+            // engine is hung mid-batch or the supervisor is rebuilding it
+            Ok(Request::Health) => encode_health(&conn_cfg.shared.snapshot()),
+            // applies arriving while the supervisor rebuilds the engine are shed with a
+            // typed Recovering (the connection survives; the retry loop absorbs it)
+            Ok(Request::Apply(_)) if conn_cfg.shared.state() == SupervisorState::Recovering => {
+                recovering_response(&conn_cfg.shared)
+            }
             Ok(request) => {
                 let (reply_tx, reply_rx) = sync_channel::<Vec<u8>>(1);
                 let job = Job {
@@ -418,6 +466,15 @@ fn busy_response(retry_after_ms: u64) -> Vec<u8> {
     encode_error(&EcoError::Busy { retry_after_ms })
 }
 
+fn recovering_response(shared: &SupervisorShared) -> Vec<u8> {
+    flex_obs::global()
+        .counter("eco_recovering_shed_total")
+        .inc();
+    encode_error(&EcoError::Recovering {
+        retry_after_ms: shared.retry_after_ms(),
+    })
+}
+
 /// How [`EcoClient`] retries transient failures: exponential backoff with seeded jitter.
 #[derive(Debug, Clone)]
 pub struct RetryPolicy {
@@ -452,6 +509,7 @@ pub struct EcoClient {
     retry: RetryPolicy,
     retries_performed: u64,
     busy_shed_seen: u64,
+    recovering_seen: u64,
     jitter: u64,
 }
 
@@ -467,6 +525,7 @@ impl EcoClient {
             retry,
             retries_performed: 0,
             busy_shed_seen: 0,
+            recovering_seen: 0,
         })
     }
 
@@ -486,6 +545,13 @@ impl EcoClient {
     /// `Busy` shed responses absorbed by the retry loop so far.
     pub fn busy_shed_seen(&self) -> u64 {
         self.busy_shed_seen
+    }
+
+    /// `Recovering` shed responses absorbed by the retry loop so far (the server was
+    /// rebuilding its engine after a quarantine; counted separately from `Busy` so load
+    /// summaries can distinguish back-pressure from self-healing windows).
+    pub fn recovering_seen(&self) -> u64 {
+        self.recovering_seen
     }
 
     /// Send one request and wait for its response payload (raw JSON bytes). One attempt,
@@ -539,6 +605,21 @@ impl EcoClient {
                             return Ok(Err(format!("server still busy after {attempt} retries")));
                         }
                         self.busy_shed_seen += 1;
+                        self.retries_performed += 1;
+                        let backoff = self.backoff_delay(attempt);
+                        std::thread::sleep(backoff.max(Duration::from_millis(hint_ms)));
+                        attempt += 1;
+                        continue;
+                    }
+                    // a Recovering shed (engine rebuild in progress) is absorbed exactly
+                    // like Busy — wait out the hint, resend — but counted separately
+                    if let Some(hint_ms) = recovering_retry_after(&json) {
+                        if attempt >= self.retry.max_retries {
+                            return Ok(Err(format!(
+                                "server still recovering after {attempt} retries"
+                            )));
+                        }
+                        self.recovering_seen += 1;
                         self.retries_performed += 1;
                         let backoff = self.backoff_delay(attempt);
                         std::thread::sleep(backoff.max(Duration::from_millis(hint_ms)));

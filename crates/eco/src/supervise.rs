@@ -1,0 +1,988 @@
+//! Self-healing supervision for the resident engine: watchdog, poison-batch quarantine,
+//! supervised restarts, and a background invariant scrubber.
+//!
+//! The unsupervised server (PR 7–9) has one engine thread; an engine panic winds the
+//! whole server down and `ServerHandle::join` re-raises it. That is the right contract
+//! for a library embedding, but a *service* should survive a poisoned batch: one bad
+//! delta stream must not take the socket away from every other client.
+//!
+//! Under supervision the engine runs on a disposable **worker thread** and the
+//! long-lived **supervisor thread** owns everything that must survive an engine crash:
+//! the job queue, the journal, the quarantine set, and the health state machine.
+//! Per batch, the supervisor:
+//!
+//! 1. journals the batch (journal-before-ack, unchanged; in `--fsync` mode queued
+//!    batches are group-committed so N batches cost one `fdatasync`, not N);
+//! 2. hands it to the worker and waits with a **deadline** ([`SuperviseConfig::
+//!    batch_deadline`]) — a worker that panics is reaped, a worker that hangs is
+//!    abandoned (never joined; it exits on its own once the stall ends, because its
+//!    reply channel is gone);
+//! 3. on either failure **quarantines** the batch — the client gets a typed
+//!    `Poisoned {seq}` reply, and a persisted record in `quarantine.log` makes every
+//!    future replay skip it — then **rebuilds** a fresh engine from snapshot + journal
+//!    (or, journal-less, from an in-memory baseline image + delta log) *without
+//!    dropping a single connection*. Apply requests that arrive during the rebuild
+//!    window are shed with a typed `Recovering {retry_after_ms}` the client retry loop
+//!    absorbs.
+//!
+//! Because replay runs with fault injection suppressed ([`crate::fault::
+//! with_suppressed`]) and skips quarantined sequence numbers, the rebuilt engine is
+//! bit-identical to an engine that had rejected the poisoned batch up front — the
+//! supervised fault-matrix tests assert exactly that.
+//!
+//! **Invariant scrubber.** Idle ticks and post-batch slack run incremental audits of
+//! the engine's acceleration structures (legalized index, density map, segment map)
+//! against the design, a slice of rows at a time: recently disturbed row ranges first
+//! (fed by each batch's disturbed rects), then a round-robin sweep sized so a full pass
+//! completes within [`ScrubConfig::sweep_batches`] batches. A detected divergence is a
+//! typed corruption event (counter + health `last_fault`), and the engine degrades
+//! gracefully: only the corrupt structure is rebuilt from the design, in place, on the
+//! worker thread. The `eco.scrub.corrupt` failpoint injects real corruption (rotating
+//! across the three structures) to prove the scrubber finds and repairs it.
+//!
+//! **Health.** The `health` protocol op reports the state machine — `healthy` →
+//! `recovering` (rebuild in progress) → `degraded` (sticky once a batch was quarantined
+//! or a corruption was found) — plus restart/quarantine/scrub counters. It is answered
+//! by the *connection* thread from [`SupervisorShared`], so it works even while the
+//! engine is hung mid-batch or mid-rebuild.
+
+use crate::delta::{EcoDelta, EcoError, EcoReport, EcoStats};
+use crate::engine::{EcoEngine, ScrubStructure};
+use crate::fault;
+use crate::journal::{self, Journal};
+use crate::proto::{encode_error, encode_health, encode_report, encode_stats, Request};
+use crate::service::{query_response, Job, StopGuard};
+use flex_mgl::config::MglConfig;
+use flex_placement::snapshot::{read_design, write_design, SnapshotError};
+use std::collections::{BTreeSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Most queued batches folded into one group commit (one fsync). Bounded so a burst
+/// cannot defer the first client's ack indefinitely.
+const GROUP_MAX: usize = 32;
+
+/// Bound on the queue of recently-disturbed row ranges awaiting a priority audit.
+/// Overflow falls back to the background sweep, which audits everything eventually.
+const DIRTY_QUEUE_MAX: usize = 64;
+
+/// Tuning for the background invariant scrubber.
+#[derive(Debug, Clone)]
+pub struct ScrubConfig {
+    /// Rows audited per slice (granularity of one scrub step).
+    pub slice_rows: i64,
+    /// Size the background sweep so a full pass over all rows completes within this
+    /// many applied batches (0 behaves like 1).
+    pub sweep_batches: u64,
+    /// How long the supervisor idles on an empty job queue before spending the time on
+    /// one scrub slice instead.
+    pub idle_tick: Duration,
+    /// Most dirty (recently disturbed) ranges audited right after one batch.
+    pub max_dirty_per_batch: usize,
+}
+
+impl Default for ScrubConfig {
+    fn default() -> Self {
+        Self {
+            slice_rows: 32,
+            sweep_batches: 512,
+            idle_tick: Duration::from_millis(50),
+            max_dirty_per_batch: 2,
+        }
+    }
+}
+
+/// Tuning for the supervision layer.
+#[derive(Debug, Clone)]
+pub struct SuperviseConfig {
+    /// Watchdog deadline per engine interaction: a batch (or query) the worker has not
+    /// answered within this window counts as a hang, the batch is quarantined and the
+    /// worker abandoned.
+    pub batch_deadline: Duration,
+    /// The retry-after hint carried by `Recovering` sheds, in milliseconds.
+    pub retry_after_ms: u64,
+    /// Invariant-scrubber tuning.
+    pub scrub: ScrubConfig,
+    /// Journal-less servers refresh their in-memory rebuild baseline (design image +
+    /// delta log reset) every this many applied batches (0 = never refresh).
+    pub mem_snapshot_every: u64,
+}
+
+impl Default for SuperviseConfig {
+    fn default() -> Self {
+        Self {
+            batch_deadline: Duration::from_secs(5),
+            retry_after_ms: 25,
+            scrub: ScrubConfig::default(),
+            mem_snapshot_every: 256,
+        }
+    }
+}
+
+/// The health state machine. `Degraded` is sticky: once a batch has been quarantined or
+/// a structure corruption was found, the server keeps serving but stops claiming full
+/// health — an operator should look at it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum SupervisorState {
+    /// Serving normally.
+    Healthy = 0,
+    /// An engine rebuild is in progress; applies are shed with `Recovering`.
+    Recovering = 1,
+    /// Serving, but at least one batch was quarantined or one corruption repaired.
+    Degraded = 2,
+}
+
+impl SupervisorState {
+    /// Wire name of the state (the `health` op's `state` field).
+    pub fn name(self) -> &'static str {
+        match self {
+            SupervisorState::Healthy => "healthy",
+            SupervisorState::Recovering => "recovering",
+            SupervisorState::Degraded => "degraded",
+        }
+    }
+
+    fn from_u8(v: u8) -> Self {
+        match v {
+            1 => SupervisorState::Recovering,
+            2 => SupervisorState::Degraded,
+            _ => SupervisorState::Healthy,
+        }
+    }
+}
+
+/// The supervisor's externally visible state: connection threads answer `health` from
+/// this (and shed applies during rebuilds), so it must stay readable while the engine
+/// is hung or mid-rebuild. Unsupervised servers carry one too (with `supervised =
+/// false`) so `health` always answers.
+pub struct SupervisorShared {
+    supervised: bool,
+    retry_after_ms: u64,
+    state: AtomicU8,
+    restarts: AtomicU64,
+    quarantined: AtomicU64,
+    scrub_slices: AtomicU64,
+    scrub_sweeps: AtomicU64,
+    scrub_corruptions: AtomicU64,
+    scrub_rebuilds: AtomicU64,
+    scrub_pos: AtomicU64,
+    scrub_total: AtomicU64,
+    last_fault: Mutex<Option<String>>,
+    started: Instant,
+}
+
+impl SupervisorShared {
+    pub(crate) fn new(supervised: bool, retry_after_ms: u64) -> Self {
+        Self {
+            supervised,
+            retry_after_ms,
+            state: AtomicU8::new(SupervisorState::Healthy as u8),
+            restarts: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            scrub_slices: AtomicU64::new(0),
+            scrub_sweeps: AtomicU64::new(0),
+            scrub_corruptions: AtomicU64::new(0),
+            scrub_rebuilds: AtomicU64::new(0),
+            scrub_pos: AtomicU64::new(0),
+            scrub_total: AtomicU64::new(1),
+            last_fault: Mutex::new(None),
+            started: Instant::now(),
+        }
+    }
+
+    /// Current health state.
+    pub fn state(&self) -> SupervisorState {
+        SupervisorState::from_u8(self.state.load(Ordering::SeqCst))
+    }
+
+    pub(crate) fn retry_after_ms(&self) -> u64 {
+        self.retry_after_ms
+    }
+
+    fn set_state(&self, state: SupervisorState) {
+        self.state.store(state as u8, Ordering::SeqCst);
+        flex_obs::global()
+            .gauge("eco_health_state")
+            .set(state as u8 as i64);
+    }
+
+    fn note_fault(&self, reason: &str) {
+        if let Ok(mut slot) = self.last_fault.lock() {
+            *slot = Some(reason.to_string());
+        }
+    }
+
+    /// Snapshot for the `health` op.
+    pub fn snapshot(&self) -> HealthSnapshot {
+        let total = self.scrub_total.load(Ordering::Relaxed).max(1);
+        HealthSnapshot {
+            state: self.state(),
+            supervised: self.supervised,
+            restarts: self.restarts.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            scrub_slices: self.scrub_slices.load(Ordering::Relaxed),
+            scrub_sweeps: self.scrub_sweeps.load(Ordering::Relaxed),
+            scrub_corruptions: self.scrub_corruptions.load(Ordering::Relaxed),
+            scrub_rebuilds: self.scrub_rebuilds.load(Ordering::Relaxed),
+            scrub_progress: self.scrub_pos.load(Ordering::Relaxed) as f64 / total as f64,
+            uptime: self.started.elapsed(),
+            last_fault: self.last_fault.lock().map(|g| g.clone()).unwrap_or(None),
+        }
+    }
+}
+
+/// One observation of the supervisor, as reported by the `health` op.
+#[derive(Debug, Clone)]
+pub struct HealthSnapshot {
+    /// Health state machine position.
+    pub state: SupervisorState,
+    /// Whether the supervision layer is active (false = legacy single-thread engine).
+    pub supervised: bool,
+    /// Engine rebuilds performed (panic, hang, or query casualty).
+    pub restarts: u64,
+    /// Batches quarantined so far (persisted; replay skips them forever).
+    pub quarantined: u64,
+    /// Scrub slices audited.
+    pub scrub_slices: u64,
+    /// Complete scrub sweeps over every row.
+    pub scrub_sweeps: u64,
+    /// Structure corruptions the scrubber detected.
+    pub scrub_corruptions: u64,
+    /// Structures rebuilt in place after a detected corruption.
+    pub scrub_rebuilds: u64,
+    /// Background sweep position as a fraction of rows, `0.0 ..= 1.0`.
+    pub scrub_progress: f64,
+    /// Time since the server started.
+    pub uptime: Duration,
+    /// Most recent fault reason (panic message, hang, corruption), if any.
+    pub last_fault: Option<String>,
+}
+
+// --- the worker thread -----------------------------------------------------------------
+
+enum WorkItem {
+    Apply(Vec<EcoDelta>),
+    Query(Request),
+    Scrub { row_lo: i64, row_hi: i64 },
+    Image,
+    TakeEngine,
+}
+
+enum WorkReply {
+    Applied {
+        response: Vec<u8>,
+        dirty: Option<(i64, i64)>,
+    },
+    Response(Vec<u8>),
+    Scrubbed {
+        rebuilt: Vec<(ScrubStructure, String)>,
+    },
+    Image {
+        design: Vec<u8>,
+        stats: EcoStats,
+    },
+    Panicked(String),
+    Engine(Box<EcoEngine>),
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "engine panicked".to_string()
+    }
+}
+
+/// Row range disturbed by a batch (feeds the scrubber's priority queue).
+fn dirty_rows(report: &EcoReport) -> Option<(i64, i64)> {
+    let mut lo = i64::MAX;
+    let mut hi = i64::MIN;
+    for rect in report.disturbed() {
+        lo = lo.min(rect.y_lo);
+        hi = hi.max(rect.y_hi);
+    }
+    (lo < hi).then_some((lo, hi))
+}
+
+/// The disposable engine thread. It answers one [`WorkItem`] at a time; a panic inside
+/// an apply or scrub is caught, reported as [`WorkReply::Panicked`], and ends the
+/// thread — the engine state is suspect after an unwound mutation, so the supervisor
+/// discards it and rebuilds. A hung worker is simply abandoned: when the stall ends,
+/// its reply `send` fails (the supervisor dropped the channel) and the thread exits.
+fn worker_loop(mut engine: EcoEngine, items: Receiver<WorkItem>, replies: SyncSender<WorkReply>) {
+    let mut corrupt_rotation = 0usize;
+    while let Ok(item) = items.recv() {
+        let reply = match item {
+            WorkItem::Apply(deltas) => {
+                let applied = catch_unwind(AssertUnwindSafe(|| match engine.apply(&deltas) {
+                    Ok(report) => {
+                        let dirty = dirty_rows(&report);
+                        (encode_report(&report), dirty)
+                    }
+                    Err(e) => (encode_error(&e), None),
+                }));
+                match applied {
+                    Ok((response, dirty)) => WorkReply::Applied { response, dirty },
+                    Err(panic) => {
+                        let _ = replies.send(WorkReply::Panicked(panic_message(&*panic)));
+                        return;
+                    }
+                }
+            }
+            WorkItem::Query(request) => WorkReply::Response(query_response(&engine, &request)),
+            WorkItem::Scrub { row_lo, row_hi } => {
+                let scrubbed = catch_unwind(AssertUnwindSafe(|| {
+                    // fault injection: deliberately damage one structure (rotating
+                    // across all three) inside the range about to be audited, so the
+                    // scrubber proves it detects and repairs real corruption
+                    if fault::armed() && fault::fires("eco.scrub.corrupt") {
+                        let all = ScrubStructure::ALL;
+                        let structure = all[corrupt_rotation % all.len()];
+                        corrupt_rotation += 1;
+                        engine.corrupt_structure(structure, row_lo);
+                    }
+                    engine
+                        .audit_rows(row_lo, row_hi)
+                        .into_iter()
+                        .map(|finding| {
+                            // graceful degradation: rebuild only the corrupt structure
+                            engine.rebuild_structure(finding.structure);
+                            (finding.structure, finding.detail)
+                        })
+                        .collect::<Vec<_>>()
+                }));
+                match scrubbed {
+                    Ok(rebuilt) => WorkReply::Scrubbed { rebuilt },
+                    Err(panic) => {
+                        let _ = replies.send(WorkReply::Panicked(panic_message(&*panic)));
+                        return;
+                    }
+                }
+            }
+            WorkItem::Image => {
+                let mut design = Vec::new();
+                write_design(&mut design, engine.design()).expect("serialize to memory");
+                WorkReply::Image {
+                    design,
+                    stats: engine.stats().clone(),
+                }
+            }
+            WorkItem::TakeEngine => {
+                let _ = replies.send(WorkReply::Engine(Box::new(engine)));
+                return;
+            }
+        };
+        if replies.send(reply).is_err() {
+            return; // supervisor abandoned this worker
+        }
+    }
+}
+
+// --- the supervisor thread -------------------------------------------------------------
+
+struct Worker {
+    items: SyncSender<WorkItem>,
+    replies: Receiver<WorkReply>,
+    handle: JoinHandle<()>,
+}
+
+struct Supervisor {
+    cfg: SuperviseConfig,
+    shared: Arc<SupervisorShared>,
+    journal: Option<Journal>,
+    mgl: MglConfig,
+    validate_boundary: bool,
+    /// Journal-less rebuild baseline: a design image + the stats at capture time …
+    base_image: Vec<u8>,
+    base_stats: EcoStats,
+    /// … plus every accepted batch since (rejected ones included: replay re-rejects
+    /// them identically, keeping stats bit-exact).
+    mem_log: Vec<(u64, Vec<EcoDelta>)>,
+    applied_since_refresh: u64,
+    next_seq: u64,
+    quarantined: BTreeSet<u64>,
+    worker: Option<Worker>,
+    num_rows: i64,
+    cursor: i64,
+    dirty: VecDeque<(i64, i64)>,
+    slices_per_batch: u64,
+    pending: Option<Job>,
+}
+
+/// The supervised replacement for the single engine thread: owns the job queue end, the
+/// journal, the quarantine set and the worker lifecycle. Returns the resident engine at
+/// shutdown, exactly like the legacy loop.
+pub(crate) fn supervisor_loop(
+    engine: EcoEngine,
+    journal: Option<Journal>,
+    cfg: SuperviseConfig,
+    shared: Arc<SupervisorShared>,
+    jobs: Receiver<Job>,
+    stopping: Arc<AtomicBool>,
+    path: PathBuf,
+) -> EcoEngine {
+    let _guard = StopGuard {
+        stopping: Arc::clone(&stopping),
+        path,
+    };
+    let mut sup = Supervisor::new(engine, journal, cfg, shared);
+    loop {
+        let job = match sup.pending.take() {
+            Some(job) => job,
+            None => match jobs.recv_timeout(sup.cfg.scrub.idle_tick) {
+                Ok(job) => job,
+                Err(RecvTimeoutError::Timeout) => {
+                    sup.scrub_tick(1);
+                    continue;
+                }
+                // every sender gone (accept loop died): wind down with the engine
+                Err(RecvTimeoutError::Disconnected) => return sup.take_engine(),
+            },
+        };
+        let Job { request, reply } = job;
+        match request {
+            Request::Shutdown => return sup.shutdown(reply, &stopping),
+            Request::Apply(deltas) => sup.handle_applies(deltas, reply, &jobs),
+            // normally answered by the connection thread; kept correct here anyway
+            Request::Health => {
+                let _ = reply.send(encode_health(&sup.shared.snapshot()));
+            }
+            request => sup.handle_query(request, reply),
+        }
+    }
+}
+
+impl Supervisor {
+    fn new(
+        engine: EcoEngine,
+        journal: Option<Journal>,
+        cfg: SuperviseConfig,
+        shared: Arc<SupervisorShared>,
+    ) -> Self {
+        let mgl = engine.config().clone();
+        let validate_boundary = engine.boundary_validation();
+        let num_rows = engine.design().num_rows;
+        let next_seq = journal.as_ref().map_or(0, Journal::seq);
+        let (base_image, base_stats) = if journal.is_none() {
+            let mut image = Vec::new();
+            write_design(&mut image, engine.design()).expect("serialize to memory");
+            (image, engine.stats().clone())
+        } else {
+            (Vec::new(), EcoStats::default())
+        };
+        // quarantines from previous incarnations still count as degradation
+        let quarantined = journal
+            .as_ref()
+            .map_or_else(BTreeSet::new, |j| journal::load_quarantine(&j.config().dir));
+        let total_slices = (num_rows.max(1) as u64).div_ceil(cfg.scrub.slice_rows.max(1) as u64);
+        let slices_per_batch = total_slices.div_ceil(cfg.scrub.sweep_batches.max(1)).max(1);
+        shared
+            .scrub_total
+            .store(num_rows.max(1) as u64, Ordering::Relaxed);
+        shared
+            .quarantined
+            .store(quarantined.len() as u64, Ordering::Relaxed);
+        let mut sup = Self {
+            cfg,
+            shared,
+            journal,
+            mgl,
+            validate_boundary,
+            base_image,
+            base_stats,
+            mem_log: Vec::new(),
+            applied_since_refresh: 0,
+            next_seq,
+            quarantined,
+            worker: None,
+            num_rows,
+            cursor: 0,
+            dirty: VecDeque::new(),
+            slices_per_batch,
+            pending: None,
+        };
+        sup.spawn_worker(engine);
+        sup.settle_state();
+        sup
+    }
+
+    fn spawn_worker(&mut self, engine: EcoEngine) {
+        let (item_tx, item_rx) = sync_channel::<WorkItem>(1);
+        let (reply_tx, reply_rx) = sync_channel::<WorkReply>(1);
+        let handle = std::thread::spawn(move || worker_loop(engine, item_rx, reply_tx));
+        self.worker = Some(Worker {
+            items: item_tx,
+            replies: reply_rx,
+            handle,
+        });
+    }
+
+    /// The worker exited on its own (panic reported, or it took the engine): join it so
+    /// the thread is reaped, not leaked.
+    fn reap_worker(&mut self) {
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.handle.join();
+        }
+    }
+
+    /// The worker is hung mid-batch: **never** join it (that would hang the supervisor
+    /// too). Dropping its channels makes its eventual reply `send` fail, so the thread
+    /// exits on its own once the stall ends.
+    fn abandon_worker(&mut self) {
+        if let Some(worker) = self.worker.take() {
+            drop(worker.items);
+            drop(worker.replies);
+            drop(worker.handle); // detach
+        }
+    }
+
+    /// One engine interaction under the watchdog deadline. `Err` carries the poison
+    /// reason (panic message, hang, or dead thread) and guarantees the worker is gone.
+    fn ask(&mut self, item: WorkItem) -> Result<WorkReply, String> {
+        let sent = match self.worker.as_ref() {
+            None => return Err("engine down".to_string()),
+            Some(worker) => worker.items.send(item).is_ok(),
+        };
+        if !sent {
+            self.reap_worker();
+            return Err("engine thread died".to_string());
+        }
+        let result = match self.worker.as_ref() {
+            None => unreachable!("worker checked above"),
+            Some(worker) => worker.replies.recv_timeout(self.cfg.batch_deadline),
+        };
+        match result {
+            Ok(WorkReply::Panicked(reason)) => {
+                self.reap_worker();
+                Err(format!("engine panicked: {reason}"))
+            }
+            Ok(reply) => Ok(reply),
+            Err(RecvTimeoutError::Timeout) => {
+                self.abandon_worker();
+                Err(format!(
+                    "engine unresponsive past the {:?} watchdog deadline",
+                    self.cfg.batch_deadline
+                ))
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                self.reap_worker();
+                Err("engine thread died".to_string())
+            }
+        }
+    }
+
+    /// Handle one apply job — plus, in fsync mode, every apply already queued behind it
+    /// (group commit: the whole group is journaled with one write + one fsync). A
+    /// non-apply job encountered while draining is deferred, not reordered past a
+    /// shutdown.
+    fn handle_applies(
+        &mut self,
+        deltas: Vec<EcoDelta>,
+        reply: SyncSender<Vec<u8>>,
+        jobs: &Receiver<Job>,
+    ) {
+        let mut group: Vec<(Vec<EcoDelta>, SyncSender<Vec<u8>>)> = vec![(deltas, reply)];
+        if self.journal.as_ref().is_some_and(|j| j.config().fsync) {
+            while group.len() < GROUP_MAX {
+                let Ok(job) = jobs.try_recv() else { break };
+                match job.request {
+                    Request::Apply(d) => group.push((d, job.reply)),
+                    request => {
+                        self.pending = Some(Job {
+                            request,
+                            reply: job.reply,
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+        let seqs: Vec<u64> = match self.journal.as_mut() {
+            Some(journal) => {
+                let batches: Vec<&[EcoDelta]> = group.iter().map(|(d, _)| d.as_slice()).collect();
+                match journal.append_group(&batches) {
+                    Ok(seqs) => seqs,
+                    Err(e) => {
+                        // all-or-nothing: nothing in the group is durable, so nothing
+                        // in the group may be applied
+                        let response = encode_error(&EcoError::Journal(e.to_string()));
+                        for (_, reply) in group {
+                            let _ = reply.send(response.clone());
+                        }
+                        return;
+                    }
+                }
+            }
+            None => (1..=group.len() as u64)
+                .map(|i| self.next_seq + i)
+                .collect(),
+        };
+        self.next_seq = *seqs.last().expect("group is never empty");
+        for ((deltas, reply), seq) in group.into_iter().zip(seqs) {
+            self.dispatch_batch(seq, deltas, reply);
+        }
+    }
+
+    /// Run one (already journaled) batch on the worker; on panic or watchdog timeout,
+    /// quarantine it, answer `Poisoned`, and rebuild the engine.
+    fn dispatch_batch(&mut self, seq: u64, deltas: Vec<EcoDelta>, reply: SyncSender<Vec<u8>>) {
+        if self.journal.is_none() {
+            self.mem_log.push((seq, deltas.clone()));
+        }
+        self.ensure_worker();
+        match self.ask(WorkItem::Apply(deltas)) {
+            Ok(WorkReply::Applied { response, dirty }) => {
+                let _ = reply.send(response);
+                self.after_apply(dirty);
+            }
+            Ok(_) => {
+                let _ = reply.send(encode_error(&EcoError::Protocol(
+                    "unexpected engine reply".to_string(),
+                )));
+            }
+            Err(reason) => {
+                self.quarantine(seq, &reason);
+                // the poisoned client learns its fate before the rebuild starts; it
+                // must never retry this batch
+                let _ = reply.send(encode_error(&EcoError::Poisoned {
+                    seq,
+                    reason: reason.clone(),
+                }));
+                self.recover(&reason);
+            }
+        }
+    }
+
+    fn handle_query(&mut self, request: Request, reply: SyncSender<Vec<u8>>) {
+        self.ensure_worker();
+        let response = match self.ask(WorkItem::Query(request)) {
+            Ok(WorkReply::Response(response)) => response,
+            Ok(_) => encode_error(&EcoError::Protocol("unexpected engine reply".to_string())),
+            Err(reason) => {
+                // a read-only query killed or hung the engine — rebuild, shed the query
+                let response = encode_error(&EcoError::Recovering {
+                    retry_after_ms: self.cfg.retry_after_ms,
+                });
+                self.recover(&reason);
+                response
+            }
+        };
+        let _ = reply.send(response);
+    }
+
+    fn quarantine(&mut self, seq: u64, reason: &str) {
+        self.quarantined.insert(seq);
+        self.shared
+            .quarantined
+            .store(self.quarantined.len() as u64, Ordering::Relaxed);
+        flex_obs::global()
+            .counter("eco_quarantined_batches_total")
+            .inc();
+        if let Some(journal) = self.journal.as_mut() {
+            if let Err(e) = journal.quarantine(seq, reason) {
+                eprintln!("eco supervise: failed to persist quarantine of batch {seq}: {e}");
+            }
+        }
+        eprintln!("eco supervise: quarantined batch {seq}: {reason}");
+    }
+
+    fn ensure_worker(&mut self) {
+        if self.worker.is_none() {
+            self.rebuild();
+        }
+    }
+
+    fn recover(&mut self, reason: &str) {
+        self.shared.note_fault(reason);
+        self.shared.set_state(SupervisorState::Recovering);
+        flex_obs::global()
+            .counter("eco_supervised_restarts_total")
+            .inc();
+        // deterministic test hook: hold the rebuild window open so a client can observe
+        // the typed Recovering shed
+        fault::maybe_hang("eco.rebuild.hold");
+        self.rebuild();
+    }
+
+    /// Build a fresh engine from durable (or in-memory) history, skipping quarantined
+    /// batches, with fault injection suppressed — the result is bit-identical to an
+    /// engine that had rejected the poisoned batches up front.
+    fn rebuild(&mut self) {
+        debug_assert!(self.worker.is_none(), "rebuild with a live worker");
+        let rebuilt: Result<EcoEngine, String> = if let Some(old) = self.journal.take() {
+            let cfg = old.config().clone();
+            drop(old); // release the wal handle before recovery re-opens the directory
+            match journal::recover_engine(cfg, self.mgl.clone(), self.validate_boundary) {
+                Ok(Some((engine, journal, _report))) => {
+                    self.next_seq = journal.seq();
+                    self.journal = Some(journal);
+                    Ok(engine)
+                }
+                Ok(None) => Err("journal directory lost its snapshots".to_string()),
+                Err(e) => Err(e.to_string()),
+            }
+        } else {
+            read_design(&mut &self.base_image[..])
+                .map_err(|e| match e {
+                    SnapshotError::Io(e) => format!("baseline image: {e}"),
+                    SnapshotError::Corrupt(msg) => format!("baseline image: {msg}"),
+                })
+                .and_then(|design| {
+                    EcoEngine::resume(design, self.mgl.clone(), self.base_stats.clone())
+                        .map_err(|e| e.to_string())
+                })
+                .map(|engine| {
+                    let mut engine = engine.with_boundary_validation(self.validate_boundary);
+                    // suppressed replay: a deterministic failpoint schedule must not
+                    // re-fire on history that already survived it
+                    fault::with_suppressed(|| {
+                        for (seq, deltas) in &self.mem_log {
+                            if self.quarantined.contains(seq) {
+                                continue;
+                            }
+                            let _ = engine.apply(deltas); // re-rejects identically
+                        }
+                    });
+                    engine
+                })
+        };
+        match rebuilt {
+            Ok(engine) => {
+                self.spawn_worker(engine);
+                self.shared.restarts.fetch_add(1, Ordering::Relaxed);
+                self.settle_state();
+            }
+            Err(e) => {
+                // stay in Recovering: applies shed with a typed hint, and the next
+                // dispatch retries the rebuild
+                eprintln!("eco supervise: rebuild failed: {e} (will retry)");
+            }
+        }
+    }
+
+    fn settle_state(&self) {
+        let degraded = !self.quarantined.is_empty()
+            || self.shared.scrub_corruptions.load(Ordering::Relaxed) > 0;
+        self.shared.set_state(if degraded {
+            SupervisorState::Degraded
+        } else {
+            SupervisorState::Healthy
+        });
+    }
+
+    /// Post-apply housekeeping: feed the scrubber's dirty queue, rotate the journal
+    /// snapshot when due (the engine lives on the worker thread, so its state travels
+    /// as a serialized image), refresh the journal-less rebuild baseline, then spend
+    /// the batch's scrub budget.
+    fn after_apply(&mut self, dirty: Option<(i64, i64)>) {
+        self.applied_since_refresh += 1;
+        if let Some(range) = dirty {
+            if self.dirty.len() < DIRTY_QUEUE_MAX {
+                self.dirty.push_back(range);
+            }
+        }
+        if self.journal.as_ref().is_some_and(Journal::snapshot_due) {
+            match self.ask(WorkItem::Image) {
+                Ok(WorkReply::Image { design, stats }) => {
+                    if let Some(journal) = self.journal.as_mut() {
+                        // rotation failure is survivable — the open wal stays valid,
+                        // the only cost is a longer replay on the next recovery
+                        if let Err(e) = journal.snapshot_now_from_image(&design, &stats) {
+                            eprintln!("eco journal: snapshot failed: {e} (continuing)");
+                        }
+                    }
+                }
+                Ok(_) => {}
+                Err(reason) => {
+                    self.recover(&reason);
+                    return;
+                }
+            }
+        }
+        if self.journal.is_none()
+            && self.cfg.mem_snapshot_every != 0
+            && self.applied_since_refresh >= self.cfg.mem_snapshot_every
+        {
+            match self.ask(WorkItem::Image) {
+                Ok(WorkReply::Image { design, stats }) => {
+                    self.base_image = design;
+                    self.base_stats = stats;
+                    self.mem_log.clear();
+                    self.applied_since_refresh = 0;
+                }
+                Ok(_) => {}
+                Err(reason) => {
+                    self.recover(&reason);
+                    return;
+                }
+            }
+        }
+        let dirty_budget = self.dirty.len().min(self.cfg.scrub.max_dirty_per_batch) as u64;
+        self.scrub_tick(self.slices_per_batch + dirty_budget);
+    }
+
+    /// Audit up to `slices` row slices: recently disturbed ranges first, then the
+    /// round-robin background sweep.
+    fn scrub_tick(&mut self, slices: u64) {
+        if self.worker.is_none() || self.num_rows <= 0 {
+            return; // don't force a rebuild just to scrub; the next apply will
+        }
+        for _ in 0..slices {
+            let (row_lo, row_hi, from_sweep) = match self.dirty.pop_front() {
+                Some((lo, hi)) => (lo, hi, false),
+                None => {
+                    let lo = self.cursor;
+                    let hi = (lo + self.cfg.scrub.slice_rows.max(1)).min(self.num_rows);
+                    (lo, hi, true)
+                }
+            };
+            match self.ask(WorkItem::Scrub { row_lo, row_hi }) {
+                Ok(WorkReply::Scrubbed { rebuilt }) => {
+                    self.shared.scrub_slices.fetch_add(1, Ordering::Relaxed);
+                    if from_sweep {
+                        self.cursor = if row_hi >= self.num_rows {
+                            self.shared.scrub_sweeps.fetch_add(1, Ordering::Relaxed);
+                            0
+                        } else {
+                            row_hi
+                        };
+                        self.shared
+                            .scrub_pos
+                            .store(self.cursor as u64, Ordering::Relaxed);
+                    }
+                    for (structure, detail) in rebuilt {
+                        self.shared
+                            .scrub_corruptions
+                            .fetch_add(1, Ordering::Relaxed);
+                        self.shared.scrub_rebuilds.fetch_add(1, Ordering::Relaxed);
+                        flex_obs::global()
+                            .counter(&format!(
+                                "eco_scrub_corruptions_total{{structure=\"{}\"}}",
+                                structure.name()
+                            ))
+                            .inc();
+                        eprintln!(
+                            "eco scrub: {} corruption detected and repaired: {detail}",
+                            structure.name()
+                        );
+                        self.shared.note_fault(&format!(
+                            "scrub: {} corruption: {detail}",
+                            structure.name()
+                        ));
+                        self.shared.set_state(SupervisorState::Degraded);
+                    }
+                }
+                Ok(_) => {}
+                Err(reason) => {
+                    self.recover(&reason);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Pull the engine off the worker thread (rebuilding once if the worker is dead or
+    /// hung), reaping the thread. Panics if the engine is unrecoverable — the caller
+    /// must hand an engine back, and the stop guard still winds the server down.
+    fn take_engine(&mut self) -> EcoEngine {
+        for attempt in 0..2 {
+            self.ensure_worker();
+            match self.ask(WorkItem::TakeEngine) {
+                Ok(WorkReply::Engine(engine)) => {
+                    self.reap_worker();
+                    return *engine;
+                }
+                Ok(_) => {}
+                Err(reason) => {
+                    if attempt == 0 {
+                        self.recover(&reason);
+                    }
+                }
+            }
+        }
+        panic!("eco supervise: engine unrecoverable at shutdown");
+    }
+
+    /// `shutdown` op: reclaim the engine, raise the stop flag **before** acknowledging
+    /// (the requester's connection loop then hangs up instead of reading another
+    /// frame), write a parting snapshot, acknowledge with final stats.
+    fn shutdown(&mut self, reply: SyncSender<Vec<u8>>, stopping: &AtomicBool) -> EcoEngine {
+        let engine = self.take_engine();
+        stopping.store(true, Ordering::SeqCst);
+        if let Some(journal) = self.journal.as_mut() {
+            if let Err(e) = journal.snapshot_now(engine.design(), engine.stats()) {
+                eprintln!("eco journal: shutdown snapshot failed: {e}");
+            }
+        }
+        let _ = reply.send(encode_stats(engine.stats(), engine.uptime()));
+        engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_machine_names_and_roundtrip() {
+        for state in [
+            SupervisorState::Healthy,
+            SupervisorState::Recovering,
+            SupervisorState::Degraded,
+        ] {
+            assert_eq!(SupervisorState::from_u8(state as u8), state);
+        }
+        assert_eq!(SupervisorState::Healthy.name(), "healthy");
+        assert_eq!(SupervisorState::Recovering.name(), "recovering");
+        assert_eq!(SupervisorState::Degraded.name(), "degraded");
+    }
+
+    #[test]
+    fn shared_snapshot_reports_counters_and_progress() {
+        let shared = SupervisorShared::new(true, 25);
+        shared.scrub_total.store(200, Ordering::Relaxed);
+        shared.scrub_pos.store(50, Ordering::Relaxed);
+        shared.restarts.store(3, Ordering::Relaxed);
+        shared.note_fault("engine panicked: boom");
+        shared.set_state(SupervisorState::Degraded);
+        let h = shared.snapshot();
+        assert!(h.supervised);
+        assert_eq!(h.state, SupervisorState::Degraded);
+        assert_eq!(h.restarts, 3);
+        assert!((h.scrub_progress - 0.25).abs() < 1e-9);
+        assert_eq!(h.last_fault.as_deref(), Some("engine panicked: boom"));
+    }
+
+    #[test]
+    fn dirty_rows_unions_disturbed_rects() {
+        use crate::delta::{DeltaKind, DeltaOutcome, PlacedKind};
+        use flex_placement::cell::CellId;
+        use flex_placement::geom::Rect;
+        let mut report = EcoReport {
+            outcomes: Vec::new(),
+            cells_touched: 0,
+            displacement_delta: 0.0,
+            fallbacks: 0,
+            failed: 0,
+            latency: Duration::ZERO,
+            epoch: 0,
+        };
+        assert_eq!(dirty_rows(&report), None);
+        report.outcomes.push(DeltaOutcome {
+            cell: CellId(0),
+            kind: DeltaKind::Move,
+            placed: PlacedKind::Region,
+            cells_touched: 1,
+            disturbed: vec![Rect::new(0, 3, 5, 6), Rect::new(2, 10, 4, 12)],
+        });
+        assert_eq!(dirty_rows(&report), Some((3, 12)));
+    }
+}

@@ -143,12 +143,17 @@ fn engine_panic_mid_batch_winds_down_cleanly_and_recovery_keeps_the_durable_pref
     let journal =
         Journal::create(JournalConfig::new(&dir), engine.design(), engine.stats(), 0).unwrap();
 
+    // `supervise: None` pins the legacy library contract this test is about: an engine
+    // panic winds the whole server down and `join` re-raises it. (The supervised
+    // counterpart — the server survives and quarantines the batch — lives in
+    // eco_supervise.rs.)
     let socket = temp_socket("epanic");
     let handle = EcoServer::start_with(
         engine,
         &socket,
         ServerConfig {
             journal: Some(journal),
+            supervise: None,
             ..ServerConfig::default()
         },
     )

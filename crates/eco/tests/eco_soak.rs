@@ -25,7 +25,17 @@ use flex_placement::benchmark::{generate, BenchmarkSpec};
 use flex_placement::cell::CellId;
 use flex_placement::snapshot::write_design;
 use rand::{rngs::StdRng, RngExt, SeedableRng};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+// the fault registry is process-global: the two soak tests must not race on it
+static FAULTS: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    FAULTS
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 fn live_threads() -> u64 {
     let status = std::fs::read_to_string("/proc/self/status").expect("procfs");
@@ -44,6 +54,7 @@ fn design_bytes(design: &flex_placement::layout::Design) -> Vec<u8> {
 
 #[test]
 fn soak_under_fault_injection_keeps_exactly_once_stats_and_leaks_nothing() {
+    let _g = lock();
     let soak = Duration::from_secs(
         std::env::var("FLEX_SOAK_SECS")
             .ok()
@@ -178,6 +189,166 @@ fn soak_under_fault_injection_keeps_exactly_once_stats_and_leaks_nothing() {
     assert_eq!(
         report.replayed, 0,
         "the shutdown snapshot makes recovery instant"
+    );
+    assert_eq!(
+        design_bytes(recovered.design()),
+        design_bytes(engine.design())
+    );
+    assert_eq!(recovered.stats(), engine.stats());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Panic-storm soak: random engine panics under concurrent retrying clients. The
+/// supervision layer must keep the server up for the whole run; every panic becomes
+/// exactly one quarantined batch (typed `Poisoned` reply + persisted record), every
+/// non-quarantined ack is applied exactly once, and nothing leaks.
+#[test]
+fn soak_under_random_engine_panics_survives_and_quarantines_each_one() {
+    let _g = lock();
+    let soak = Duration::from_secs(
+        std::env::var("FLEX_SOAK_SECS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(3),
+    );
+
+    // the panic strikes INSIDE the engine, mid-batch — the supervision layer (not the
+    // retry loop) is what keeps this survivable; p ≈ 0.005 per delta, seeded
+    fault::reset();
+    fault::seed(0xDEAD);
+    fault::configure("eco.engine.panic", FaultRule::Prob(328));
+
+    let design = generate(&BenchmarkSpec::tiny("eco-storm", 99));
+    let engine = EcoEngine::legalize_and_build(design, MglConfig::default()).unwrap();
+    let sites = engine.design().num_sites_x;
+    let rows = engine.design().num_rows;
+    let movable: Vec<CellId> = engine
+        .design()
+        .cells
+        .iter()
+        .filter(|c| !c.fixed)
+        .map(|c| c.id)
+        .collect();
+
+    let dir = std::env::temp_dir().join(format!("flex-eco-storm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut journal_cfg = JournalConfig::new(&dir);
+    journal_cfg.snapshot_every = 128;
+    let journal = Journal::create(journal_cfg, engine.design(), engine.stats(), 0).unwrap();
+
+    let threads_before = live_threads();
+    let socket = std::env::temp_dir().join(format!("flex-eco-storm-{}.sock", std::process::id()));
+    let handle = EcoServer::start_with(
+        engine,
+        &socket,
+        ServerConfig {
+            journal: Some(journal),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    const CLIENTS: usize = 4;
+    let deadline = Instant::now() + soak;
+    let mut workers = Vec::new();
+    for w in 0..CLIENTS {
+        let socket = socket.clone();
+        let movable = movable.clone();
+        workers.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(w as u64 + 0x570B);
+            let mut client = EcoClient::connect(&socket)
+                .expect("connect")
+                .with_retry_policy(RetryPolicy {
+                    max_retries: 8,
+                    base_delay: Duration::from_millis(1),
+                    max_delay: Duration::from_millis(50),
+                    seed: w as u64,
+                });
+            let (mut acked, mut poisoned, mut other_rejected) = (0u64, 0u64, 0u64);
+            while Instant::now() < deadline {
+                let delta = EcoDelta::MoveCell {
+                    id: movable[rng.next_below(movable.len() as u64) as usize],
+                    gx: rng.random::<f64>() * sites as f64,
+                    gy: rng.random::<f64>() * rows as f64,
+                };
+                match client.request_json_retry(&Request::Apply(vec![delta])) {
+                    Ok(Ok(_)) => acked += 1,
+                    // a poisoned batch is a terminal, typed rejection — never retried
+                    Ok(Err(msg)) if msg.contains("quarantined") => poisoned += 1,
+                    Ok(Err(_)) => other_rejected += 1,
+                    Err(e) => panic!("client {w} hit a fatal transport error: {e}"),
+                }
+            }
+            (acked, poisoned, other_rejected, client.recovering_seen())
+        }));
+    }
+
+    let mut total_acked = 0u64;
+    let mut total_poisoned = 0u64;
+    let mut total_recovering = 0u64;
+    for worker in workers {
+        let (acked, poisoned, other_rejected, recovering) =
+            worker.join().expect("storm client panicked");
+        total_acked += acked;
+        total_poisoned += poisoned;
+        total_recovering += recovering;
+        assert_eq!(other_rejected, 0, "only Poisoned rejections are expected");
+    }
+    assert!(total_acked > 0, "the storm must make forward progress");
+    let injected = fault::fired_count("eco.engine.panic");
+    assert!(
+        injected > 0,
+        "a 3s soak at p≈0.005/delta must panic at least once"
+    );
+    assert_eq!(
+        total_poisoned, injected,
+        "every injected panic must surface as exactly one typed Poisoned reply"
+    );
+
+    // disarm before the shutdown handshake so wind-down itself is not injected
+    fault::reset();
+    let mut client = EcoClient::connect(&socket).unwrap();
+    client.request(&Request::Shutdown).unwrap();
+    let engine = handle.join();
+
+    // THE headline: the server outlived every panic, and the engine counts exactly the
+    // acked batches — quarantined batches were never applied, acked ones exactly once
+    assert!(engine.check_legal());
+    assert_eq!(
+        engine.stats().batches,
+        total_acked,
+        "exactly-once: engine lifetime stats must equal acked applies \
+         ({injected} panics injected, {total_recovering} recovering sheds absorbed)"
+    );
+
+    // one persisted quarantine record per injected panic
+    let quarantined = flex_eco::journal::load_quarantine(&dir);
+    assert_eq!(quarantined.len() as u64, injected);
+
+    // no thread leaks: panicked workers are reaped, rebuilt ones wound down
+    let wind_down = Instant::now() + Duration::from_secs(5);
+    loop {
+        if live_threads() <= threads_before {
+            break;
+        }
+        assert!(
+            Instant::now() < wind_down,
+            "server threads leaked past join"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(!socket.exists());
+
+    // recovery honors the quarantine: bit-identical to the surviving engine
+    let (recovered, journal, _report) =
+        recover_engine(JournalConfig::new(&dir), MglConfig::default(), true)
+            .unwrap()
+            .expect("storm journal must recover");
+    assert_eq!(
+        journal.seq(),
+        total_acked + total_poisoned,
+        "poisoned batches are journaled (journal-before-apply) and then skipped"
     );
     assert_eq!(
         design_bytes(recovered.design()),

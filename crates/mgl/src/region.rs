@@ -221,6 +221,40 @@ impl LegalizedIndex {
         ids.dedup();
         ids
     }
+
+    /// Audit rows `[row_lo, row_hi)` against `design`: recompute what
+    /// [`LegalizedIndex::build`] would put in each bucket (id-sorted, one entry per row a
+    /// legalized movable cell spans) and compare. `Err` names the first diverging row —
+    /// the invariant-scrubber's typed corruption evidence. O(cells + audited buckets).
+    pub fn audit_rows(&self, design: &Design, row_lo: i64, row_hi: i64) -> Result<(), String> {
+        let num_rows = design.num_rows.max(0);
+        if self.rows.len() as i64 != num_rows {
+            return Err(format!(
+                "index has {} row buckets, design has {num_rows} rows",
+                self.rows.len()
+            ));
+        }
+        let lo = row_lo.clamp(0, num_rows);
+        let hi = row_hi.clamp(lo, num_rows);
+        let mut expected: Vec<Vec<CellId>> = vec![Vec::new(); (hi - lo) as usize];
+        for c in design.cells.iter().filter(|c| !c.fixed && c.legalized) {
+            for row in c.y.max(lo)..(c.y + c.height).min(hi) {
+                expected[(row - lo) as usize].push(c.id);
+            }
+        }
+        for (offset, want) in expected.iter().enumerate() {
+            let row = lo + offset as i64;
+            let got = &self.rows[row as usize];
+            if got != want {
+                return Err(format!(
+                    "row {row} bucket diverges from the design: {} ids indexed, {} expected",
+                    got.len(),
+                    want.len()
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 impl LocalRegion {

@@ -280,6 +280,88 @@ impl DensityMap {
         }
     }
 
+    /// Audit the bins covering design rows `[row_lo, row_hi)` against `design`: recompute
+    /// each covered bin's capacity (geometric area minus fixed cells and blockages,
+    /// clamped at zero) and occupancy (every movable cell's in-die overlap) exactly the
+    /// way [`DensityMap::build_serial`] does, and compare. All contributions are integer
+    /// site·row areas, so sums are exact in `f64` regardless of accumulation order — the
+    /// comparison uses a tiny epsilon only as slack against future fractional areas.
+    /// `Err` names the first diverging bin — the invariant-scrubber's typed corruption
+    /// evidence.
+    pub fn audit_rows(&self, design: &Design, row_lo: i64, row_hi: i64) -> Result<(), String> {
+        let die = design.die();
+        let nx = ((design.num_sites_x + self.bin_w - 1) / self.bin_w).max(1) as usize;
+        let ny = ((design.num_rows + self.bin_h - 1) / self.bin_h).max(1) as usize;
+        if (nx, ny) != (self.nx, self.ny) || die != self.die {
+            return Err(format!(
+                "grid shape diverges: {}x{} bins over {:?}, design wants {nx}x{ny} over {die:?}",
+                self.nx, self.ny, self.die
+            ));
+        }
+        let by0 = row_lo
+            .clamp(0, design.num_rows.max(1) - 1)
+            .div_euclid(self.bin_h) as usize;
+        let by1 = (row_hi - 1)
+            .clamp(0, design.num_rows.max(1) - 1)
+            .div_euclid(self.bin_h) as usize;
+        if row_lo >= row_hi {
+            return Ok(());
+        }
+        let bins = nx * (by1 - by0 + 1);
+        let mut occ = vec![0.0f64; bins];
+        let mut cap = vec![0.0f64; bins];
+        for by in by0..=by1 {
+            for bx in 0..nx {
+                cap[(by - by0) * nx + bx] =
+                    self.bin_rect(bx, by).intersect(&die).area().max(0) as f64;
+            }
+        }
+        let splat_into = |bins: &mut [f64], rect: &Rect, sign: f64| {
+            let rect = rect.intersect(&die);
+            if rect.is_empty() {
+                return;
+            }
+            let (bx0, ry0, bx1, ry1) = self.bin_range(&rect);
+            for by in ry0.max(by0)..=ry1.min(by1) {
+                for bx in bx0..=bx1 {
+                    let area = self.bin_rect(bx, by).overlap_area(&rect) as f64;
+                    if area > 0.0 {
+                        bins[(by - by0) * nx + bx] += sign * area;
+                    }
+                }
+            }
+        };
+        for c in design.cells.iter().filter(|c| c.fixed) {
+            splat_into(&mut cap, &c.rect(), -1.0);
+        }
+        for b in &design.blockages {
+            splat_into(&mut cap, b, -1.0);
+        }
+        for c in cap.iter_mut() {
+            *c = c.max(0.0);
+        }
+        for c in design.cells.iter().filter(|c| !c.fixed) {
+            splat_into(&mut occ, &c.rect(), 1.0);
+        }
+        for by in by0..=by1 {
+            for bx in 0..nx {
+                let want_occ = occ[(by - by0) * nx + bx];
+                let want_cap = cap[(by - by0) * nx + bx];
+                let idx = by * nx + bx;
+                if (self.occupied[idx] - want_occ).abs() > 1e-6
+                    || (self.capacity[idx] - want_cap).abs() > 1e-6
+                {
+                    return Err(format!(
+                        "bin ({bx},{by}) diverges from the design: occupied {} vs {want_occ}, \
+                         capacity {} vs {want_cap}",
+                        self.occupied[idx], self.capacity[idx]
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// The maximum bin density in the map.
     pub fn max_density(&self) -> f64 {
         let mut max = 0.0f64;

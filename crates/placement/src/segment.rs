@@ -136,6 +136,48 @@ impl SegmentMap {
             .filter_map(|s| s.clipped(window))
             .max_by_key(|s| s.len())
     }
+
+    /// Audit rows `[row_lo, row_hi)` against `design`: the map is a pure function of the
+    /// design's fixed cells and blockages (`Design::free_intervals`), so each audited row
+    /// is recomputed and compared segment-for-segment. `Err` names the first diverging
+    /// row — the invariant-scrubber's typed corruption evidence.
+    pub fn audit_rows(&self, design: &Design, row_lo: i64, row_hi: i64) -> Result<(), String> {
+        let num_rows = design.num_rows.max(0);
+        if self.per_row.len() as i64 != num_rows {
+            return Err(format!(
+                "segment map has {} rows, design has {num_rows}",
+                self.per_row.len()
+            ));
+        }
+        for row in row_lo.clamp(0, num_rows)..row_hi.clamp(0, num_rows) {
+            let want: Vec<Segment> = design
+                .free_intervals(row)
+                .into_iter()
+                .map(|iv| Segment { row, span: iv })
+                .collect();
+            let got = &self.per_row[row as usize];
+            if *got != want {
+                return Err(format!(
+                    "row {row} segments diverge from the design: {} tracked, {} expected",
+                    got.len(),
+                    want.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Deliberately damage row `row` (drop its first segment) — the fault-injection hook
+    /// behind the `eco.scrub.corrupt` failpoint and the scrubber tests. Returns `false`
+    /// if the row has no segment to drop.
+    #[doc(hidden)]
+    pub fn corrupt_row(&mut self, row: i64) -> bool {
+        if row < 0 || row as usize >= self.per_row.len() || self.per_row[row as usize].is_empty() {
+            return false;
+        }
+        self.per_row[row as usize].remove(0);
+        true
+    }
 }
 
 #[cfg(test)]
