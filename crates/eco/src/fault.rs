@@ -31,6 +31,8 @@
 //! | `eco.engine.hang`    | engine stalls mid-batch for [`hang_millis`] ms (watchdog)   |
 //! | `eco.scrub.corrupt`  | scrubber's next audit slice is deliberately corrupted first |
 //! | `eco.rebuild.hold`   | supervisor rebuild stalls for [`hang_millis`] ms            |
+//! | `eco.quarantine.write` | persisting a quarantine record fails with an injected I/O error |
+//! | `eco.recover.fail`   | an engine recovery attempt fails with an injected I/O error |
 //! | `eco.queue.full`     | job queue reports full → typed `Busy` response              |
 //! | `eco.socket.read`    | server-side frame read fails with an injected I/O error     |
 //! | `eco.socket.write`   | server-side frame write fails with an injected I/O error    |
@@ -246,6 +248,18 @@ pub fn maybe_panic(name: &str) {
 pub fn maybe_hang(name: &str) {
     if armed() && fires(name) {
         std::thread::sleep(std::time::Duration::from_millis(hang_millis()));
+    }
+}
+
+/// Human-readable panic payload (the `&str`/`String` most panics carry), for quarantine
+/// reasons and fault reports.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "engine panicked".to_string()
     }
 }
 

@@ -40,7 +40,7 @@
 //! `fdatasync`s every append to survive power loss, at a latency cost well above the
 //! service's p50 budget — off by default, and snapshots are always fsync'd either way.
 
-use crate::delta::{EcoDelta, EcoStats};
+use crate::delta::{EcoDelta, EcoError, EcoReport, EcoStats};
 use crate::engine::EcoEngine;
 use crate::fault;
 use crate::json::Json;
@@ -48,9 +48,10 @@ use crate::proto::{decode_delta, encode_delta};
 use flex_mgl::config::MglConfig;
 use flex_placement::layout::Design;
 use flex_placement::snapshot::{crc32, read_design, write_design, SnapshotError};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -112,6 +113,27 @@ fn wal_path(dir: &Path, seq: u64) -> PathBuf {
 
 fn quarantine_path(dir: &Path) -> PathBuf {
     dir.join("quarantine.log")
+}
+
+/// Append one quarantine record to `dir`'s `quarantine.log` (the persistence half of
+/// [`Journal::quarantine`]). Standalone so recovery can persist a quarantine it performs
+/// itself — a batch that panics the engine *during replay* — before any [`Journal`]
+/// exists for the directory.
+fn append_quarantine(dir: &Path, seq: u64, reason: &str) -> std::io::Result<()> {
+    fault::fail_io("eco.quarantine.write")?;
+    let mut f = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(quarantine_path(dir))?;
+    let mut line = Json::Obj(vec![
+        ("seq".into(), Json::Num(seq as f64)),
+        ("reason".into(), Json::Str(reason.into())),
+    ])
+    .to_string();
+    line.push('\n');
+    f.write_all(line.as_bytes())?;
+    f.sync_data()?;
+    Ok(())
 }
 
 /// `snap-<seq>.ecosnap` / `wal-<seq>.log` → `<seq>`.
@@ -442,19 +464,7 @@ impl Journal {
     /// and must survive anything the poisoned batch does next. The record is a JSON line
     /// appended to `quarantine.log` in the journal directory.
     pub fn quarantine(&mut self, seq: u64, reason: &str) -> std::io::Result<()> {
-        let mut f = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(quarantine_path(&self.cfg.dir))?;
-        let mut line = Json::Obj(vec![
-            ("seq".into(), Json::Num(seq as f64)),
-            ("reason".into(), Json::Str(reason.into())),
-        ])
-        .to_string();
-        line.push('\n');
-        f.write_all(line.as_bytes())?;
-        f.sync_data()?;
-        Ok(())
+        append_quarantine(&self.cfg.dir, seq, reason)
     }
 
     /// Write a snapshot + rotate now if the rotation interval has elapsed. Rotation
@@ -549,6 +559,15 @@ pub struct RecoveryReport {
     /// Journaled batches skipped because a quarantine record marked them poisoned (they
     /// crashed or hung the engine before; replaying them would do it again).
     pub quarantined_skipped: u64,
+    /// Replay outcomes captured for the supervisor: for each sequence number in the
+    /// caller's capture set (a batch journaled but not yet answered when the rebuild
+    /// started), the exact result its `apply` produced during replay — so the waiting
+    /// client can be answered from replay instead of the batch being applied twice.
+    pub captured: Vec<(u64, Result<EcoReport, EcoError>)>,
+    /// Batches quarantined *by this recovery* because they panicked the engine on replay
+    /// (their quarantine record was missing, e.g. after a failed persist). Each was
+    /// persisted best-effort and recovery restarted without it.
+    pub auto_quarantined: Vec<(u64, String)>,
     /// Wall-clock time of recovery (snapshot load + replay).
     pub replay_time: std::time::Duration,
 }
@@ -639,6 +658,85 @@ pub fn recover_engine(
     mgl: MglConfig,
     validate_boundary: bool,
 ) -> std::io::Result<Option<(EcoEngine, Journal, RecoveryReport)>> {
+    recover_engine_supervised(
+        cfg,
+        mgl,
+        validate_boundary,
+        &BTreeSet::new(),
+        &BTreeSet::new(),
+    )
+}
+
+/// One attempt of [`recover_engine_supervised`]: either finished, or aborted because a
+/// replayed batch panicked the engine — the half-mutated engine is discarded and recovery
+/// restarts with the batch quarantined.
+enum RecoverStep {
+    Done(Option<Box<(EcoEngine, Journal, RecoveryReport)>>),
+    ReplayPanic { seq: u64, reason: String },
+}
+
+/// [`recover_engine`] with the supervisor's extra context:
+///
+/// - `capture`: sequence numbers whose replay outcome the caller needs (group members
+///   journaled but not yet answered when a mid-group rebuild replays them) — reported in
+///   [`RecoveryReport::captured`] so the waiting clients are answered from replay instead
+///   of their batches being dispatched — and applied — a second time;
+/// - `extra_quarantine`: sequence numbers the caller knows are poisoned even if their
+///   on-disk record is missing (a failed quarantine persist must not let the batch
+///   resurface in replay).
+///
+/// Replay is panic-guarded: a batch that panics the engine during replay (its quarantine
+/// record never made it to disk) is quarantined now — persisted best-effort, always held
+/// in memory — and recovery restarts without it, instead of crashing the process on every
+/// startup. Each restart quarantines a new sequence number, so the loop terminates.
+pub fn recover_engine_supervised(
+    cfg: JournalConfig,
+    mgl: MglConfig,
+    validate_boundary: bool,
+    capture: &BTreeSet<u64>,
+    extra_quarantine: &BTreeSet<u64>,
+) -> std::io::Result<Option<(EcoEngine, Journal, RecoveryReport)>> {
+    fault::fail_io("eco.recover.fail")?;
+    let mut auto: BTreeMap<u64, String> = BTreeMap::new();
+    loop {
+        match try_recover(
+            &cfg,
+            &mgl,
+            validate_boundary,
+            capture,
+            extra_quarantine,
+            &auto,
+        )? {
+            RecoverStep::Done(None) => return Ok(None),
+            RecoverStep::Done(Some(done)) => {
+                let (engine, journal, mut report) = *done;
+                report.auto_quarantined = auto.into_iter().collect();
+                return Ok(Some((engine, journal, report)));
+            }
+            RecoverStep::ReplayPanic { seq, reason } => {
+                eprintln!(
+                    "eco journal: batch {seq} panicked during replay ({reason}); \
+                     quarantined, recovery restarted"
+                );
+                if let Err(e) = append_quarantine(&cfg.dir, seq, &reason) {
+                    // the in-memory record still lets THIS recovery converge; the next
+                    // boot re-discovers the panic and retries the persist
+                    eprintln!("eco journal: failed to persist quarantine of batch {seq}: {e}");
+                }
+                auto.insert(seq, reason);
+            }
+        }
+    }
+}
+
+fn try_recover(
+    cfg: &JournalConfig,
+    mgl: &MglConfig,
+    validate_boundary: bool,
+    capture: &BTreeSet<u64>,
+    extra_quarantine: &BTreeSet<u64>,
+    auto: &BTreeMap<u64, String>,
+) -> std::io::Result<RecoverStep> {
     let start = Instant::now();
     let mut report = RecoveryReport::default();
 
@@ -680,12 +778,12 @@ pub fn recover_engine(
         }
     }
     let Some((base_seq, stats, design)) = loaded else {
-        return Ok(None);
+        return Ok(RecoverStep::Done(None));
     };
     report.base_seq = base_seq;
     let quarantined = load_quarantine(&cfg.dir);
 
-    let mut engine = EcoEngine::resume(design, mgl, stats)
+    let mut engine = EcoEngine::resume(design, mgl.clone(), stats)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?
         .with_boundary_validation(validate_boundary);
 
@@ -720,17 +818,49 @@ pub fn recover_engine(
         let scan = scan_wal(&wal_path(&cfg.dir, base), seq + 1)?;
         report.truncated_bytes += scan.truncated;
         for (record_seq, deltas) in scan.batches {
-            if quarantined.contains(&record_seq) {
+            let poisoned = quarantined.contains(&record_seq)
+                || extra_quarantine.contains(&record_seq)
+                || auto.contains_key(&record_seq);
+            if poisoned {
                 // poisoned batch: it crashed or hung the engine once; replaying it would
                 // do so again. The sequence still advances — the hole is permanent.
                 report.quarantined_skipped += 1;
+                if capture.contains(&record_seq) {
+                    let reason = auto
+                        .get(&record_seq)
+                        .cloned()
+                        .unwrap_or_else(|| "batch was quarantined".to_string());
+                    report.captured.push((
+                        record_seq,
+                        Err(EcoError::Poisoned {
+                            seq: record_seq,
+                            reason,
+                        }),
+                    ));
+                }
             } else {
                 // replay with fault injection suppressed: a deterministic failpoint
                 // schedule (e.g. `eco.engine.panic=nth:3`) must not re-fire on history
-                // that already survived it, or recovery could never converge
-                let rejected = fault::with_suppressed(|| engine.apply(&deltas).is_err());
-                if rejected {
+                // that already survived it, or recovery could never converge. Guarded
+                // against panics: a batch missing its quarantine record is quarantined
+                // here rather than crashing recovery on every boot.
+                let applied = catch_unwind(AssertUnwindSafe(|| {
+                    fault::with_suppressed(|| engine.apply(&deltas))
+                }));
+                let result = match applied {
+                    Err(panic) => {
+                        return Ok(RecoverStep::ReplayPanic {
+                            seq: record_seq,
+                            reason: fault::panic_message(&*panic),
+                        });
+                    }
+                    Ok(result) => result,
+                };
+                if result.is_err() {
                     report.rejected += 1;
+                }
+                if capture.contains(&record_seq) {
+                    report.captured.push((record_seq, result));
                 }
                 report.replayed += 1;
             }
@@ -776,7 +906,7 @@ pub fn recover_engine(
         .add(report.truncated_bytes);
 
     let journal = Journal {
-        cfg,
+        cfg: cfg.clone(),
         wal,
         seq,
         base_seq: wal_base,
@@ -785,5 +915,5 @@ pub fn recover_engine(
         broken: false,
     };
     journal.publish_gauges();
-    Ok(Some((engine, journal, report)))
+    Ok(RecoverStep::Done(Some(Box::new((engine, journal, report)))))
 }

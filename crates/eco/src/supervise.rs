@@ -23,12 +23,19 @@
 //!    (or, journal-less, from an in-memory baseline image + delta log) *without
 //!    dropping a single connection*. Apply requests that arrive during the rebuild
 //!    window are shed with a typed `Recovering {retry_after_ms}` the client retry loop
-//!    absorbs.
+//!    absorbs. Group members journaled but not yet dispatched when the rebuild fires
+//!    are applied *by the replay*; the dispatch loop answers them from the captured
+//!    replay outcome rather than applying them a second time.
 //!
 //! Because replay runs with fault injection suppressed ([`crate::fault::
 //! with_suppressed`]) and skips quarantined sequence numbers, the rebuilt engine is
 //! bit-identical to an engine that had rejected the poisoned batch up front — the
-//! supervised fault-matrix tests assert exactly that.
+//! supervised fault-matrix tests assert exactly that. Replay is additionally
+//! panic-guarded: a batch whose quarantine record never reached disk is re-detected,
+//! auto-quarantined, and recovery restarts without it instead of crashing on every
+//! boot. A rebuild that *fails* (e.g. transient I/O error reading the journal) keeps
+//! the journal configuration and is retried on the next dispatch and on every idle
+//! tick, so a transient recovery failure never becomes permanent.
 //!
 //! **Invariant scrubber.** Idle ticks and post-batch slack run incremental audits of
 //! the engine's acceleration structures (legalized index, density map, segment map)
@@ -49,12 +56,12 @@
 use crate::delta::{EcoDelta, EcoError, EcoReport, EcoStats};
 use crate::engine::{EcoEngine, ScrubStructure};
 use crate::fault;
-use crate::journal::{self, Journal};
+use crate::journal::{self, Journal, JournalConfig};
 use crate::proto::{encode_error, encode_health, encode_report, encode_stats, Request};
 use crate::service::{query_response, Job, StopGuard};
 use flex_mgl::config::MglConfig;
 use flex_placement::snapshot::{read_design, write_design, SnapshotError};
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
@@ -291,16 +298,6 @@ enum WorkReply {
     Engine(Box<EcoEngine>),
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "engine panicked".to_string()
-    }
-}
-
 /// Row range disturbed by a batch (feeds the scrubber's priority queue).
 fn dirty_rows(report: &EcoReport) -> Option<(i64, i64)> {
     let mut lo = i64::MAX;
@@ -332,7 +329,7 @@ fn worker_loop(mut engine: EcoEngine, items: Receiver<WorkItem>, replies: SyncSe
                 match applied {
                     Ok((response, dirty)) => WorkReply::Applied { response, dirty },
                     Err(panic) => {
-                        let _ = replies.send(WorkReply::Panicked(panic_message(&*panic)));
+                        let _ = replies.send(WorkReply::Panicked(fault::panic_message(&*panic)));
                         return;
                     }
                 }
@@ -362,7 +359,7 @@ fn worker_loop(mut engine: EcoEngine, items: Receiver<WorkItem>, replies: SyncSe
                 match scrubbed {
                     Ok(rebuilt) => WorkReply::Scrubbed { rebuilt },
                     Err(panic) => {
-                        let _ = replies.send(WorkReply::Panicked(panic_message(&*panic)));
+                        let _ = replies.send(WorkReply::Panicked(fault::panic_message(&*panic)));
                         return;
                     }
                 }
@@ -398,6 +395,10 @@ struct Supervisor {
     cfg: SuperviseConfig,
     shared: Arc<SupervisorShared>,
     journal: Option<Journal>,
+    /// The journal's config, stashed at startup. Survives a failed recovery (which
+    /// consumes `journal`) so every later rebuild attempt can retry journal recovery
+    /// instead of falling into the journal-less branch with no baseline.
+    journal_cfg: Option<JournalConfig>,
     mgl: MglConfig,
     validate_boundary: bool,
     /// Journal-less rebuild baseline: a design image + the stats at capture time …
@@ -409,6 +410,18 @@ struct Supervisor {
     applied_since_refresh: u64,
     next_seq: u64,
     quarantined: BTreeSet<u64>,
+    /// Sequence numbers journaled (or logged) but not yet answered — in fsync mode a
+    /// whole group is journaled before any member is dispatched, so a mid-group rebuild
+    /// replays these. Recovery captures their replay outcomes so the waiting clients
+    /// are answered from replay instead of their batches being applied a second time.
+    unanswered: BTreeSet<u64>,
+    /// Encoded responses captured from recovery replay, keyed by sequence number;
+    /// consumed by [`Supervisor::dispatch_batch`] for batches at or below
+    /// `replay_floor`.
+    replay_responses: BTreeMap<u64, Vec<u8>>,
+    /// Highest sequence number already applied by a recovery replay. Dispatching a
+    /// batch at or below this would double-apply it.
+    replay_floor: u64,
     worker: Option<Worker>,
     num_rows: i64,
     cursor: i64,
@@ -440,6 +453,13 @@ pub(crate) fn supervisor_loop(
             None => match jobs.recv_timeout(sup.cfg.scrub.idle_tick) {
                 Ok(job) => job,
                 Err(RecvTimeoutError::Timeout) => {
+                    // a failed rebuild left the engine down and every apply shed;
+                    // retry it from the idle loop so recovery does not depend on
+                    // traffic reaching the supervisor (Recovering sheds at the
+                    // connection layer)
+                    if sup.worker.is_none() {
+                        sup.rebuild();
+                    }
                     sup.scrub_tick(1);
                     continue;
                 }
@@ -490,10 +510,12 @@ impl Supervisor {
         shared
             .quarantined
             .store(quarantined.len() as u64, Ordering::Relaxed);
+        let journal_cfg = journal.as_ref().map(|j| j.config().clone());
         let mut sup = Self {
             cfg,
             shared,
             journal,
+            journal_cfg,
             mgl,
             validate_boundary,
             base_image,
@@ -502,6 +524,9 @@ impl Supervisor {
             applied_since_refresh: 0,
             next_seq,
             quarantined,
+            unanswered: BTreeSet::new(),
+            replay_responses: BTreeMap::new(),
+            replay_floor: next_seq,
             worker: None,
             num_rows,
             cursor: 0,
@@ -605,6 +630,22 @@ impl Supervisor {
                 }
             }
         }
+        if self.journal_cfg.is_some() && self.journal.is_none() {
+            // the journal was lost to a failed recovery: retry it now, and if it is
+            // still down shed the whole group — an ack must never outlive durability
+            if self.worker.is_none() {
+                self.rebuild();
+            }
+            if self.journal.is_none() {
+                let response = encode_error(&EcoError::Recovering {
+                    retry_after_ms: self.cfg.retry_after_ms,
+                });
+                for (_, reply) in group {
+                    let _ = reply.send(response.clone());
+                }
+                return;
+            }
+        }
         let seqs: Vec<u64> = match self.journal.as_mut() {
             Some(journal) => {
                 let batches: Vec<&[EcoDelta]> = group.iter().map(|(d, _)| d.as_slice()).collect();
@@ -626,36 +667,54 @@ impl Supervisor {
                 .collect(),
         };
         self.next_seq = *seqs.last().expect("group is never empty");
+        self.unanswered.extend(seqs.iter().copied());
         for ((deltas, reply), seq) in group.into_iter().zip(seqs) {
             self.dispatch_batch(seq, deltas, reply);
         }
     }
 
     /// Run one (already journaled) batch on the worker; on panic or watchdog timeout,
-    /// quarantine it, answer `Poisoned`, and rebuild the engine.
+    /// quarantine it, answer `Poisoned`, and rebuild the engine. A batch an earlier
+    /// rebuild already replayed (its whole group was journaled before the group member
+    /// ahead of it poisoned the engine) is answered from the captured replay outcome —
+    /// dispatching it would apply it a second time.
     fn dispatch_batch(&mut self, seq: u64, deltas: Vec<EcoDelta>, reply: SyncSender<Vec<u8>>) {
-        if self.journal.is_none() {
+        if self.journal_cfg.is_none() {
             self.mem_log.push((seq, deltas.clone()));
         }
         self.ensure_worker();
+        if seq <= self.replay_floor {
+            let response = self.replay_responses.remove(&seq).unwrap_or_else(|| {
+                encode_error(&EcoError::Protocol(format!(
+                    "batch {seq} was applied during recovery but its outcome was not captured"
+                )))
+            });
+            let _ = reply.send(response);
+            self.unanswered.remove(&seq);
+            return;
+        }
         match self.ask(WorkItem::Apply(deltas)) {
             Ok(WorkReply::Applied { response, dirty }) => {
                 let _ = reply.send(response);
+                self.unanswered.remove(&seq);
                 self.after_apply(dirty);
             }
             Ok(_) => {
                 let _ = reply.send(encode_error(&EcoError::Protocol(
                     "unexpected engine reply".to_string(),
                 )));
+                self.unanswered.remove(&seq);
             }
             Err(reason) => {
                 self.quarantine(seq, &reason);
                 // the poisoned client learns its fate before the rebuild starts; it
-                // must never retry this batch
+                // must never retry this batch. Removed from `unanswered` first so the
+                // rebuild's replay does not capture an outcome for it.
                 let _ = reply.send(encode_error(&EcoError::Poisoned {
                     seq,
                     reason: reason.clone(),
                 }));
+                self.unanswered.remove(&seq);
                 self.recover(&reason);
             }
         }
@@ -678,20 +737,32 @@ impl Supervisor {
         let _ = reply.send(response);
     }
 
-    fn quarantine(&mut self, seq: u64, reason: &str) {
-        self.quarantined.insert(seq);
+    /// Record a quarantine in memory only (idempotent). The in-memory set is handed to
+    /// every recovery as `extra_quarantine`, so a batch stays shielded for the life of
+    /// this process even when its on-disk record could not be written.
+    fn note_quarantined(&mut self, seq: u64, reason: &str) {
+        if !self.quarantined.insert(seq) {
+            return;
+        }
         self.shared
             .quarantined
             .store(self.quarantined.len() as u64, Ordering::Relaxed);
         flex_obs::global()
             .counter("eco_quarantined_batches_total")
             .inc();
+        eprintln!("eco supervise: quarantined batch {seq}: {reason}");
+    }
+
+    fn quarantine(&mut self, seq: u64, reason: &str) {
+        self.note_quarantined(seq, reason);
         if let Some(journal) = self.journal.as_mut() {
             if let Err(e) = journal.quarantine(seq, reason) {
+                // survivable: the in-memory record shields every rebuild this process
+                // performs, and if the batch ever panics a replay on a later boot,
+                // recovery re-quarantines it and retries the persist
                 eprintln!("eco supervise: failed to persist quarantine of batch {seq}: {e}");
             }
         }
-        eprintln!("eco supervise: quarantined batch {seq}: {reason}");
     }
 
     fn ensure_worker(&mut self) {
@@ -714,45 +785,43 @@ impl Supervisor {
 
     /// Build a fresh engine from durable (or in-memory) history, skipping quarantined
     /// batches, with fault injection suppressed — the result is bit-identical to an
-    /// engine that had rejected the poisoned batches up front.
+    /// engine that had rejected the poisoned batches up front. Replay outcomes for
+    /// journaled-but-unanswered batches are captured so the dispatch loop answers them
+    /// instead of re-applying. A failed recovery keeps the stashed [`JournalConfig`],
+    /// so the next attempt (next dispatch or idle tick) retries journal recovery.
     fn rebuild(&mut self) {
         debug_assert!(self.worker.is_none(), "rebuild with a live worker");
-        let rebuilt: Result<EcoEngine, String> = if let Some(old) = self.journal.take() {
-            let cfg = old.config().clone();
-            drop(old); // release the wal handle before recovery re-opens the directory
-            match journal::recover_engine(cfg, self.mgl.clone(), self.validate_boundary) {
-                Ok(Some((engine, journal, _report))) => {
+        let rebuilt: Result<EcoEngine, String> = if let Some(cfg) = self.journal_cfg.clone() {
+            // release the wal handle before recovery re-opens the directory
+            drop(self.journal.take());
+            match journal::recover_engine_supervised(
+                cfg,
+                self.mgl.clone(),
+                self.validate_boundary,
+                &self.unanswered,
+                &self.quarantined,
+            ) {
+                Ok(Some((engine, journal, report))) => {
                     self.next_seq = journal.seq();
+                    self.replay_floor = journal.seq();
                     self.journal = Some(journal);
+                    for (seq, reason) in &report.auto_quarantined {
+                        self.note_quarantined(*seq, reason);
+                    }
+                    for (seq, outcome) in report.captured {
+                        let response = match &outcome {
+                            Ok(report) => encode_report(report),
+                            Err(e) => encode_error(e),
+                        };
+                        self.replay_responses.insert(seq, response);
+                    }
                     Ok(engine)
                 }
                 Ok(None) => Err("journal directory lost its snapshots".to_string()),
                 Err(e) => Err(e.to_string()),
             }
         } else {
-            read_design(&mut &self.base_image[..])
-                .map_err(|e| match e {
-                    SnapshotError::Io(e) => format!("baseline image: {e}"),
-                    SnapshotError::Corrupt(msg) => format!("baseline image: {msg}"),
-                })
-                .and_then(|design| {
-                    EcoEngine::resume(design, self.mgl.clone(), self.base_stats.clone())
-                        .map_err(|e| e.to_string())
-                })
-                .map(|engine| {
-                    let mut engine = engine.with_boundary_validation(self.validate_boundary);
-                    // suppressed replay: a deterministic failpoint schedule must not
-                    // re-fire on history that already survived it
-                    fault::with_suppressed(|| {
-                        for (seq, deltas) in &self.mem_log {
-                            if self.quarantined.contains(seq) {
-                                continue;
-                            }
-                            let _ = engine.apply(deltas); // re-rejects identically
-                        }
-                    });
-                    engine
-                })
+            self.rebuild_from_baseline()
         };
         match rebuilt {
             Ok(engine) => {
@@ -761,10 +830,71 @@ impl Supervisor {
                 self.settle_state();
             }
             Err(e) => {
-                // stay in Recovering: applies shed with a typed hint, and the next
-                // dispatch retries the rebuild
+                // stay (or enter) Recovering: applies shed with a typed hint, and the
+                // rebuild is retried on the next dispatch and on every idle tick
+                self.shared.set_state(SupervisorState::Recovering);
                 eprintln!("eco supervise: rebuild failed: {e} (will retry)");
             }
+        }
+    }
+
+    /// Journal-less rebuild: resume from the in-memory baseline image and replay the
+    /// delta log. Panic-guarded like journal recovery: a logged batch that panics
+    /// replay is quarantined on the spot and the replay restarts without it, so the
+    /// loop converges (each restart removes one more batch from contention).
+    fn rebuild_from_baseline(&mut self) -> Result<EcoEngine, String> {
+        loop {
+            let design = read_design(&mut &self.base_image[..]).map_err(|e| match e {
+                SnapshotError::Io(e) => format!("baseline image: {e}"),
+                SnapshotError::Corrupt(msg) => format!("baseline image: {msg}"),
+            })?;
+            let mut engine = EcoEngine::resume(design, self.mgl.clone(), self.base_stats.clone())
+                .map_err(|e| e.to_string())?
+                .with_boundary_validation(self.validate_boundary);
+            let mut captured: Vec<(u64, Vec<u8>)> = Vec::new();
+            let mut replay_panic: Option<(u64, String)> = None;
+            for (seq, deltas) in &self.mem_log {
+                if self.quarantined.contains(seq) {
+                    if self.unanswered.contains(seq) {
+                        captured.push((
+                            *seq,
+                            encode_error(&EcoError::Poisoned {
+                                seq: *seq,
+                                reason: "batch was quarantined".to_string(),
+                            }),
+                        ));
+                    }
+                    continue;
+                }
+                // suppressed replay: a deterministic failpoint schedule must not
+                // re-fire on history that already survived it
+                let applied = catch_unwind(AssertUnwindSafe(|| {
+                    fault::with_suppressed(|| engine.apply(deltas))
+                }));
+                match applied {
+                    Err(panic) => {
+                        replay_panic = Some((*seq, fault::panic_message(&*panic)));
+                        break;
+                    }
+                    Ok(result) => {
+                        if self.unanswered.contains(seq) {
+                            let response = match &result {
+                                Ok(report) => encode_report(report),
+                                Err(e) => encode_error(e),
+                            };
+                            captured.push((*seq, response));
+                        }
+                        // rejected batches re-reject identically; nothing to do
+                    }
+                }
+            }
+            if let Some((seq, reason)) = replay_panic {
+                self.note_quarantined(seq, &reason);
+                continue;
+            }
+            self.replay_responses.extend(captured);
+            self.replay_floor = self.next_seq;
+            return Ok(engine);
         }
     }
 

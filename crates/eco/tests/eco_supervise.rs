@@ -15,6 +15,12 @@
 //! |                                 | retry loop absorbs them (counted separately)        |
 //! | `health` op                     | machine-readable state machine + counters, answered |
 //! |                                 | even by unsupervised servers (`supervised: false`)  |
+//! | panic mid-fsync-group           | journaled-but-undispatched members are answered     |
+//! |                                 | from the rebuild's replay, never applied twice      |
+//! | recovery itself fails           | journal config retained; the idle-tick retry heals  |
+//! |                                 | the server instead of livelocking journal-less      |
+//! | quarantine persist fails        | the in-memory quarantine still shields the rebuild  |
+//! |                                 | replay; the client ack stays honest                 |
 //!
 //! The failpoint registry is process-global, so every test serializes on one mutex and
 //! resets the registry on entry.
@@ -448,6 +454,262 @@ fn applies_during_a_rebuild_are_shed_with_typed_recovering_and_absorbed_by_retry
     let engine = handle.join();
     assert!(engine.check_legal());
     assert_eq!(engine.stats().batches, 1, "only the follow-up batch landed");
+}
+
+/// A mid-group rebuild must not double-apply journaled-but-undispatched group members.
+/// With fsync group commit the whole group is durable before its first member is
+/// dispatched; when that member poisons the engine, the rebuild's replay applies the
+/// rest — the dispatch loop must answer them from the captured replay outcome, not
+/// re-dispatch them onto the rebuilt engine.
+#[test]
+fn group_members_replayed_by_a_mid_group_rebuild_are_not_applied_twice() {
+    let _g = lock();
+    fault::reset();
+    // the first batch stalls 600ms (well under the 5s watchdog) so two more clients can
+    // queue behind it and form one group; the group's first member — the 2nd delta the
+    // engine ever processes — then panics
+    fault::configure("eco.engine.hang", FaultRule::Nth(1));
+    fault::configure("eco.engine.panic", FaultRule::Nth(2));
+    fault::set_hang_millis(600);
+
+    let engine = warm_engine("sup-group", 71);
+    let slow = move_of(&engine, 0);
+    // the two concurrent clients send IDENTICAL batches: their queue order is not
+    // deterministic, and identical deltas make the surviving state order-independent
+    let grouped = move_of(&engine, 1);
+    let dir = temp_dir("sup-group");
+    let journal = Journal::create(
+        JournalConfig {
+            fsync: true,
+            ..JournalConfig::new(&dir)
+        },
+        engine.design(),
+        engine.stats(),
+        0,
+    )
+    .unwrap();
+
+    let socket = temp_socket("sup-group");
+    let handle = EcoServer::start_with(
+        engine,
+        &socket,
+        ServerConfig {
+            journal: Some(journal),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    let groups_before = flex_obs::global()
+        .counter("eco_journal_group_commits_total")
+        .get();
+
+    let send_apply = |delta: EcoDelta| {
+        let socket = socket.clone();
+        std::thread::spawn(move || {
+            let mut client = EcoClient::connect(&socket).unwrap();
+            client.request(&Request::Apply(vec![delta])).unwrap()
+        })
+    };
+    let slow_thread = send_apply(slow.clone());
+    // let the slow batch reach the engine and stall before the group piles up
+    std::thread::sleep(Duration::from_millis(200));
+    let b_thread = send_apply(grouped.clone());
+    let c_thread = send_apply(grouped.clone());
+
+    let slow_payload = slow_thread.join().unwrap();
+    let json = Json::parse(&String::from_utf8_lossy(&slow_payload)).unwrap();
+    assert_eq!(json.get("ok").and_then(Json::as_bool), Some(true));
+    let mut poisoned = 0;
+    let mut succeeded = 0;
+    for payload in [b_thread.join().unwrap(), c_thread.join().unwrap()] {
+        let json = Json::parse(&String::from_utf8_lossy(&payload)).unwrap();
+        if json.get("poisoned").and_then(Json::as_bool) == Some(true) {
+            // the group's first member (seq 2: right after the slow batch) is the one
+            // that panicked
+            assert_eq!(json.get("seq").and_then(Json::as_i64), Some(2));
+            poisoned += 1;
+        } else {
+            // the surviving member was applied exactly once — by the replay — and its
+            // client is answered from the captured outcome
+            assert_eq!(json.get("ok").and_then(Json::as_bool), Some(true));
+            succeeded += 1;
+        }
+    }
+    assert_eq!((poisoned, succeeded), (1, 1));
+    // the two concurrent batches really were one group commit, and the panic fired on
+    // live traffic only (replay runs suppressed)
+    assert!(
+        flex_obs::global()
+            .counter("eco_journal_group_commits_total")
+            .get()
+            > groups_before,
+        "the two queued batches must have formed a group commit"
+    );
+    assert_eq!(fault::fired_count("eco.engine.panic"), 1);
+    assert_eq!(fault::fired_count("eco.engine.hang"), 1);
+    fault::set_hang_millis(1_000);
+
+    let mut client = retrying(EcoClient::connect(&socket).unwrap());
+    let health = health_of(&mut client);
+    assert_eq!(health.get("state").and_then(Json::as_str), Some("degraded"));
+    assert_eq!(health.get("restarts").and_then(Json::as_i64), Some(1));
+    assert_eq!(health.get("quarantined").and_then(Json::as_i64), Some(1));
+
+    client.request(&Request::Shutdown).unwrap();
+    let engine = handle.join();
+    assert!(engine.check_legal());
+
+    // bit-identity: slow + the surviving member applied ONCE. Before the fix the
+    // dispatch loop re-applied the replayed member, so `stats.batches` (and, for
+    // non-idempotent deltas, the design itself) diverged here.
+    let deltas = [slow, grouped.clone(), grouped];
+    let reference = reference_engine("sup-group", 71, &deltas, &[1]);
+    assert_eq!(
+        design_bytes(engine.design()),
+        design_bytes(reference.design())
+    );
+    assert_eq!(engine.stats(), reference.stats());
+    assert!(flex_eco::journal::load_quarantine(&dir).contains(&2));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A failed recovery must not eat the journal. The first rebuild attempt dies on an
+/// injected I/O error; the retry — driven by the idle tick, because applies are shed at
+/// the connection layer while `Recovering` — must retry *journal* recovery rather than
+/// fall into a dead journal-less branch with no baseline (the pre-fix livelock).
+#[test]
+fn failed_recovery_keeps_the_journal_and_the_idle_retry_heals_the_server() {
+    let _g = lock();
+    fault::reset();
+    fault::configure("eco.engine.panic", FaultRule::Nth(1));
+    fault::configure("eco.recover.fail", FaultRule::Nth(1));
+
+    let engine = warm_engine("sup-rejournal", 83);
+    let deltas: Vec<EcoDelta> = (0..4).map(|i| move_of(&engine, i)).collect();
+    let dir = temp_dir("sup-rejournal");
+    let journal =
+        Journal::create(JournalConfig::new(&dir), engine.design(), engine.stats(), 0).unwrap();
+
+    let socket = temp_socket("sup-rejournal");
+    let handle = EcoServer::start_with(
+        engine,
+        &socket,
+        ServerConfig {
+            journal: Some(journal),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    let mut client = retrying(EcoClient::connect(&socket).unwrap());
+    for (i, delta) in deltas.iter().enumerate() {
+        if i == 0 {
+            let payload = client
+                .request(&Request::Apply(vec![delta.clone()]))
+                .unwrap();
+            let json = Json::parse(&String::from_utf8_lossy(&payload)).unwrap();
+            assert_eq!(json.get("poisoned").and_then(Json::as_bool), Some(true));
+            assert_eq!(json.get("seq").and_then(Json::as_i64), Some(1));
+        } else {
+            // the first of these arrives while the rebuild has failed once: the shed /
+            // retry loop must outlast the idle-tick recovery retry
+            client
+                .request_json_retry(&Request::Apply(vec![delta.clone()]))
+                .unwrap()
+                .unwrap_or_else(|m| panic!("batch {i} rejected: {m}"));
+        }
+    }
+    assert_eq!(fault::fired_count("eco.recover.fail"), 1);
+
+    let health = health_of(&mut client);
+    assert_eq!(health.get("state").and_then(Json::as_str), Some("degraded"));
+    assert_eq!(health.get("restarts").and_then(Json::as_i64), Some(1));
+    assert_eq!(health.get("quarantined").and_then(Json::as_i64), Some(1));
+
+    client.request(&Request::Shutdown).unwrap();
+    let engine = handle.join();
+    assert!(engine.check_legal());
+
+    let reference = reference_engine("sup-rejournal", 83, &deltas, &[0]);
+    assert_eq!(
+        design_bytes(engine.design()),
+        design_bytes(reference.design())
+    );
+    assert_eq!(engine.stats(), reference.stats());
+    // journaling resumed after the healed recovery: the quarantine record is durable
+    assert!(flex_eco::journal::load_quarantine(&dir).contains(&1));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A quarantine record that fails to persist must not resurface the poisoned batch in
+/// the rebuild's replay: the supervisor's in-memory quarantine set shields every
+/// recovery this process performs, so the healed engine still matches one that
+/// rejected the batch up front.
+#[test]
+fn unpersisted_quarantine_still_shields_the_rebuild_replay() {
+    let _g = lock();
+    fault::reset();
+    fault::configure("eco.engine.panic", FaultRule::Nth(2));
+    fault::configure("eco.quarantine.write", FaultRule::Always);
+
+    let engine = warm_engine("sup-noq", 97);
+    let deltas: Vec<EcoDelta> = (0..4).map(|i| move_of(&engine, i)).collect();
+    let dir = temp_dir("sup-noq");
+    let journal =
+        Journal::create(JournalConfig::new(&dir), engine.design(), engine.stats(), 0).unwrap();
+
+    let socket = temp_socket("sup-noq");
+    let handle = EcoServer::start_with(
+        engine,
+        &socket,
+        ServerConfig {
+            journal: Some(journal),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    let mut client = retrying(EcoClient::connect(&socket).unwrap());
+    for (i, delta) in deltas.iter().enumerate() {
+        if i == 1 {
+            let payload = client
+                .request(&Request::Apply(vec![delta.clone()]))
+                .unwrap();
+            let json = Json::parse(&String::from_utf8_lossy(&payload)).unwrap();
+            assert_eq!(json.get("poisoned").and_then(Json::as_bool), Some(true));
+            assert_eq!(json.get("seq").and_then(Json::as_i64), Some(2));
+        } else {
+            client
+                .request_json_retry(&Request::Apply(vec![delta.clone()]))
+                .unwrap()
+                .unwrap_or_else(|m| panic!("batch {i} rejected: {m}"));
+        }
+    }
+
+    let health = health_of(&mut client);
+    assert_eq!(health.get("state").and_then(Json::as_str), Some("degraded"));
+    assert_eq!(health.get("restarts").and_then(Json::as_i64), Some(1));
+    assert_eq!(health.get("quarantined").and_then(Json::as_i64), Some(1));
+
+    client.request(&Request::Shutdown).unwrap();
+    let engine = handle.join();
+    assert!(engine.check_legal());
+
+    // pre-fix, the replay saw no quarantine record on disk and re-applied the poisoned
+    // batch (suppression kept it from panicking), silently diverging from this:
+    let reference = reference_engine("sup-noq", 97, &deltas, &[1]);
+    assert_eq!(
+        design_bytes(engine.design()),
+        design_bytes(reference.design())
+    );
+    assert_eq!(engine.stats(), reference.stats());
+    // the record really never reached disk — the shield was purely in-memory
+    assert!(!flex_eco::journal::load_quarantine(&dir).contains(&2));
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
